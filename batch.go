@@ -1,0 +1,104 @@
+package rhik
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Batch accumulates commands for asynchronous submission: Apply issues
+// them back-to-back (deep queue) so the device's internal parallelism —
+// die-level overlap and pipelined page programs — is exposed, the way
+// the paper's async experiments drive the KVSSD (Fig. 6a/6b).
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	kind  workload.OpKind
+	key   []byte
+	value []byte
+}
+
+// Store queues a put.
+func (b *Batch) Store(key, value []byte) {
+	b.ops = append(b.ops, batchOp{kind: workload.OpStore, key: key, value: value})
+}
+
+// Retrieve queues a get; the value is returned in BatchResult.Values.
+func (b *Batch) Retrieve(key []byte) {
+	b.ops = append(b.ops, batchOp{kind: workload.OpRetrieve, key: key})
+}
+
+// Delete queues a delete.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{kind: workload.OpDelete, key: key})
+}
+
+// Len reports the queued command count.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// BatchResult reports the outcome of an asynchronous batch.
+type BatchResult struct {
+	// Values holds retrieved values, indexed like the batch's commands
+	// (nil for non-retrieves and failed retrieves).
+	Values [][]byte
+	// Errs holds the per-command error (nil on success).
+	Errs []error
+	// Elapsed is the simulated wall time from first submission to the
+	// last completion, including drain of in-flight flash work.
+	Elapsed time.Duration
+}
+
+// Failed reports how many commands errored.
+func (r BatchResult) Failed() int {
+	n := 0
+	for _, e := range r.Errs {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply executes the batch asynchronously with the given submission
+// interval between commands (0 means back-to-back).
+func (db *DB) Apply(b *Batch, gap time.Duration) BatchResult {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	res := BatchResult{
+		Values: make([][]byte, len(b.ops)),
+		Errs:   make([]error, len(b.ops)),
+	}
+	start := db.dev.Now()
+	submit := start
+	var lastDone sim.Time
+	for i, op := range b.ops {
+		var done sim.Time
+		var err error
+		switch op.kind {
+		case workload.OpStore:
+			done, err = db.dev.Store(submit, op.key, op.value)
+		case workload.OpRetrieve:
+			res.Values[i], done, err = db.dev.Retrieve(submit, op.key)
+		case workload.OpDelete:
+			done, err = db.dev.Delete(submit, op.key)
+		}
+		res.Errs[i] = err
+		if done > lastDone {
+			lastDone = done
+		}
+		submit = submit.Add(sim.Duration(gap.Nanoseconds()))
+	}
+	end := db.dev.Drain()
+	if lastDone > end {
+		end = lastDone
+	}
+	if end > db.last {
+		db.last = end
+	}
+	res.Elapsed = time.Duration(int64(end.Sub(start)))
+	return res
+}

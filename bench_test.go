@@ -1,0 +1,261 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus microbenchmarks of the core operations and ablations
+// of RHIK's design choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks run at quick scale by default so the suite finishes
+// in minutes; `go run ./cmd/rhikbench -scale full all` runs the full
+// versions and prints the paper-style tables.
+package rhik_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	rhik "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// benchScale picks the experiment scale for Benchmark* figure runs.
+func benchScale(b *testing.B) bench.Scale {
+	if testing.Short() {
+		return bench.Quick()
+	}
+	return bench.Quick() // full-scale runs belong to cmd/rhikbench
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard)
+	}
+}
+
+func BenchmarkFig2WriteBandwidthVsUtilization(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5TraceClusters(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ThroughputSweep(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ResizeScaling(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8aCollisionsByKeySize(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8a(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8bCollisionsByOccupancy(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8b(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationResizeMode(b *testing.B) {
+	s := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationResizeMode(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks of the public API ---
+
+func newBenchDB(b *testing.B, opts rhik.Options) *rhik.DB {
+	b.Helper()
+	if opts.Capacity == 0 {
+		opts.Capacity = 256 << 20
+	}
+	db, err := rhik.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkStoreSmallValues(b *testing.B) {
+	db := newBenchDB(b, rhik.Options{})
+	val := workload.ValuePayload(0, 128)
+	b.SetBytes(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStore4KValues(b *testing.B) {
+	db := newBenchDB(b, rhik.Options{})
+	val := workload.ValuePayload(0, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Store(workload.KeyBytes(uint64(i%30000)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveHot(b *testing.B) {
+	db := newBenchDB(b, rhik.Options{AnticipatedKeys: 20000})
+	const n = 10000
+	val := workload.ValuePayload(0, 512)
+	for i := 0; i < n; i++ {
+		if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Retrieve(workload.KeyBytes(uint64(i % n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExist(b *testing.B) {
+	db := newBenchDB(b, rhik.Options{})
+	for i := 0; i < 5000; i++ {
+		db.Store(workload.KeyBytes(uint64(i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exist(workload.KeyBytes(uint64(i % 10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsyncBatchStore(b *testing.B) {
+	db := newBenchDB(b, rhik.Options{Capacity: 1 << 30})
+	val := workload.ValuePayload(0, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		var batch rhik.Batch
+		for j := 0; j < 256 && i < b.N; j++ {
+			batch.Store(workload.KeyBytes(uint64(i%40000)), val)
+			i++
+		}
+		if res := db.Apply(&batch, 0); res.Failed() > 0 {
+			b.Fatal("batch failures")
+		}
+	}
+}
+
+// --- ablations: design choices called out in DESIGN.md §7 ---
+
+func BenchmarkAblationHopRange(b *testing.B) {
+	for _, hop := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("H=%d", hop), func(b *testing.B) {
+			db := newBenchDB(b, rhik.Options{HopRange: hop})
+			val := workload.ValuePayload(0, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil && err != rhik.ErrCollision {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSignatureWidth(b *testing.B) {
+	for _, bits := range []int{64, 128} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			db := newBenchDB(b, rhik.Options{SignatureBits: bits})
+			val := workload.ValuePayload(0, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCacheBudget(b *testing.B) {
+	for _, budget := range []int64{256 << 10, 10 << 20} {
+		b.Run(fmt.Sprintf("cache=%dKiB", budget>>10), func(b *testing.B) {
+			db := newBenchDB(b, rhik.Options{CacheBudget: budget})
+			val := workload.ValuePayload(0, 64)
+			const fill = 30000
+			for i := 0; i < fill; i++ {
+				if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Retrieve(workload.KeyBytes(uint64(i % fill))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationIndexScheme(b *testing.B) {
+	for _, scheme := range []struct {
+		name string
+		s    rhik.IndexScheme
+	}{{"rhik", rhik.RHIK}, {"mlhash", rhik.MultiLevel}, {"lsm", rhik.LSM}} {
+		b.Run(scheme.name, func(b *testing.B) {
+			db := newBenchDB(b, rhik.Options{Index: scheme.s, CacheBudget: 512 << 10})
+			val := workload.ValuePayload(0, 64)
+			const fill = 20000
+			for i := 0; i < fill; i++ {
+				if err := db.Store(workload.KeyBytes(uint64(i)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Retrieve(workload.KeyBytes(uint64(i % fill))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

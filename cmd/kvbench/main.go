@@ -1,0 +1,208 @@
+// Command kvbench is the KVBench-style workload driver the paper uses
+// for its microbenchmarks (§V-A): configurable key distribution, value
+// sizes, operation mix, and sync/async submission against the emulated
+// KVSSD, reporting simulated throughput and latency.
+//
+// Examples:
+//
+//	kvbench -n 100000 -value 4096
+//	kvbench -index mlhash -keys zipfian -theta 0.9 -mix readmostly -n 200000
+//	kvbench -mode sync -value 65536 -n 5000
+//	kvbench -dist etc -n 100000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		capacity  = flag.Int64("capacity", 1<<30, "emulated capacity in bytes")
+		indexName = flag.String("index", "rhik", "index scheme: rhik, mlhash")
+		keyDist   = flag.String("keys", "sequential", "key distribution: sequential, uniform, zipfian")
+		theta     = flag.Float64("theta", 0.99, "zipfian skew")
+		n         = flag.Int64("n", 100_000, "operation count")
+		keyspace  = flag.Int64("keyspace", 0, "distinct keys for uniform/zipfian (default n)")
+		valueSize = flag.Int("value", 1024, "fixed value size in bytes")
+		dist      = flag.String("dist", "", "value-size distribution: atlas, etc, udb, zippydb, up2x (overrides -value)")
+		mixName   = flag.String("mix", "write", "operation mix: write, read, readmostly")
+		mode      = flag.String("mode", "async", "submission mode: sync, async")
+		keySize   = flag.Int("keysize", 16, "key size in bytes")
+		cache     = flag.Int64("cache", 10<<20, "index DRAM cache budget")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		incr      = flag.Bool("incremental", false, "incremental (real-time) index resizing")
+	)
+	flag.Parse()
+
+	cfg := device.Config{
+		Capacity:          *capacity,
+		CacheBudget:       *cache,
+		IncrementalResize: *incr,
+	}
+	switch *indexName {
+	case "rhik":
+		cfg.Index = device.IndexRHIK
+	case "mlhash":
+		cfg.Index = device.IndexMultiLevel
+	default:
+		fatalf("unknown index %q", *indexName)
+	}
+
+	if *keyspace == 0 {
+		*keyspace = *n
+	}
+	var keys workload.KeyGen
+	switch *keyDist {
+	case "sequential":
+		keys = workload.NewSequential(0)
+	case "uniform":
+		keys = workload.NewUniform(uint64(*keyspace), *seed)
+	case "zipfian":
+		keys = workload.NewZipfian(uint64(*keyspace), *theta, *seed)
+	default:
+		fatalf("unknown key distribution %q", *keyDist)
+	}
+
+	var sizes workload.SizeDist = workload.Fixed{Size: *valueSize}
+	switch *dist {
+	case "":
+	case "atlas":
+		sizes = workload.BaiduAtlasWrite(*seed)
+	case "etc":
+		sizes = workload.FacebookETC(*seed)
+	case "udb", "zippydb", "up2x":
+		var err error
+		names := map[string]string{"udb": "UDB", "zippydb": "ZippyDB", "up2x": "UP2X"}
+		sizes, err = workload.RocksDBProfile(names[*dist], *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown value distribution %q", *dist)
+	}
+
+	var mix workload.Mix
+	switch *mixName {
+	case "write":
+		mix = workload.WriteOnly
+	case "read":
+		mix = workload.ReadOnly
+	case "readmostly":
+		mix = workload.ReadMostly
+	default:
+		fatalf("unknown mix %q", *mixName)
+	}
+
+	dev, err := device.Open(cfg)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	ks := *keySize
+	if ks == 16 {
+		ks = 0 // canonical fast path
+	}
+	gen := workload.NewGenerator(keys, sizes, mix, ks, *seed+1)
+
+	// Pre-fill the keyspace for read-bearing mixes.
+	if mix.Retrieve > 0 || mix.Delete > 0 || mix.Exist > 0 {
+		fmt.Fprintf(os.Stderr, "prefilling %d keys...\n", *keyspace)
+		var submit sim.Time
+		for i := int64(0); i < *keyspace; i++ {
+			op := workload.Op{Kind: workload.OpStore, KeyID: uint64(i), KeySize: ks, ValueSize: sizes.Next()}
+			if _, err := dev.Store(submit, op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize)); err != nil {
+				fatalf("prefill %d: %v", i, err)
+			}
+		}
+		dev.ResetOpStats()
+	}
+
+	start := time.Now()
+	simStart := dev.Drain()
+	var last, maxDone sim.Time
+	var submit sim.Time = simStart
+	var lat metrics.Histogram
+	var bytesMoved int64
+	var notFound, collisions int64
+
+	for i := int64(0); i < *n; i++ {
+		op := gen.Next()
+		at := submit
+		if *mode == "sync" {
+			at = last
+			if at < simStart {
+				at = simStart
+			}
+		}
+		opStart := dev.Now()
+		var done sim.Time
+		var err error
+		switch op.Kind {
+		case workload.OpStore:
+			done, err = dev.Store(at, op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize))
+			bytesMoved += int64(op.ValueSize)
+		case workload.OpRetrieve:
+			var v []byte
+			v, done, err = dev.Retrieve(at, op.Key())
+			bytesMoved += int64(len(v))
+		case workload.OpDelete:
+			done, err = dev.Delete(at, op.Key())
+		case workload.OpExist:
+			_, done, err = dev.Exist(at, op.Key())
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, device.ErrNotFound):
+			notFound++
+		case errors.Is(err, index.ErrCollision):
+			collisions++
+		default:
+			fatalf("op %d (%v): %v", i, op.Kind, err)
+		}
+		if done > last {
+			last = done
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+		lat.Record(int64(dev.Now().Sub(opStart)))
+	}
+	end := dev.Drain()
+	if maxDone > end {
+		end = maxDone
+	}
+	elapsed := end.Sub(simStart)
+
+	fmt.Printf("workload: %s keys, %s values, mix=%s, mode=%s, index=%s\n",
+		*keyDist, sizes.Name(), *mixName, *mode, *indexName)
+	fmt.Printf("ops: %d (%d not-found, %d collision aborts)\n", *n, notFound, collisions)
+	fmt.Printf("simulated: %v   wall: %v\n", elapsed, time.Since(start).Round(time.Millisecond))
+	if elapsed > 0 {
+		fmt.Printf("throughput: %.1f kops/s, %.1f MB/s (simulated)\n",
+			float64(*n)/elapsed.Seconds()/1e3, float64(bytesMoved)/elapsed.Seconds()/1e6)
+	}
+	fmt.Printf("firmware occupancy per op: p50=%v p99=%v max=%v\n",
+		sim.Duration(lat.Percentile(50)), sim.Duration(lat.Percentile(99)), sim.Duration(lat.Max()))
+
+	is := dev.IndexStats()
+	fs := dev.FlashStats()
+	ds := dev.Stats()
+	fmt.Printf("index: records=%d dirEntries=%d resizes=%d cacheMiss=%.3f\n",
+		is.Records, is.DirEntries, is.Resizes, is.Cache.MissRatio())
+	fmt.Printf("flash: reads=%d programs=%d erases=%d gcRuns=%d resizeHalt=%v\n",
+		fs.Reads, fs.Programs, fs.Erases, ds.GCRuns, ds.ResizeHalt)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kvbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+// Command kvcli is an interactive (or scripted) shell over the emulated
+// KVSSD's SNIA-style KV interface. It is useful for poking at device
+// behaviour — resizes, GC, recovery — by hand.
+//
+// Usage:
+//
+//	kvcli [-capacity BYTES] [-index rhik|mlhash] [-prefixlen N] [< script]
+//
+// Commands:
+//
+//	put <key> <value>      store a pair
+//	get <key>              retrieve a value
+//	del <key>              delete a key
+//	exist <key>            membership check
+//	iter <prefix>          enumerate keys by prefix (needs -prefixlen)
+//	fill <n> <valueBytes>  bulk-load n synthetic pairs
+//	stats                  device/index counters
+//	checkpoint             force a durability checkpoint
+//	restart                simulate power loss + recovery
+//	help                   this text
+//	quit                   exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	rhik "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	capacity := flag.Int64("capacity", 256<<20, "emulated capacity in bytes")
+	indexName := flag.String("index", "rhik", "index scheme: rhik or mlhash")
+	prefixLen := flag.Int("prefixlen", 0, "iterator-mode signature prefix length")
+	flag.Parse()
+
+	opts := rhik.Options{Capacity: *capacity, IteratorPrefixLen: *prefixLen}
+	switch *indexName {
+	case "rhik":
+		opts.Index = rhik.RHIK
+	case "mlhash":
+		opts.Index = rhik.MultiLevel
+	default:
+		fmt.Fprintf(os.Stderr, "kvcli: unknown index %q\n", *indexName)
+		os.Exit(2)
+	}
+	db, err := rhik.Open(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvcli: %v\n", err)
+		os.Exit(1)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTTY()
+	if interactive {
+		fmt.Printf("emulated %s KVSSD, %d MiB. 'help' for commands.\n", *indexName, *capacity>>20)
+	}
+	for {
+		if interactive {
+			fmt.Print("kv> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := execute(db, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "kvcli: close: %v\n", err)
+	}
+}
+
+func execute(db *rhik.DB, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "put":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		if err := db.Store([]byte(args[0]), []byte(args[1])); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "get":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		v, err := db.Retrieve([]byte(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", v)
+	case "del":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: del <key>")
+		}
+		if err := db.Delete([]byte(args[0])); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "exist":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: exist <key>")
+		}
+		ok, err := db.Exist([]byte(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(ok)
+	case "iter":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: iter <prefix>")
+		}
+		entries, err := db.Iterate([]byte(args[0]))
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Printf("%s = %q\n", e.Key, e.Value)
+		}
+		fmt.Printf("(%d entries)\n", len(entries))
+	case "fill":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: fill <n> <valueBytes>")
+		}
+		n, err1 := strconv.Atoi(args[0])
+		vb, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || n < 0 || vb < 0 {
+			return fmt.Errorf("usage: fill <n> <valueBytes>")
+		}
+		var b rhik.Batch
+		for i := 0; i < n; i++ {
+			b.Store(workload.KeyBytes(uint64(i)), workload.ValuePayload(uint64(i), vb))
+		}
+		res := db.Apply(&b, 0)
+		fmt.Printf("stored %d pairs (%d failed) in %v simulated\n", n-res.Failed(), res.Failed(), res.Elapsed)
+	case "stats":
+		s := db.Stats()
+		fmt.Printf("index=%s records=%d dirEntries=%d resizes=%d halt=%v collisions=%d\n",
+			s.IndexScheme, s.IndexRecords, s.DirectoryEntries, s.Resizes, s.ResizeHaltTotal, s.CollisionAborts)
+		fmt.Printf("ops: store=%d get=%d del=%d exist=%d  bytes: w=%d r=%d\n",
+			s.Stores, s.Retrieves, s.Deletes, s.Exists, s.BytesWritten, s.BytesRead)
+		fmt.Printf("flash: reads=%d programs=%d erases=%d gcRuns=%d ckpts=%d recoveries=%d\n",
+			s.FlashReads, s.FlashPrograms, s.FlashErases, s.GCRuns, s.Checkpoints, s.Recoveries)
+		fmt.Printf("cache: hits=%d misses=%d  latency: store p50=%v p99=%v get p50=%v p99=%v\n",
+			s.CacheHits, s.CacheMisses, s.StoreP50, s.StoreP99, s.RetrieveP50, s.RetrieveP99)
+		fmt.Printf("simulated elapsed: %v\n", db.Elapsed())
+	case "checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "restart":
+		if err := db.Restart(); err != nil {
+			return err
+		}
+		fmt.Println("recovered")
+	case "help":
+		fmt.Println("put get del exist iter fill stats checkpoint restart quit")
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return nil
+}
+
+func isTTY() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

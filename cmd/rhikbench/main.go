@@ -1,0 +1,101 @@
+// Command rhikbench regenerates the paper's tables and figures on the
+// emulated KVSSD. Each experiment prints the same rows/series the paper
+// reports, at emulator scale.
+//
+// Usage:
+//
+//	rhikbench [-scale full|quick] [-out FILE] table1|fig2|fig5|fig6|fig7|fig8a|fig8b|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: full or quick")
+	outFlag := flag.String("out", "", "write results to FILE instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rhikbench [-scale full|quick] [-out FILE] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig5 fig6 fig7 fig8a fig8b resize-ablation all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "full":
+		scale = bench.Full()
+	case "quick":
+		scale = bench.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "rhikbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhikbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if err := run(w, flag.Arg(0), scale); err != nil {
+		fmt.Fprintf(os.Stderr, "rhikbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, name string, scale bench.Scale) error {
+	experiments := []struct {
+		name string
+		fn   func(io.Writer, bench.Scale) error
+	}{
+		{"table1", func(w io.Writer, _ bench.Scale) error { bench.Table1(w); return nil }},
+		{"fig2", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig2(w, s); return err }},
+		{"fig5", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig5(w, s); return err }},
+		{"fig6", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig6(w, s); return err }},
+		{"fig7", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig7(w, s); return err }},
+		{"fig8a", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig8a(w, s); return err }},
+		{"fig8b", func(w io.Writer, s bench.Scale) error { _, err := bench.Fig8b(w, s); return err }},
+		{"resize-ablation", func(w io.Writer, s bench.Scale) error { _, err := bench.AblationResizeMode(w, s); return err }},
+	}
+	for _, e := range experiments {
+		if name != "all" && name != e.name {
+			continue
+		}
+		start := time.Now()
+		if err := e.fn(w, scale); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "[%s done in %v wall time, scale=%s]\n\n", e.name, time.Since(start).Round(time.Millisecond), scale.Name)
+		if name == e.name {
+			return nil
+		}
+	}
+	if name != "all" {
+		found := false
+		for _, e := range experiments {
+			if e.name == name {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	return nil
+}

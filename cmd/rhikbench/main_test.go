@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "table1", bench.Quick()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "baidu-atlas-write", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(io.Discard, "fig99", bench.Quick()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunResizeAblationQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "resize-ablation", bench.Quick()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "incremental") {
+		t.Error("ablation output missing incremental row")
+	}
+}

@@ -1,0 +1,98 @@
+// Command tracegen synthesizes IBM Cloud Object Store-style KV traces
+// for the Fig. 5 clusters (the originals are not redistributable; see
+// DESIGN.md §5 for the substitution rationale).
+//
+// Usage:
+//
+//	tracegen -cluster 083 -seed 42 -o trace-083.txt
+//	tracegen -all -dir traces/
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	cluster := flag.String("cluster", "", "cluster name (001, 022, 026, 052, 072, 081, 083, 096)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	all := flag.Bool("all", false, "generate every cluster")
+	dir := flag.String("dir", ".", "output directory for -all")
+	list := flag.Bool("list", false, "list cluster specs and exit")
+	scale := flag.Int("scale", 1, "divide cluster sizes by this factor")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-12s %-12s %-10s %-8s %-8s\n",
+			"cluster", "uniqueKeys", "accessOps", "readFrac", "theta", "valueB")
+		for _, c := range trace.Clusters() {
+			fmt.Printf("%-8s %-12d %-12d %-10.2f %-8.2f %-8d\n",
+				c.Name, c.UniqueKeys, c.AccessOps, c.ReadFrac, c.Theta, c.ValueSize)
+		}
+		return
+	}
+
+	if *all {
+		for _, spec := range trace.Clusters() {
+			path := filepath.Join(*dir, fmt.Sprintf("trace-%s.txt", spec.Name))
+			if err := generate(spec, *seed, *scale, path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	if *cluster == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: need -cluster, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := trace.Cluster(*cluster)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		spec = scaled(spec, *scale)
+		if err := trace.Write(os.Stdout, trace.Synthesize(spec, *seed)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := generate(spec, *seed, *scale, *out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func scaled(spec trace.ClusterSpec, factor int) trace.ClusterSpec {
+	if factor > 1 {
+		spec.UniqueKeys /= factor
+		spec.AccessOps /= factor
+		if spec.UniqueKeys < 1 {
+			spec.UniqueKeys = 1
+		}
+	}
+	return spec
+}
+
+func generate(spec trace.ClusterSpec, seed int64, factor int, path string) error {
+	spec = scaled(spec, factor)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Write(f, trace.Synthesize(spec, seed))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

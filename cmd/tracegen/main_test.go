@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestScaledClampsAndDivides(t *testing.T) {
+	spec := trace.ClusterSpec{UniqueKeys: 100, AccessOps: 200}
+	got := scaled(spec, 10)
+	if got.UniqueKeys != 10 || got.AccessOps != 20 {
+		t.Fatalf("scaled = %+v", got)
+	}
+	tiny := scaled(trace.ClusterSpec{UniqueKeys: 3, AccessOps: 3}, 10)
+	if tiny.UniqueKeys != 1 {
+		t.Fatalf("UniqueKeys clamped to %d", tiny.UniqueKeys)
+	}
+	same := scaled(spec, 1)
+	if same != spec {
+		t.Fatal("factor 1 must be identity")
+	}
+}
+
+func TestGenerateWritesParsableTrace(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := trace.Cluster("022")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "t.txt")
+	if err := generate(spec, 1, 100, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -1,0 +1,79 @@
+// Indexcompare: run the same workload against all three in-device index
+// schemes — RHIK, the Samsung-style multi-level hash cascade, and the
+// PinK-style LSM index — under a constrained DRAM budget, and compare
+// throughput and the *distribution* of flash reads per metadata access.
+//
+// This is the paper's §II-B design-space argument made runnable, and it
+// shows the honest trade-offs: the LSM ingests fastest (its memtable
+// batches index updates into sequential runs) and the cascade can look
+// fine on average, but only RHIK bounds every metadata access to at most
+// one flash read — the predictability KVSSD firmware needs. The paper's
+// §VI even asks whether hash and LSM advantages can be combined.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rhik "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		keys      = 50_000
+		valueSize = 256
+		cache     = 512 << 10 // tight DRAM: index residency matters
+	)
+	fmt.Printf("workload: %d keys × %dB values, %d KiB index cache, uniform reads\n\n",
+		keys, valueSize, cache>>10)
+	fmt.Printf("%-8s %-13s %-13s %-22s\n",
+		"index", "fill(sim)", "read(sim)", "meta reads/op p50/p99/max")
+
+	for _, scheme := range []struct {
+		name string
+		s    rhik.IndexScheme
+	}{
+		{"rhik", rhik.RHIK},
+		{"mlhash", rhik.MultiLevel},
+		{"lsm", rhik.LSM},
+	} {
+		db, err := rhik.Open(rhik.Options{
+			Capacity:    256 << 20,
+			Index:       scheme.s,
+			CacheBudget: cache,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var fill rhik.Batch
+		for i := 0; i < keys; i++ {
+			fill.Store(workload.KeyBytes(uint64(i)), workload.ValuePayload(uint64(i), valueSize))
+		}
+		fres := db.Apply(&fill, 0)
+		if fres.Failed() > 0 {
+			log.Fatalf("%s: %d fill failures", scheme.name, fres.Failed())
+		}
+
+		// Uniform read phase, measured in isolation.
+		db.Device().ResetOpStats()
+		u := workload.NewUniform(keys, 7)
+		var reads rhik.Batch
+		for i := 0; i < keys; i++ {
+			reads.Retrieve(workload.KeyBytes(u.NextID()))
+		}
+		rres := db.Apply(&reads, 0)
+		if rres.Failed() > 0 {
+			log.Fatalf("%s: %d read failures", scheme.name, rres.Failed())
+		}
+
+		h := db.Device().MetaReadsPerOp()
+		fmt.Printf("%-8s %-13v %-13v %d / %d / %d\n",
+			scheme.name, fres.Elapsed, rres.Elapsed,
+			h.Percentile(50), h.Percentile(99), h.Max())
+	}
+	fmt.Println("\nThe LSM ingests fastest (memtable batching) and the cascade looks fine on average,")
+	fmt.Println("but their worst-case metadata accesses need multiple flash reads; RHIK's is bounded")
+	fmt.Println("at one — the predictable-latency property the paper designs for.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: open an emulated KVSSD, store, retrieve, check membership,
+// delete, and read the device statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rhik "repro"
+)
+
+func main() {
+	db, err := rhik.Open(rhik.Options{Capacity: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Store([]byte("user:1001"), []byte(`{"name":"ada","plan":"pro"}`)); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Retrieve([]byte("user:1001"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:1001 -> %s\n", v)
+
+	ok, err := db.Exist([]byte("user:1001"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exist(user:1001) = %v\n", ok)
+
+	if err := db.Delete([]byte("user:1001")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Retrieve([]byte("user:1001")); err == rhik.ErrNotFound {
+		fmt.Println("deleted: retrieve now reports not-found")
+	}
+
+	s := db.Stats()
+	fmt.Printf("device: %d stores, %d retrieves, index=%s, simulated time=%v\n",
+		s.Stores, s.Retrieves, s.IndexScheme, db.Elapsed())
+}

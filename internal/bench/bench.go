@@ -1,0 +1,172 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation (§III Fig. 2 and Table I; §V Figs. 5–8). Each experiment is
+// a function that drives the emulated device, returns structured results
+// for tests and benchmarks, and renders the same rows/series the paper
+// reports. cmd/rhikbench and the repository-root benchmarks are thin
+// wrappers over this package.
+//
+// Scale: the paper's testbed is a 3.84 TB KVSSD with up to 3.1 B keys;
+// experiments here run at emulator scale (default ≤ 1 GiB, ≤ ~13 M
+// keys), preserving the ratios each result depends on. EXPERIMENTS.md
+// records paper-vs-measured for every row.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale selects experiment sizing.
+type Scale struct {
+	// Name labels the scale in output.
+	Name string
+	// Factor divides the default (full) experiment sizes; 1 = full.
+	Factor int
+}
+
+// Full is the default experiment scale (minutes of wall time in total).
+func Full() Scale { return Scale{Name: "full", Factor: 1} }
+
+// Quick is the CI/test scale (~seconds): all shapes, tiny sizes.
+func Quick() Scale { return Scale{Name: "quick", Factor: 16} }
+
+// div scales n down by the scale factor with a floor of lo.
+func (s Scale) div(n int, lo int) int {
+	v := n / s.Factor
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+func (s Scale) div64(n int64, lo int64) int64 {
+	v := n / int64(s.Factor)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// syncDriver submits each operation at the previous completion (QD1).
+type syncDriver struct {
+	dev  *device.Device
+	last sim.Time
+}
+
+func (d *syncDriver) store(key, value []byte) error {
+	done, err := d.dev.Store(d.last, key, value)
+	if err != nil {
+		return err
+	}
+	d.last = done
+	return nil
+}
+
+func (d *syncDriver) retrieve(key []byte) error {
+	_, done, err := d.dev.Retrieve(d.last, key)
+	if err != nil {
+		return err
+	}
+	d.last = done
+	return nil
+}
+
+// elapsed reports simulated time since t0, including device drain.
+func (d *syncDriver) elapsed(t0 sim.Time) sim.Duration {
+	end := d.dev.Drain()
+	if d.last > end {
+		end = d.last
+	}
+	return end.Sub(t0)
+}
+
+// asyncDriver submits back-to-back (deep queue).
+type asyncDriver struct {
+	dev    *device.Device
+	submit sim.Time
+	last   sim.Time
+}
+
+func (d *asyncDriver) store(key, value []byte) error {
+	done, err := d.dev.Store(d.submit, key, value)
+	if err != nil {
+		return err
+	}
+	if done > d.last {
+		d.last = done
+	}
+	return nil
+}
+
+func (d *asyncDriver) retrieve(key []byte) error {
+	_, done, err := d.dev.Retrieve(d.submit, key)
+	if err != nil {
+		return err
+	}
+	if done > d.last {
+		d.last = done
+	}
+	return nil
+}
+
+func (d *asyncDriver) elapsed(t0 sim.Time) sim.Duration {
+	end := d.dev.Drain()
+	if d.last > end {
+		end = d.last
+	}
+	return end.Sub(t0)
+}
+
+// replay runs trace records against a device synchronously, returning
+// the count of operations executed. Store errors from collisions are
+// tolerated (the paper's abort semantics); other errors abort.
+func replay(dev *device.Device, recs []trace.Record) (int, error) {
+	var last sim.Time
+	n := 0
+	for _, r := range recs {
+		var done sim.Time
+		var err error
+		switch r.Op {
+		case workload.OpStore:
+			done, err = dev.Store(last, r.Key(), workload.ValuePayload(r.KeyID, r.ValueSize))
+		case workload.OpRetrieve:
+			_, done, err = dev.Retrieve(last, r.Key())
+			if err == device.ErrNotFound {
+				err = nil
+			}
+		case workload.OpDelete:
+			done, err = dev.Delete(last, r.Key())
+			if err == device.ErrNotFound {
+				err = nil
+			}
+		case workload.OpExist:
+			_, done, err = dev.Exist(last, r.Key())
+		}
+		if err != nil {
+			return n, fmt.Errorf("bench: replay op %d (%v): %w", n, r.Op, err)
+		}
+		if done > last {
+			last = done
+		}
+		n++
+	}
+	return n, nil
+}
+
+// mbps renders bytes over a simulated duration as MB/s.
+func mbps(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// hr prints a section rule.
+func hr(w io.Writer) {
+	fmt.Fprintln(w, "------------------------------------------------------------------")
+}

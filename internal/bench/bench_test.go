@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTable1RangesMatchPaperDecades(t *testing.T) {
+	var sb strings.Builder
+	rows := Table1(&sb)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	baidu, etc := rows[0], rows[1]
+	if baidu.MinKeys < 15e6 || baidu.MinKeys > 60e6 {
+		t.Errorf("Baidu min %d, paper ~34M", baidu.MinKeys)
+	}
+	if baidu.MaxKeys < 1e9 || baidu.MaxKeys > 5e9 {
+		t.Errorf("Baidu max %d, paper ~2.7B", baidu.MaxKeys)
+	}
+	if etc.MinKeys < 10e9 || etc.MaxKeys < 300e9 {
+		t.Errorf("ETC range %d–%d, paper 24B–744B", etc.MinKeys, etc.MaxKeys)
+	}
+	out := sb.String()
+	for _, want := range []string{"baidu-atlas-write", "fb-memcached-etc", "implied keys"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig2BandwidthCollapsesWithKeyCount(t *testing.T) {
+	results, err := Fig2(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d cases", len(results))
+	}
+	// Key counts must span decades.
+	if results[3].Keys < 50*results[0].Keys {
+		t.Fatalf("key-count spread too small: %d vs %d", results[0].Keys, results[3].Keys)
+	}
+	// The largest-key case must degrade much more than the smallest:
+	// compare end-of-fill bandwidth retention.
+	small := results[0].LastQuart
+	huge := results[3].LastQuart
+	if small < 0.5 {
+		t.Errorf("few-keys case degraded to %.2f, want >= 0.5 of peak", small)
+	}
+	if huge > small*0.8 {
+		t.Errorf("huge-keys case retained %.2f vs small %.2f — no collapse", huge, small)
+	}
+}
+
+func TestFig5RHIKBeatsMultiLevel(t *testing.T) {
+	rows, err := Fig5(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // 8 clusters × 2 indexes
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byKey := map[string]Fig5Row{}
+	for _, r := range rows {
+		byKey[r.Cluster+"/"+r.Index] = r
+	}
+	for _, cl := range []string{"001", "022", "026", "052", "072", "081", "083", "096"} {
+		rh := byKey[cl+"/rhik"]
+		// 5b: RHIK's one-flash-read guarantee, per cluster.
+		if rh.ReadsMax > 1 {
+			t.Errorf("cluster %s: RHIK max reads/op = %d", cl, rh.ReadsMax)
+		}
+		if rh.AtMostOnePct < 99.9 {
+			t.Errorf("cluster %s: RHIK <=1-read%% = %.2f", cl, rh.AtMostOnePct)
+		}
+	}
+	// 5a: the multi-level index's miss ratio separates the regimes —
+	// small-index clusters stay low, index >> cache clusters go high.
+	for _, cl := range []string{"022", "026", "052", "072"} {
+		if ml := byKey[cl+"/mlhash"]; ml.MissRatio > 0.35 {
+			t.Errorf("small cluster %s: mlhash miss %.3f, want < 0.35", cl, ml.MissRatio)
+		}
+	}
+	for _, cl := range []string{"083", "096"} {
+		ml, rh := byKey[cl+"/mlhash"], byKey[cl+"/rhik"]
+		if ml.MissRatio < 0.5 {
+			t.Errorf("large cluster %s: mlhash miss %.3f, want > 0.5", cl, ml.MissRatio)
+		}
+		// Deep cascades mean multi-read metadata accesses (Fig. 5b)...
+		if ml.ReadsMax < 2 {
+			t.Errorf("large cluster %s: mlhash max reads/op = %d, want >= 2", cl, ml.ReadsMax)
+		}
+		// ...so RHIK moves fewer flash reads per metadata access.
+		if rh.ReadsMean >= ml.ReadsMean {
+			t.Errorf("large cluster %s: RHIK mean reads %.2f not below mlhash %.2f",
+				cl, rh.ReadsMean, ml.ReadsMean)
+		}
+	}
+}
+
+func TestFig6RHIKWinsAndAsyncBeatsSync(t *testing.T) {
+	cells, err := Fig6(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig6Cell{}
+	for _, c := range cells {
+		byKey[c.Mode+"/"+c.Profile+"/"+sz(c.ValueSize)] = c
+	}
+	// RHIK must beat the KVSSD stand-in (normalized > 1) in every group.
+	wins := 0
+	total := 0
+	for k, c := range byKey {
+		if c.Profile != "rhik" {
+			continue
+		}
+		total++
+		if c.Normalized > 1.0 {
+			wins++
+		} else {
+			t.Logf("rhik did not win %s (%.2fx)", k, c.Normalized)
+		}
+	}
+	if wins < total*3/4 {
+		t.Errorf("rhik won only %d/%d groups", wins, total)
+	}
+	// Async ≥ sync for the same profile/size.
+	for _, p := range []string{"rhik", "kvssd"} {
+		a := byKey["write-async/"+p+"/4KB"]
+		s := byKey["write-sync/"+p+"/4KB"]
+		if a.MBps <= s.MBps {
+			t.Errorf("%s: async 4KB write (%.1f) not above sync (%.1f)", p, a.MBps, s.MBps)
+		}
+	}
+}
+
+func TestFig7RateNearOne(t *testing.T) {
+	rows, err := Fig7(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("only %d resizes", len(rows))
+	}
+	// Keys before each resize must roughly double.
+	for i := 1; i < len(rows); i++ {
+		ratio := float64(rows[i].KeysBefore) / float64(rows[i-1].KeysBefore)
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("resize %d: keys grew %.2fx, want ~2x", i, ratio)
+		}
+	}
+	// The paper's claim: rate of change stays around (or below) 1.
+	// Skip the earliest resizes where fixed overheads dominate.
+	for i := 2; i < len(rows); i++ {
+		if rows[i].Rate > 1.6 {
+			t.Errorf("resize %d: rate %.2f, want ~<= 1", i, rows[i].Rate)
+		}
+	}
+}
+
+func TestFig8aKeySizeInsensitive(t *testing.T) {
+	results, err := Fig8a(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d curves", len(results))
+	}
+	for _, r := range results {
+		if r.Curve.Len() == 0 {
+			t.Fatalf("empty curve for key size %d", r.KeySize)
+		}
+		// At the default 80% threshold collisions stay rare.
+		if last := r.Curve.Y[r.Curve.Len()-1]; last > 1.0 {
+			t.Errorf("key size %d: %.3f%% collisions, want < 1%%", r.KeySize, last)
+		}
+	}
+	// Similar trends across key sizes (both near zero).
+	a := results[0].Curve.Y[results[0].Curve.Len()-1]
+	b := results[1].Curve.Y[results[1].Curve.Len()-1]
+	if diff := a - b; diff > 0.5 || diff < -0.5 {
+		t.Errorf("collision trends diverge: %.3f vs %.3f", a, b)
+	}
+}
+
+func TestFig8bDegradesAboveEighty(t *testing.T) {
+	results, err := Fig8b(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d curves", len(results))
+	}
+	final := map[float64]float64{}
+	for _, r := range results {
+		final[r.Threshold] = r.Curve.Y[r.Curve.Len()-1]
+	}
+	if final[0.90] <= final[0.80] {
+		t.Errorf("90%% threshold (%.4f%%) not worse than 80%% (%.4f%%)", final[0.90], final[0.80])
+	}
+	if final[0.60] > 0.05 {
+		t.Errorf("60%% threshold has %.4f%% collisions, want ~0", final[0.60])
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	q := Quick()
+	if q.div(1600, 10) != 100 {
+		t.Fatal("div wrong")
+	}
+	if q.div(32, 10) != 10 {
+		t.Fatal("div floor wrong")
+	}
+	if Full().div64(100, 1) != 100 {
+		t.Fatal("full scale must not shrink")
+	}
+}
+
+func TestAblationResizeModeTailLatency(t *testing.T) {
+	rows, err := AblationResizeMode(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	halt, incr := rows[0], rows[1]
+	if halt.Resizes == 0 || incr.Resizes == 0 {
+		t.Fatal("no resizes in ablation run")
+	}
+	if incr.StoreMax*4 > halt.StoreMax {
+		t.Fatalf("incremental max %v not well below stop-the-world %v",
+			incr.StoreMax, halt.StoreMax)
+	}
+	if incr.TotalHalt >= halt.TotalHalt {
+		t.Fatalf("incremental halt %v not below stop-the-world %v",
+			incr.TotalHalt, halt.TotalHalt)
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// Fig5Row is one cluster × index measurement.
+type Fig5Row struct {
+	Cluster    string
+	Index      string
+	UniqueKeys int
+	// MissRatio is the fraction of index operations that needed at
+	// least one flash read — the FTL-cache miss ratio at command
+	// granularity (Fig. 5a; comparable across schemes with different
+	// probe counts).
+	MissRatio    float64
+	ReadsMean    float64 // mean flash reads per metadata access (Fig. 5b)
+	ReadsP50     int64
+	ReadsP99     int64
+	ReadsMax     int64
+	AtMostOnePct float64 // % of metadata accesses needing <= 1 flash read
+}
+
+// Fig5CacheBudget is the paper's FTL cache budget for this experiment.
+const Fig5CacheBudget = 10 << 20
+
+// Fig5 reproduces Fig. 5: the eight IBM-trace clusters replayed against
+// the multi-level index and RHIK under a 10 MB FTL cache. 5a is the
+// cache miss ratio; 5b the distribution of flash reads per metadata
+// access (RHIK ≤ 1 by construction).
+func Fig5(w io.Writer, s Scale) ([]Fig5Row, error) {
+	cache := int64(Fig5CacheBudget / int64(s.Factor))
+	fmt.Fprintf(w, "Fig. 5 — IBM-style trace clusters, FTL cache budget %d KiB\n", cache>>10)
+	fmt.Fprintf(w, "%-8s %-8s %-10s %-10s %-8s %-22s %-10s\n",
+		"cluster", "index", "keys", "miss", "mean", "reads/op p50/p99/max", "<=1 read")
+
+	var rows []Fig5Row
+	for _, spec := range trace.Clusters() {
+		spec.UniqueKeys = s.div(spec.UniqueKeys, 2000)
+		spec.AccessOps = s.div(spec.AccessOps, 4000)
+		recs := trace.Synthesize(spec, 42)
+
+		for _, kind := range []device.IndexKind{device.IndexMultiLevel, device.IndexRHIK} {
+			row, err := fig5Replay(spec, recs, kind, cache)
+			if err != nil {
+				return nil, fmt.Errorf("cluster %s %v: %w", spec.Name, kind, err)
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-8s %-8s %-10d %-10.3f %-8.2f %-22s %9.1f%%\n",
+				row.Cluster, row.Index, row.UniqueKeys, row.MissRatio, row.ReadsMean,
+				fmt.Sprintf("%d / %d / %d", row.ReadsP50, row.ReadsP99, row.ReadsMax),
+				row.AtMostOnePct)
+		}
+	}
+	hr(w)
+	fmt.Fprintln(w, "Expectation (paper 5a): multi-level miss ratio explodes for 083/096 (index >> cache); RHIK stays lower.")
+	fmt.Fprintln(w, "Expectation (paper 5b): RHIK needs at most 1 flash read per metadata access on every cluster.")
+	return rows, nil
+}
+
+// ReplayCluster replays one cluster's synthesized trace against both
+// index schemes under the given cache budget, returning a row per
+// scheme. Examples and tools use it for single-cluster studies.
+func ReplayCluster(spec trace.ClusterSpec, cache int64, seed int64) ([]Fig5Row, error) {
+	recs := trace.Synthesize(spec, seed)
+	var rows []Fig5Row
+	for _, kind := range []device.IndexKind{device.IndexMultiLevel, device.IndexRHIK} {
+		row, err := fig5Replay(spec, recs, kind, cache)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fig5Replay(spec trace.ClusterSpec, recs []trace.Record, kind device.IndexKind, cache int64) (Fig5Row, error) {
+	// Capacity: pairs plus log/GC headroom.
+	perPair := int64(16 + spec.ValueSize + 64)
+	capacity := int64(spec.UniqueKeys)*perPair*3 + (64 << 20)
+	dev, err := device.Open(device.Config{
+		Capacity:        capacity,
+		Index:           kind,
+		CacheBudget:     cache,
+		AnticipatedKeys: int64(spec.UniqueKeys),
+		MLHash:          mlLevelsFor(capacity, spec.ValueSize),
+	})
+	if err != nil {
+		return Fig5Row{}, err
+	}
+
+	// Fill phase (the first UniqueKeys records), then measure the access
+	// phase only — the paper's miss ratios are steady-state.
+	fill := spec.UniqueKeys
+	if fill > len(recs) {
+		fill = len(recs)
+	}
+	if _, err := replay(dev, recs[:fill]); err != nil {
+		return Fig5Row{}, err
+	}
+	dev.ResetOpStats()
+	if _, err := replay(dev, recs[fill:]); err != nil {
+		return Fig5Row{}, err
+	}
+
+	h := dev.MetaReadsPerOp()
+	row := Fig5Row{
+		Cluster:    spec.Name,
+		Index:      dev.Index().Name(),
+		UniqueKeys: spec.UniqueKeys,
+		ReadsMean:  h.Mean(),
+		ReadsP50:   h.Percentile(50),
+		ReadsP99:   h.Percentile(99),
+		ReadsMax:   h.Max(),
+	}
+	if n := h.Count(); n > 0 {
+		row.MissRatio = 1 - float64(h.CountAtMost(0))/float64(n)
+		row.AtMostOnePct = 100 * float64(h.CountAtMost(1)) / float64(n)
+	}
+	return row, nil
+}

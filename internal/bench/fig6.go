@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/kvemu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig6Mode is one subplot of Fig. 6.
+type Fig6Mode struct {
+	Name  string
+	Write bool
+	Async bool
+}
+
+// Fig6Modes lists the four subplots in paper order.
+func Fig6Modes() []Fig6Mode {
+	return []Fig6Mode{
+		{Name: "write-async", Write: true, Async: true},
+		{Name: "read-async", Write: false, Async: true},
+		{Name: "write-sync", Write: true, Async: false},
+		{Name: "read-sync", Write: false, Async: false},
+	}
+}
+
+// Fig6Cell is one bar: a profile's throughput at one value size.
+type Fig6Cell struct {
+	Mode       string
+	ValueSize  int
+	Profile    string
+	MBps       float64
+	Normalized float64 // relative to the KVSSD profile in the same group
+}
+
+// Fig6 reproduces Fig. 6: sequential-workload throughput across value
+// sizes (16 B keys), async and sync, write and read, for the three
+// profiles (KVSSD stand-in, KVEMU stand-in, RHIK).
+func Fig6(w io.Writer, s Scale) ([]Fig6Cell, error) {
+	totalBytes := s.div64(1<<30, 8<<20) // the paper's 1 GB consolidation
+	valueSizes := []int{4 << 10, 64 << 10, 256 << 10, 2 << 20}
+	if s.Factor > 1 {
+		valueSizes = []int{4 << 10, 32 << 10, 128 << 10, 512 << 10}
+	}
+
+	fmt.Fprintf(w, "Fig. 6 — normalized throughput, sequential workloads consolidating %d MiB (16B keys)\n", totalBytes>>20)
+	var cells []Fig6Cell
+	for _, mode := range Fig6Modes() {
+		fmt.Fprintf(w, "\n[%s]\n%-10s", mode.Name, "value")
+		for _, p := range kvemu.Profiles() {
+			fmt.Fprintf(w, " %-18s", p)
+		}
+		fmt.Fprintln(w)
+		for _, vs := range valueSizes {
+			group := make([]Fig6Cell, 0, 3)
+			for _, p := range kvemu.Profiles() {
+				mb, err := fig6Run(mode, p, vs, totalBytes)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%d: %w", mode.Name, p, vs, err)
+				}
+				group = append(group, Fig6Cell{Mode: mode.Name, ValueSize: vs, Profile: p, MBps: mb})
+			}
+			base := group[0].MBps // kvssd bar
+			fmt.Fprintf(w, "%-10s", sz(vs))
+			for i := range group {
+				if base > 0 {
+					group[i].Normalized = group[i].MBps / base
+				}
+				fmt.Fprintf(w, " %7.2fx %7.1fMB/s", group[i].Normalized, group[i].MBps)
+			}
+			fmt.Fprintln(w)
+			cells = append(cells, group...)
+		}
+	}
+	hr(w)
+	fmt.Fprintln(w, "Expectation (paper): RHIK achieves the highest normalized throughput for almost all value sizes,")
+	fmt.Fprintln(w, "with the largest read gains at large values; async beats sync throughout.")
+	return cells, nil
+}
+
+func fig6Run(mode Fig6Mode, profile string, valueSize int, totalBytes int64) (float64, error) {
+	keys := totalBytes / int64(valueSize)
+	if keys < 8 {
+		keys = 8
+	}
+	capacity := totalBytes*3 + (64 << 20)
+	cfg, err := kvemu.Config(profile, capacity, keys)
+	if err != nil {
+		return 0, err
+	}
+	dev, err := device.Open(cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	payload := workload.ValuePayload(1, valueSize)
+
+	// Pre-fill for read modes (async fill for speed).
+	if !mode.Write {
+		var fill asyncDriver
+		fill.dev = dev
+		for i := int64(0); i < keys; i++ {
+			if err := fill.store(workload.KeyBytes(uint64(i)), payload); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	start := dev.Drain()
+	var elapsed sim.Duration
+	if mode.Async {
+		var d asyncDriver
+		d.dev = dev
+		d.submit = start
+		for i := int64(0); i < keys; i++ {
+			k := workload.KeyBytes(uint64(i))
+			if mode.Write {
+				err = d.store(k, payload)
+			} else {
+				err = d.retrieve(k)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		elapsed = d.elapsed(start)
+	} else {
+		d := syncDriver{dev: dev, last: start}
+		for i := int64(0); i < keys; i++ {
+			k := workload.KeyBytes(uint64(i))
+			if mode.Write {
+				err = d.store(k, payload)
+			} else {
+				err = d.retrieve(k)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		elapsed = d.elapsed(start)
+	}
+	return mbps(keys*int64(valueSize), elapsed), nil
+}

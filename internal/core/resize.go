@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/sim"
+)
+
+// NeedsResize implements index.Resizer: true once total occupancy reaches
+// the configured threshold (80 % by default, §IV-A2). While an
+// incremental migration is in flight the index is already growing, so
+// another resize never starts.
+func (r *RHIK) NeedsResize() bool {
+	if r.mig != nil {
+		return false
+	}
+	return float64(r.n) >= r.cfg.OccupancyThreshold*float64(r.Capacity())
+}
+
+// ResizeEvents implements index.Resizer.
+func (r *RHIK) ResizeEvents() []index.ResizeEvent { return r.resizes }
+
+// Resize doubles the index (§IV-A2): the directory gains one bit, the
+// record layer gains a second table per old bucket, and every record
+// migrates using only its stored key signature — the KV pairs on flash
+// are never read. The device halts the submission queue around this
+// call, so the measured duration is the paper's "resizing time" (Fig. 7).
+func (r *RHIK) Resize() error {
+	if r.cfg.IncrementalResize {
+		return r.startIncrementalResize()
+	}
+	start := r.env.Now()
+	keysBefore := r.n
+
+	oldD := len(r.dirs)
+	newDirs := make([]dirEntry, 2*oldD)
+	newCache := r.newCache(newDirs)
+	lowBit := uint64(oldD) // the new directory bit
+
+	// Migrate bucket by bucket. Each old bucket b splits into new buckets
+	// b and b+oldD, decided by bit d of each record's signature.
+	for b := uint64(0); b < uint64(oldD); b++ {
+		var src *tableEntry
+		if v, ok := r.cache.Remove(b); ok {
+			src = v.(*tableEntry)
+		} else if r.dirs[b].has {
+			data, err := r.env.ReadPage(r.dirs[b].ppa)
+			if err != nil {
+				return fmt.Errorf("core: resize read bucket %d: %w", b, err)
+			}
+			t := r.takeTable()
+			if err := t.DecodeFrom(data); err != nil {
+				r.recycle(t)
+				return fmt.Errorf("core: resize decode bucket %d: %w", b, err)
+			}
+			src = &tableEntry{table: t}
+		}
+
+		lowT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
+		highT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
+		if src != nil {
+			var migErr error
+			r.env.ChargeCPU(sim.Duration(src.table.Len()) * r.cfg.MigrateCPUPerRecord)
+			src.table.RangeWide(func(lo, hi, rp uint64) bool {
+				dst := lowT
+				if lo&lowBit != 0 {
+					dst = highT
+				}
+				if _, err := dst.table.PutWide(lo, hi, rp); err != nil {
+					migErr = fmt.Errorf("core: resize migration collision in bucket %d: %w", b, err)
+					return false
+				}
+				return true
+			})
+			if migErr != nil {
+				return migErr
+			}
+		}
+		if src != nil {
+			r.recycle(src.table)
+		}
+		// Empty tables need no flash presence: leave their directory
+		// entries unpersisted and skip caching.
+		if lowT.table.Len() > 0 {
+			newCache.Put(b, lowT, int64(lowT.table.EncodedBytes()))
+		} else {
+			r.recycle(lowT.table)
+		}
+		if highT.table.Len() > 0 {
+			newCache.Put(b+uint64(oldD), highT, int64(highT.table.EncodedBytes()))
+		} else {
+			r.recycle(highT.table)
+		}
+		// The old persisted page is superseded.
+		if r.dirs[b].has {
+			r.env.Invalidate(r.dirs[b].ppa)
+			delete(r.live, r.dirs[b].ppa)
+		}
+	}
+
+	r.dirs = newDirs
+	r.cache = newCache
+	r.dBits++
+
+	if err := r.checkIO(); err != nil {
+		return err
+	}
+	r.resizes = append(r.resizes, index.ResizeEvent{
+		KeysBefore:  keysBefore,
+		NewCapacity: r.Capacity(),
+		Took:        r.env.Now().Sub(start),
+	})
+	return nil
+}

@@ -1,0 +1,434 @@
+// Package core implements RHIK, the paper's primary contribution: a
+// two-level, re-configurable hash index for KVSSDs (§IV).
+//
+// The directory layer lives in SSD DRAM: D entries, selected by the d =
+// log2(D) least-significant bits of the 64-bit key signature (the
+// "variable hash function"). Each entry points at one flash page holding
+// a record-layer hopscotch hash table of exactly R records (Eq. 1), so
+// any lookup costs at most one flash read: directory access is free,
+// and the record table is either cached in DRAM or one page away.
+//
+// When total occupancy crosses the configured threshold (80 % by
+// default), the index re-configures: the directory doubles, each old
+// bucket's records split between two new buckets using only their stored
+// key signatures — the KV pairs on flash are never touched — and the old
+// index pages are invalidated for garbage collection (§IV-A2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dram"
+	"repro/internal/hopscotch"
+	"repro/internal/index"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a RHIK instance.
+type Config struct {
+	// PageSize is the flash page size; record tables are sized to fill
+	// exactly one page (Eq. 1).
+	PageSize int
+	// HopRange is the hopscotch neighborhood H (default 32, §IV-A1).
+	HopRange int
+	// SigScheme selects signature width and iterator mode.
+	SigScheme index.SigScheme
+	// AnticipatedKeys sizes the initial directory via Eq. 2. Zero means
+	// a minimal (single-bucket) index that grows on demand — the
+	// conservative initialization the paper recommends for unknown
+	// workloads.
+	AnticipatedKeys int64
+	// OccupancyThreshold triggers resizing (default 0.80).
+	OccupancyThreshold float64
+	// CacheBudget is the SSD DRAM budget, in bytes, for record tables.
+	CacheBudget int64
+	// CPUPerOp models the firmware cost of hashing and probing.
+	CPUPerOp sim.Duration
+	// MigrateCPUPerRecord models the firmware cost of re-inserting one
+	// record during a resize migration (signature re-use makes this a
+	// DRAM-speed operation; flash I/O is charged separately).
+	MigrateCPUPerRecord sim.Duration
+	// IncrementalResize enables lazy ("real-time") re-configuration: the
+	// directory doubles immediately and buckets migrate as they are
+	// touched, plus MigrateStepBuckets per operation in the background —
+	// the paper's §VI future-work direction, implemented here so the
+	// tail-latency trade-off can be measured against the default
+	// stop-the-world migration.
+	IncrementalResize bool
+	// MigrateStepBuckets is the background migration quota per operation
+	// in incremental mode (default 4).
+	MigrateStepBuckets int
+}
+
+// Defaults applied by New.
+const (
+	DefaultHopRange            = 32
+	DefaultOccupancyThreshold  = 0.80
+	DefaultCPUPerOp            = sim.Microsecond
+	DefaultCacheBudget         = 10 << 20
+	DefaultMigrateCPUPerRecord = 20 * sim.Nanosecond
+)
+
+func (c *Config) applyDefaults() {
+	if c.HopRange == 0 {
+		c.HopRange = DefaultHopRange
+	}
+	if c.SigScheme.Bits == 0 {
+		c.SigScheme = index.DefaultSigScheme
+	}
+	if c.OccupancyThreshold == 0 {
+		c.OccupancyThreshold = DefaultOccupancyThreshold
+	}
+	if c.CacheBudget == 0 {
+		c.CacheBudget = DefaultCacheBudget
+	}
+	if c.CPUPerOp == 0 {
+		c.CPUPerOp = DefaultCPUPerOp
+	}
+	if c.MigrateCPUPerRecord == 0 {
+		c.MigrateCPUPerRecord = DefaultMigrateCPUPerRecord
+	}
+	if c.MigrateStepBuckets == 0 {
+		c.MigrateStepBuckets = 4
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.PageSize < 2*hopscotch.SlotSizeWide {
+		return fmt.Errorf("core: page size %d too small for record tables", c.PageSize)
+	}
+	if c.OccupancyThreshold < 0.05 || c.OccupancyThreshold > 1.0 {
+		return fmt.Errorf("core: occupancy threshold %.2f outside (0.05, 1.0]", c.OccupancyThreshold)
+	}
+	if c.AnticipatedKeys < 0 {
+		return fmt.Errorf("core: negative anticipated keys")
+	}
+	return c.SigScheme.Validate()
+}
+
+// RecordsPerTable computes Eq. 1: R = ⌊p / (kh + ppa + hi)⌋.
+func RecordsPerTable(pageSize int, wide bool) int {
+	slot := hopscotch.SlotSize
+	if wide {
+		slot = hopscotch.SlotSizeWide
+	}
+	return pageSize / slot
+}
+
+// DirectoryEntries computes Eq. 2: D = anticipated keys / R, rounded up
+// to the next power of two so the variable hash function can use plain
+// low signature bits.
+func DirectoryEntries(anticipatedKeys int64, recordsPerTable int) int {
+	if anticipatedKeys <= 0 {
+		return 1
+	}
+	d := (anticipatedKeys + int64(recordsPerTable) - 1) / int64(recordsPerTable)
+	if d < 1 {
+		d = 1
+	}
+	// Round up to a power of two.
+	if d&(d-1) != 0 {
+		d = 1 << bits.Len64(uint64(d))
+	}
+	return int(d)
+}
+
+type dirEntry struct {
+	ppa nand.PPA // flash address of the persisted record table
+	has bool     // whether a persisted copy exists
+}
+
+type tableEntry struct {
+	table *hopscotch.Table
+	dirty bool
+}
+
+// RHIK is the re-configurable hash index. It is not safe for concurrent
+// use; the device firmware serializes all access.
+type RHIK struct {
+	cfg Config
+	env index.Env
+
+	r     int // records per table (Eq. 1)
+	dBits int // log2(D)
+	dirs  []dirEntry
+	cache *dram.Cache
+	live  map[nand.PPA]uint64 // persisted page -> bucket, for index-zone GC
+	pool  []*hopscotch.Table  // recycled tables; avoids per-miss allocation
+	mig   *migration          // in-flight incremental re-configuration
+
+	n          int64 // total records
+	collisions int64
+	resizes    []index.ResizeEvent
+	ioErr      error // first error stashed by the eviction write-back path
+}
+
+var _ index.Index = (*RHIK)(nil)
+var _ index.Resizer = (*RHIK)(nil)
+var _ index.Relocator = (*RHIK)(nil)
+var _ index.Checkpointer = (*RHIK)(nil)
+var _ index.StatsProvider = (*RHIK)(nil)
+
+// New builds a RHIK instance over the given environment.
+func New(cfg Config, env index.Env) (*RHIK, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &RHIK{
+		cfg:  cfg,
+		env:  env,
+		r:    RecordsPerTable(cfg.PageSize, cfg.SigScheme.Wide()),
+		live: make(map[nand.PPA]uint64),
+	}
+	d := DirectoryEntries(cfg.AnticipatedKeys, r.r)
+	r.dBits = bits.Len64(uint64(d)) - 1
+	r.dirs = make([]dirEntry, d)
+	r.cache = r.newCache(r.dirs)
+	return r, nil
+}
+
+// Name implements index.Index.
+func (r *RHIK) Name() string { return "rhik" }
+
+// Len implements index.Index.
+func (r *RHIK) Len() int64 { return r.n }
+
+// RecordsPerTable reports R for this instance.
+func (r *RHIK) RecordsPerTable() int { return r.r }
+
+// DirEntries reports the current directory size D.
+func (r *RHIK) DirEntries() int { return len(r.dirs) }
+
+// Capacity reports the total record capacity D·R.
+func (r *RHIK) Capacity() int64 { return int64(len(r.dirs)) * int64(r.r) }
+
+// Occupancy reports Len/Capacity.
+func (r *RHIK) Occupancy() float64 { return float64(r.n) / float64(r.Capacity()) }
+
+// newCache builds a record-table cache whose write-back path targets the
+// given directory slice. The closure binds dirs so that evictions during
+// a resize write through to the directory generation that owns them.
+func (r *RHIK) newCache(dirs []dirEntry) *dram.Cache {
+	return dram.New(r.cfg.CacheBudget, func(key uint64, v any, _ int64) {
+		e := v.(*tableEntry)
+		if e.dirty {
+			if err := r.writeTable(dirs, key, e); err != nil && r.ioErr == nil {
+				r.ioErr = err
+			}
+		}
+		r.recycle(e.table)
+	})
+}
+
+// recycle returns an evicted table to the pool. Callers follow a
+// use-immediately discipline after loadTable, so an evicted table is
+// never still referenced.
+func (r *RHIK) recycle(t *hopscotch.Table) {
+	if len(r.pool) < 64 {
+		r.pool = append(r.pool, t)
+	}
+}
+
+// takeTable pops a pooled table (contents undefined) or allocates one.
+// Callers either DecodeFrom (which overwrites every slot) or Reset.
+func (r *RHIK) takeTable() *hopscotch.Table {
+	if n := len(r.pool); n > 0 {
+		t := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		return t
+	}
+	return r.newTable()
+}
+
+// takeEmptyTable pops a pooled table and empties it.
+func (r *RHIK) takeEmptyTable() *hopscotch.Table {
+	t := r.takeTable()
+	t.Reset()
+	return t
+}
+
+// writeTable persists a record table and repoints its directory entry.
+func (r *RHIK) writeTable(dirs []dirEntry, bucket uint64, e *tableEntry) error {
+	buf := make([]byte, e.table.EncodedBytes())
+	e.table.EncodeTo(buf)
+	ppa, err := r.env.AppendPage(buf)
+	if err != nil {
+		return err
+	}
+	if dirs[bucket].has {
+		r.env.Invalidate(dirs[bucket].ppa)
+		delete(r.live, dirs[bucket].ppa)
+	}
+	dirs[bucket] = dirEntry{ppa: ppa, has: true}
+	r.live[ppa] = bucket
+	e.dirty = false
+	return nil
+}
+
+func (r *RHIK) bucketOf(sig index.Sig) uint64 {
+	return sig.Lo & uint64(len(r.dirs)-1)
+}
+
+func (r *RHIK) newTable() *hopscotch.Table {
+	if r.cfg.SigScheme.Wide() {
+		return hopscotch.NewWide(r.r, r.cfg.HopRange)
+	}
+	return hopscotch.New(r.r, r.cfg.HopRange)
+}
+
+// loadTable returns the record table for bucket, fetching it from flash
+// (at most one read — the paper's guarantee) when not DRAM-resident.
+func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
+	if v, ok := r.cache.Get(bucket); ok {
+		return v.(*tableEntry), nil
+	}
+	t := r.takeTable()
+	if r.dirs[bucket].has {
+		data, err := r.env.ReadPage(r.dirs[bucket].ppa)
+		if err != nil {
+			r.recycle(t)
+			return nil, err
+		}
+		if err := t.DecodeFrom(data); err != nil {
+			r.recycle(t)
+			return nil, err
+		}
+	} else {
+		t.Reset()
+	}
+	e := &tableEntry{table: t}
+	r.cache.Put(bucket, e, int64(t.EncodedBytes()))
+	return e, nil
+}
+
+func (r *RHIK) checkIO() error {
+	if r.ioErr != nil {
+		err := r.ioErr
+		r.ioErr = nil
+		return err
+	}
+	return nil
+}
+
+// Insert implements index.Index.
+func (r *RHIK) Insert(sig index.Sig, rp uint64) (old uint64, replaced bool, err error) {
+	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	if err := r.prepare(sig); err != nil {
+		return 0, false, err
+	}
+	e, err := r.loadTable(r.bucketOf(sig))
+	if err != nil {
+		return 0, false, err
+	}
+	old, _ = e.table.GetWide(sig.Lo, sig.Hi)
+	replaced, err = e.table.PutWide(sig.Lo, sig.Hi, rp)
+	if err != nil {
+		if errors.Is(err, hopscotch.ErrNoSlot) {
+			r.collisions++
+			return 0, false, index.ErrCollision
+		}
+		return 0, false, err
+	}
+	e.dirty = true
+	if !replaced {
+		r.n++
+		old = 0
+	}
+	if ioErr := r.checkIO(); ioErr != nil {
+		return old, replaced, ioErr
+	}
+	return old, replaced, nil
+}
+
+// Lookup implements index.Index.
+func (r *RHIK) Lookup(sig index.Sig) (uint64, bool, error) {
+	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	if err := r.prepare(sig); err != nil {
+		return 0, false, err
+	}
+	e, err := r.loadTable(r.bucketOf(sig))
+	if err != nil {
+		return 0, false, err
+	}
+	rp, ok := e.table.GetWide(sig.Lo, sig.Hi)
+	return rp, ok, r.checkIO()
+}
+
+// Delete implements index.Index.
+func (r *RHIK) Delete(sig index.Sig) (uint64, bool, error) {
+	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	if err := r.prepare(sig); err != nil {
+		return 0, false, err
+	}
+	e, err := r.loadTable(r.bucketOf(sig))
+	if err != nil {
+		return 0, false, err
+	}
+	rp, ok := e.table.DeleteWide(sig.Lo, sig.Hi)
+	if ok {
+		e.dirty = true
+		r.n--
+	}
+	return rp, ok, r.checkIO()
+}
+
+// Exist implements index.Index: the signature-reuse membership check
+// (§IV-A3). False positives are possible (two keys sharing a signature);
+// false negatives are not.
+func (r *RHIK) Exist(sig index.Sig) (bool, error) {
+	_, ok, err := r.Lookup(sig)
+	return ok, err
+}
+
+// Flush writes every dirty cached table to flash. Entries stay cached.
+// An in-flight incremental migration is drained first so the persisted
+// state is single-generation.
+func (r *RHIK) Flush() error {
+	if err := r.drainMigration(); err != nil {
+		return err
+	}
+	var firstErr error
+	r.cache.Range(func(key uint64, v any, _ int64) bool {
+		e := v.(*tableEntry)
+		if e.dirty {
+			if err := r.writeTable(r.dirs, key, e); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return true
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return r.checkIO()
+}
+
+// IndexStats implements index.StatsProvider.
+func (r *RHIK) IndexStats() index.Stats {
+	return index.Stats{
+		Records:    r.n,
+		Collisions: r.collisions,
+		Resizes:    len(r.resizes),
+		DirEntries: len(r.dirs),
+		// Directory entries cost ~5 bytes (a flash page address) each in
+		// integrated DRAM, plus the record-table cache.
+		DRAMBytes: int64(len(r.dirs))*5 + r.cache.Used(),
+		Cache:     r.cache.Stats(),
+	}
+}
+
+// CacheStats exposes the record-table cache counters (Fig. 5a).
+func (r *RHIK) CacheStats() dram.Stats { return r.cache.Stats() }
+
+// ResetCacheStats zeroes cache counters between experiment phases.
+func (r *RHIK) ResetCacheStats() { r.cache.ResetStats() }
+
+// ResizeCache implements index.CacheResizer, adjusting the DRAM budget
+// for cached pages at runtime (dirty entries evicted by a shrink are
+// written back through the usual path).
+func (r *RHIK) ResizeCache(budget int64) { r.cache.Resize(budget) }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/nand"
+)
+
+// stateMagic versions the serialized directory format.
+const stateMagic = "RHIKDR1\x00"
+
+// EncodeState implements index.Checkpointer: it serializes the
+// DRAM-resident directory layer — the paper's "periodically updated
+// persistent copy of the D entries". Call Flush first so every directory
+// entry points at current flash pages.
+func (r *RHIK) EncodeState() []byte {
+	buf := make([]byte, 0, len(stateMagic)+1+8+8+len(r.dirs)*9)
+	buf = append(buf, stateMagic...)
+	buf = append(buf, byte(r.dBits))
+	var n8 [8]byte
+	binary.LittleEndian.PutUint64(n8[:], uint64(r.n))
+	buf = append(buf, n8[:]...)
+	binary.LittleEndian.PutUint64(n8[:], uint64(r.collisions))
+	buf = append(buf, n8[:]...)
+	for _, d := range r.dirs {
+		has := byte(0)
+		if d.has {
+			has = 1
+		}
+		buf = append(buf, has)
+		binary.LittleEndian.PutUint64(n8[:], uint64(d.ppa))
+		buf = append(buf, n8[:]...)
+	}
+	return buf
+}
+
+// LoadState implements index.Checkpointer, restoring a directory
+// serialized by EncodeState. The record-table cache starts cold.
+func (r *RHIK) LoadState(data []byte) error {
+	if len(data) < len(stateMagic)+17 || string(data[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("core: bad checkpoint header")
+	}
+	p := len(stateMagic)
+	dBits := int(data[p])
+	p++
+	n := int64(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	collisions := int64(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	d := 1 << dBits
+	if len(data) < p+9*d {
+		return fmt.Errorf("core: truncated checkpoint: %d entries expected", d)
+	}
+	dirs := make([]dirEntry, d)
+	live := make(map[nand.PPA]uint64, d)
+	for i := range dirs {
+		has := data[p] == 1
+		p++
+		ppa := nand.PPA(binary.LittleEndian.Uint64(data[p:]))
+		p += 8
+		dirs[i] = dirEntry{ppa: ppa, has: has}
+		if has {
+			live[ppa] = uint64(i)
+		}
+	}
+	r.dBits = dBits
+	r.dirs = dirs
+	r.live = live
+	r.n = n
+	r.collisions = collisions
+	r.cache = r.newCache(r.dirs)
+	return nil
+}
+
+// PersistentPages implements index.Checkpointer: the flash pages the
+// encoded directory references.
+func (r *RHIK) PersistentPages() []nand.PPA {
+	pages := make([]nand.PPA, 0, len(r.dirs))
+	for _, d := range r.dirs {
+		if d.has {
+			pages = append(pages, d.ppa)
+		}
+	}
+	return pages
+}
+
+// Owner implements index.Relocator: page p is live while some directory
+// entry points at it.
+func (r *RHIK) Owner(p nand.PPA) (uint64, bool) {
+	bucket, ok := r.live[p]
+	return bucket, ok
+}
+
+// BucketRecords returns the record pointers stored in the given directory
+// bucket (at most one flash read). The device's prefix iterator uses it:
+// with iterator-mode signatures, every key sharing a prefix maps to one
+// bucket, so enumeration scans a single record table (§VI).
+func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
+	if bucket >= uint64(len(r.dirs)) {
+		return nil, fmt.Errorf("core: bucket %d out of range", bucket)
+	}
+	if r.mig != nil {
+		if oldB := bucket & uint64(r.mig.oldD-1); !r.mig.migrated[oldB] {
+			if err := r.migrateBucket(oldB); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e, err := r.loadTable(bucket)
+	if err != nil {
+		return nil, err
+	}
+	rps := make([]uint64, 0, e.table.Len())
+	e.table.Range(func(_, rp uint64) bool {
+		rps = append(rps, rp)
+		return true
+	})
+	return rps, r.checkIO()
+}
+
+// Relocate implements index.Relocator: the bucket's record table is
+// loaded (DRAM or one flash read) and rewritten to a fresh page, freeing
+// the victim block's copy. A page still owned by the previous directory
+// generation is relocated by simply migrating its bucket, which
+// invalidates the old copy.
+func (r *RHIK) Relocate(bucket uint64) error {
+	if r.mig != nil && bucket < uint64(r.mig.oldD) && !r.mig.migrated[bucket] {
+		return r.migrateBucket(bucket)
+	}
+	e, err := r.loadTable(bucket)
+	if err != nil {
+		return err
+	}
+	if err := r.writeTable(r.dirs, bucket, e); err != nil {
+		return err
+	}
+	return r.checkIO()
+}

@@ -1,0 +1,415 @@
+// Package device implements the emulated KVSSD: command processing for
+// store/retrieve/delete/exist/iterate over the vendor-style KV interface,
+// the log-structured data path with extent packing, the firmware timing
+// model, garbage collection for both flash zones, periodic checkpointing
+// and crash recovery, and the integration point for the pluggable index
+// (RHIK or the multi-level baseline).
+//
+// Timing model. The device runs on a simulated clock. The firmware is a
+// serial timeline (`fw`): per-command CPU and *index* flash accesses block
+// it, because the key-to-location mapping must resolve before a command
+// can proceed — this is exactly why index residency dominates KVSSD
+// performance. Data page programs and reads are scheduled onto NAND die
+// resources and overlap freely; a bounded write-buffer ring applies
+// backpressure so die backlogs stay realistic. A synchronous host submits
+// each command at the previous command's completion; an asynchronous host
+// submits back-to-back, letting die-level parallelism through (Fig. 6).
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/lsmindex"
+	"repro/internal/metrics"
+	"repro/internal/mlhash"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// IndexKind selects the in-device index scheme.
+type IndexKind int
+
+// Index schemes.
+const (
+	IndexRHIK IndexKind = iota
+	IndexMultiLevel
+	IndexLSM
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexRHIK:
+		return "rhik"
+	case IndexMultiLevel:
+		return "mlhash"
+	case IndexLSM:
+		return "lsm"
+	default:
+		return fmt.Sprintf("index(%d)", int(k))
+	}
+}
+
+// Errors returned by device commands.
+var (
+	ErrNotFound      = errors.New("device: key not found")
+	ErrDeviceFull    = errors.New("device: out of space")
+	ErrKeyTooLarge   = errors.New("device: key exceeds maximum size")
+	ErrValueTooLarge = errors.New("device: value exceeds maximum size")
+	ErrClosed        = errors.New("device: closed")
+	ErrNoIterator    = errors.New("device: iterate requires an iterator-mode signature scheme")
+)
+
+// Config describes an emulated KVSSD.
+type Config struct {
+	// Capacity is the requested usable capacity in bytes; the NAND
+	// geometry is derived from it unless NAND is set explicitly.
+	Capacity int64
+	// NAND overrides the derived geometry when non-nil.
+	NAND *nand.Config
+
+	// Index selects the indexing scheme (RHIK by default).
+	Index IndexKind
+	// SigScheme configures key signatures (64-bit MurmurHash2 default).
+	SigScheme index.SigScheme
+	// CacheBudget is the SSD DRAM budget for index pages (10 MB default,
+	// matching the paper's Fig. 5 setup).
+	CacheBudget int64
+	// AnticipatedKeys pre-sizes RHIK's directory (Eq. 2); zero starts
+	// minimal and grows by re-configuration.
+	AnticipatedKeys int64
+	// OccupancyThreshold is RHIK's resize trigger (default 0.80).
+	OccupancyThreshold float64
+	// HopRange is RHIK's hopscotch neighborhood (default 32).
+	HopRange int
+	// MLHash tunes the multi-level baseline when Index is
+	// IndexMultiLevel. PageSize and CacheBudget are filled from the
+	// device config.
+	MLHash mlhash.Config
+
+	// CmdCPU is the firmware cost of command handling beyond the index
+	// (parsing, allocation, queueing). Default 2 µs.
+	CmdCPU sim.Duration
+	// AckOverhead is the host-visible command round trip beyond firmware
+	// work: NVMe doorbell, DMA setup, completion interrupt. It delays a
+	// command's completion but not the firmware, so deep (async) queues
+	// hide it while QD1 (sync) pays it per command — the Fig. 6
+	// sync/async gap. Default 8 µs.
+	AckOverhead sim.Duration
+	// HostMBps is the host-interface bandwidth (PCIe link) moving
+	// payloads between host and device; transfers serialize on it.
+	// Default 3200 MB/s.
+	HostMBps int
+	// GCLowWater is the free-block count that triggers garbage
+	// collection (default 6).
+	GCLowWater int
+	// WriteBufferPages bounds un-acknowledged page programs in flight
+	// (default 4 × dies).
+	WriteBufferPages int
+	// StripeWidth is the number of blocks a log writer stripes across
+	// (default: the die count, one frontier block per die).
+	StripeWidth int
+	// CheckpointEveryOps runs an automatic checkpoint every N mutating
+	// commands (0 disables automatic checkpoints).
+	CheckpointEveryOps int64
+	// DisableAutoResize stops the device from resizing RHIK when its
+	// occupancy threshold is crossed (used by fixed-index experiments).
+	DisableAutoResize bool
+	// IncrementalResize enables RHIK's lazy re-configuration (the
+	// paper's "real-time index scaling" future work) instead of the
+	// default stop-the-world migration.
+	IncrementalResize bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Capacity == 0 && c.NAND == nil {
+		c.Capacity = 1 << 30
+	}
+	if c.CacheBudget == 0 {
+		c.CacheBudget = 10 << 20
+	}
+	if c.CmdCPU == 0 {
+		c.CmdCPU = 2 * sim.Microsecond
+	}
+	if c.AckOverhead == 0 {
+		c.AckOverhead = 8 * sim.Microsecond
+	}
+	if c.HostMBps == 0 {
+		c.HostMBps = 3200
+	}
+	if c.GCLowWater == 0 {
+		c.GCLowWater = 6
+	}
+}
+
+// pendingPair is a pair buffered in an open (not yet programmed) page,
+// kept addressable for read-your-writes.
+type pendingPair struct {
+	key   []byte
+	value []byte
+}
+
+// stripeSlot is one member block of a log writer's stripe.
+type stripeSlot struct {
+	open  bool
+	block nand.BlockID
+	next  int // next programmable page
+}
+
+// logWriter is one log-structured write frontier into the KV zone,
+// striped across a set of blocks on different dies so consecutive page
+// programs overlap (superpage-style striping — without it, sequential
+// fills would serialize on a single die). The device keeps two writers:
+// one for host writes, one for GC relocations, so collection never
+// re-enters the frontier it is flushing.
+type logWriter struct {
+	name    string
+	slots   []stripeSlot
+	cur     int // slot bound to the open page
+	builder *layout.PageBuilder
+	pageRPs []layout.RP // record pointers of pairs in the open page
+	liveLen []int       // accounting size per pair (negative = dead bytes)
+}
+
+// Stats aggregates device-level counters.
+type Stats struct {
+	Stores    int64
+	Retrieves int64
+	Deletes   int64
+	Exists    int64
+	Iterates  int64
+
+	BytesWritten int64 // host payload bytes accepted
+	BytesRead    int64 // host payload bytes returned
+
+	GCRuns          int64
+	GCPagesMoved    int64
+	GCBytesMoved    int64
+	Checkpoints     int64
+	Recoveries      int64
+	ResizeHalt      sim.Duration // total queue-halt time spent resizing
+	CollisionAborts int64
+}
+
+// Device is the emulated KVSSD. It is safe for single-goroutine use; the
+// public facade adds locking.
+type Device struct {
+	cfg    Config
+	clock  *sim.Clock
+	flash  *nand.Flash
+	mgr    *ftl.Manager
+	idx    index.Index
+	env    *idxEnv
+	scheme index.SigScheme
+
+	hostLink *sim.Resource // host-interface DMA engine
+
+	fg  logWriter // foreground KV log
+	gcw logWriter // GC relocation KV log
+
+	idxBlock     nand.BlockID // index zone log head
+	idxBlockOpen bool
+	idxNextPage  int
+	idxPageSize  map[nand.PPA]int32 // live index pages -> byte size
+
+	pending map[layout.RP]pendingPair // buffered pairs across both writers
+
+	inflight []sim.Time // write-buffer ring of outstanding program completions
+	inGC     bool
+
+	seq       uint64 // global pair sequence number
+	ckptSeq   uint64 // sequence covered by the last checkpoint
+	ckptID    uint64 // monotone checkpoint generation
+	ckptPages []nand.PPA
+	// ckptPinned holds index pages referenced by the persisted
+	// checkpoint: they must not be invalidated, relocated, or erased
+	// until the next checkpoint, or recovery would follow dangling
+	// references into reused flash. Invalidations of pinned pages are
+	// deferred to deferredInval and applied at the next checkpoint.
+	ckptPinned    map[nand.PPA]bool
+	deferredInval []nand.PPA
+	mutsSince     int64 // mutating ops since last checkpoint
+	closed        bool
+
+	stats     Stats
+	latStore  metrics.Histogram // per-op simulated latency (ns)
+	latGet    metrics.Histogram
+	metaPerOp metrics.Histogram // flash reads per index operation
+	maxValue  int
+}
+
+// Open builds a fresh device (all flash erased).
+func Open(cfg Config) (*Device, error) {
+	cfg.applyDefaults()
+	var ncfg nand.Config
+	if cfg.NAND != nil {
+		ncfg = *cfg.NAND
+	} else {
+		ncfg = nand.DefaultConfig(cfg.Capacity)
+	}
+	if err := ncfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SigScheme.Bits == 0 {
+		cfg.SigScheme = index.DefaultSigScheme
+	}
+	if err := cfg.SigScheme.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WriteBufferPages == 0 {
+		cfg.WriteBufferPages = 4 * ncfg.Dies()
+	}
+	if cfg.StripeWidth == 0 {
+		cfg.StripeWidth = ncfg.Dies()
+	}
+
+	clock := sim.NewClock()
+	flash := nand.New(ncfg, clock)
+	d := &Device{
+		cfg:         cfg,
+		clock:       clock,
+		flash:       flash,
+		mgr:         ftl.NewManager(flash),
+		scheme:      cfg.SigScheme,
+		idxPageSize: make(map[nand.PPA]int32),
+		pending:     make(map[layout.RP]pendingPair),
+		ckptPinned:  make(map[nand.PPA]bool),
+	}
+	d.env = &idxEnv{d: d}
+	d.hostLink = sim.NewResource("hostlink")
+	d.fg = d.newLogWriter("fg")
+	d.gcw = d.newLogWriter("gc")
+
+	// Largest storable value: an extent must fit within one erase block.
+	d.maxValue = layout.HeadCapacity(ncfg.PageSize, 0) + (ncfg.PagesPerBlock-1)*ncfg.PageSize
+
+	idx, err := d.buildIndex()
+	if err != nil {
+		return nil, err
+	}
+	d.idx = idx
+	return d, nil
+}
+
+func (d *Device) buildIndex() (index.Index, error) {
+	pageSize := d.flash.Config().PageSize
+	switch d.cfg.Index {
+	case IndexRHIK:
+		return core.New(core.Config{
+			PageSize:           pageSize,
+			HopRange:           d.cfg.HopRange,
+			SigScheme:          d.scheme,
+			AnticipatedKeys:    d.cfg.AnticipatedKeys,
+			OccupancyThreshold: d.cfg.OccupancyThreshold,
+			CacheBudget:        d.cfg.CacheBudget,
+			IncrementalResize:  d.cfg.IncrementalResize,
+		}, d.env)
+	case IndexMultiLevel:
+		mcfg := d.cfg.MLHash
+		mcfg.PageSize = pageSize
+		if mcfg.CacheBudget == 0 {
+			mcfg.CacheBudget = d.cfg.CacheBudget
+		}
+		return mlhash.New(mcfg, d.env)
+	case IndexLSM:
+		return lsmindex.New(lsmindex.Config{
+			PageSize:    pageSize,
+			CacheBudget: d.cfg.CacheBudget,
+		}, d.env)
+	default:
+		return nil, fmt.Errorf("device: unknown index kind %v", d.cfg.Index)
+	}
+}
+
+// Config returns the device configuration (post-defaults).
+func (d *Device) Config() Config { return d.cfg }
+
+// Geometry returns the NAND geometry in use.
+func (d *Device) Geometry() nand.Config { return d.flash.Config() }
+
+// Index exposes the underlying index for inspection.
+func (d *Device) Index() index.Index { return d.idx }
+
+// Scheme returns the signature scheme in use.
+func (d *Device) Scheme() index.SigScheme { return d.scheme }
+
+// Now reports the firmware timeline position.
+func (d *Device) Now() sim.Time { return d.env.now }
+
+// Drain returns the time at which every in-flight operation (including
+// scheduled die work) has completed.
+func (d *Device) Drain() sim.Time {
+	t := d.env.now
+	if bt := d.flash.BusyUntil(); bt > t {
+		t = bt
+	}
+	return t
+}
+
+// Stats returns a snapshot of device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// FlashStats returns NAND operation counters.
+func (d *Device) FlashStats() nand.Stats { return d.flash.Stats() }
+
+// FTLStats returns block pool accounting.
+func (d *Device) FTLStats() ftl.Stats { return d.mgr.Stats() }
+
+// IndexStats returns the index's observability snapshot.
+func (d *Device) IndexStats() index.Stats {
+	if sp, ok := d.idx.(index.StatsProvider); ok {
+		return sp.IndexStats()
+	}
+	return index.Stats{Records: d.idx.Len()}
+}
+
+// ResizeEvents returns RHIK's re-configuration history (nil for other
+// indexes).
+func (d *Device) ResizeEvents() []index.ResizeEvent {
+	if r, ok := d.idx.(index.Resizer); ok {
+		return r.ResizeEvents()
+	}
+	return nil
+}
+
+// StoreLatency exposes the per-store latency histogram (simulated ns).
+func (d *Device) StoreLatency() *metrics.Histogram { return &d.latStore }
+
+// RetrieveLatency exposes the per-retrieve latency histogram.
+func (d *Device) RetrieveLatency() *metrics.Histogram { return &d.latGet }
+
+// MetaReadsPerOp exposes the flash-reads-per-index-operation histogram
+// (Fig. 5b).
+func (d *Device) MetaReadsPerOp() *metrics.Histogram { return &d.metaPerOp }
+
+// ResetOpStats clears per-op histograms and cache counters between
+// experiment phases without touching stored data.
+func (d *Device) ResetOpStats() {
+	d.latStore.Reset()
+	d.latGet.Reset()
+	d.metaPerOp.Reset()
+	type cacheResetter interface{ ResetCacheStats() }
+	if cr, ok := d.idx.(cacheResetter); ok {
+		cr.ResetCacheStats()
+	}
+}
+
+// Close flushes buffered data and the index, then marks the device
+// unusable.
+func (d *Device) Close() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	d.closed = true
+	return nil
+}
+
+// Flash exposes the NAND array for tests (fault injection) and tools.
+func (d *Device) Flash() *nand.Flash { return d.flash }

@@ -1,0 +1,93 @@
+package device
+
+import (
+	"repro/internal/ftl"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// idxEnv implements index.Env over the device. Index page I/O blocks the
+// firmware cursor (`now`): the mapping must resolve before the command
+// can proceed, so metadata misses directly throttle the device — the
+// effect Figs. 2 and 5 quantify.
+type idxEnv struct {
+	d         *Device
+	now       sim.Time
+	metaReads int64
+}
+
+var _ index.Env = (*idxEnv)(nil)
+
+func (e *idxEnv) ReadPage(p nand.PPA) ([]byte, error) {
+	data, _, done, err := e.d.flash.Read(e.now, p)
+	if err != nil {
+		return nil, err
+	}
+	e.now = done
+	e.metaReads++
+	return data, nil
+}
+
+func (e *idxEnv) AppendPage(data []byte) (nand.PPA, error) {
+	ppa, err := e.d.nextIndexPage()
+	if err != nil {
+		return 0, err
+	}
+	spare := layout.EncodeSpare(layout.KindIndex, 0, 0)
+	done, err := e.d.flash.Program(e.now, ppa, data, spare)
+	if err != nil {
+		return 0, err
+	}
+	e.now = done
+	e.d.mgr.OnWrite(e.d.flash.BlockOf(ppa), int64(len(data)))
+	e.d.idxPageSize[ppa] = int32(len(data))
+	return ppa, nil
+}
+
+func (e *idxEnv) Invalidate(p nand.PPA) {
+	if e.d.ckptPinned[p] {
+		// The persisted checkpoint still references this page: defer the
+		// invalidation so the page (and its accounting) survives until
+		// the next checkpoint supersedes it.
+		e.d.deferredInval = append(e.d.deferredInval, p)
+		return
+	}
+	size, ok := e.d.idxPageSize[p]
+	if !ok {
+		return
+	}
+	delete(e.d.idxPageSize, p)
+	e.d.mgr.OnInvalidate(e.d.flash.BlockOf(p), int64(size))
+}
+
+func (e *idxEnv) ChargeCPU(d sim.Duration) { e.now = e.now.Add(d) }
+
+func (e *idxEnv) MetaReads() int64 { return e.metaReads }
+
+func (e *idxEnv) Now() sim.Time { return e.now }
+
+// nextIndexPage reserves the next page of the index-zone log, allocating
+// (and garbage-collecting, when outside GC) a fresh block as needed.
+func (d *Device) nextIndexPage() (nand.PPA, error) {
+	geo := d.flash.Config()
+	if d.idxBlockOpen && d.idxNextPage >= geo.PagesPerBlock {
+		d.idxBlockOpen = false
+	}
+	if !d.idxBlockOpen {
+		if err := d.maybeGC(); err != nil {
+			return 0, err
+		}
+		b, err := d.mgr.Alloc(ftl.ZoneIndex)
+		if err != nil {
+			return 0, ErrDeviceFull
+		}
+		d.idxBlock = b
+		d.idxNextPage = 0
+		d.idxBlockOpen = true
+	}
+	ppa := d.flash.PPAOf(d.idxBlock, d.idxNextPage)
+	d.idxNextPage++
+	return ppa, nil
+}

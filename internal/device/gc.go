@@ -1,0 +1,246 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/nand"
+)
+
+// maybeGC runs garbage collection cycles until the free pool rises above
+// the low-water mark. Allocations made while collecting bypass the
+// trigger (the pool headroom exists for exactly that). Cycles that make
+// no forward progress — relocation consumed as many blocks as the erase
+// freed — mean the device is effectively full of live data.
+func (d *Device) maybeGC() error {
+	if d.inGC {
+		return nil
+	}
+	stalled := 0
+	for d.mgr.FreeBlocks() <= d.cfg.GCLowWater {
+		before := d.mgr.FreeBlocks()
+		if err := d.collect(); err != nil {
+			return err
+		}
+		if d.mgr.FreeBlocks() <= before {
+			stalled++
+			if stalled >= 2 {
+				return ErrDeviceFull
+			}
+		} else {
+			stalled = 0
+		}
+	}
+	return nil
+}
+
+// activeBlocks lists the blocks GC must never pick: open log heads
+// across both writers' stripes, the index log head, and any block
+// holding pages pinned by the persisted checkpoint (those pages are
+// referenced by exact address and may be neither moved nor erased).
+func (d *Device) activeBlocks() []nand.BlockID {
+	var ex []nand.BlockID
+	for _, w := range []*logWriter{&d.fg, &d.gcw} {
+		for _, s := range w.slots {
+			if s.open {
+				ex = append(ex, s.block)
+			}
+		}
+	}
+	if d.idxBlockOpen {
+		ex = append(ex, d.idxBlock)
+	}
+	seen := make(map[nand.BlockID]bool)
+	for _, b := range ex {
+		seen[b] = true
+	}
+	for p := range d.ckptPinned {
+		if b := d.flash.BlockOf(p); !seen[b] {
+			seen[b] = true
+			ex = append(ex, b)
+		}
+	}
+	return ex
+}
+
+// collect performs one GC cycle: pick the stalest block across both
+// zones, relocate its live contents, erase it, and return it to the
+// pool. The paper's algorithm (§IV-B): scan the key signatures in each
+// flash page, validate each against the global index, relocate what is
+// still live, discard the rest.
+func (d *Device) collect() error {
+	ex := d.activeBlocks()
+	kvV, kvOK := d.mgr.Victim(ftl.ZoneKV, ex...)
+	ixV, ixOK := d.mgr.Victim(ftl.ZoneIndex, ex...)
+
+	var victim nand.BlockID
+	switch {
+	case kvOK && ixOK:
+		// Prefer the candidate with proportionally less live data.
+		if d.mgr.ValidBytes(kvV) <= d.mgr.ValidBytes(ixV) {
+			victim = kvV
+		} else {
+			victim = ixV
+		}
+	case kvOK:
+		victim = kvV
+	case ixOK:
+		victim = ixV
+	default:
+		return ErrDeviceFull
+	}
+
+	d.inGC = true
+	defer func() { d.inGC = false }()
+	d.stats.GCRuns++
+
+	var err error
+	if d.mgr.Zone(victim) == ftl.ZoneKV {
+		err = d.collectKV(victim)
+	} else {
+		err = d.collectIndex(victim)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Relocated pairs must be durable before their only other copy is
+	// destroyed: flush the GC writer's open page ahead of the erase.
+	if err := d.flushOpen(&d.gcw); err != nil {
+		return err
+	}
+
+	done, err := d.flash.Erase(d.env.now, victim)
+	if err != nil {
+		return err
+	}
+	d.env.now = done
+	d.mgr.Release(victim)
+	return nil
+}
+
+// collectKV relocates live pairs out of a KV-zone victim block.
+func (d *Device) collectKV(victim nand.BlockID) error {
+	pages := d.flash.ProgrammedPages(victim)
+	for pi := 0; pi < pages; pi++ {
+		ppa := d.flash.PPAOf(victim, pi)
+		data, spare, done, err := d.flash.Read(d.env.now, ppa)
+		if err != nil {
+			return err
+		}
+		d.env.now = done
+		kind, _, _, err := layout.DecodeSpare(spare)
+		if err != nil {
+			return err
+		}
+		if kind != layout.KindData {
+			continue // continuations move with their head page
+		}
+		infos, err := layout.DecodeSigArea(data)
+		if err != nil {
+			return err
+		}
+		for slot, info := range infos {
+			hdr, key, inline, err := layout.DecodePairAt(data, int(info.Offset))
+			if err != nil {
+				return err
+			}
+			if hdr.Tombstone() {
+				continue
+			}
+			rp := layout.MakeRP(uint64(ppa), slot)
+			sig := d.scheme.Compute(key)
+			cur, ok, err := d.idx.Lookup(sig)
+			if err != nil {
+				return err
+			}
+			if !ok || cur != uint64(rp) {
+				continue // stale version
+			}
+			value := inline
+			if hdr.ValueLen > len(inline) {
+				// Reassemble the extent from this block's continuations.
+				full := make([]byte, 0, hdr.ValueLen)
+				full = append(full, inline...)
+				readAt := d.env.now
+				for i := 1; len(full) < hdr.ValueLen; i++ {
+					cont, _, cd, err := d.flash.Read(readAt, ppa+nand.PPA(i))
+					if err != nil {
+						return fmt.Errorf("device: gc extent read: %w", err)
+					}
+					readAt = cd
+					full = append(full, cont...)
+				}
+				d.env.now = readAt
+				if len(full) > hdr.ValueLen {
+					full = full[:hdr.ValueLen]
+				}
+				value = full
+			}
+
+			d.seq++
+			// Copy key/value out of the flash-owned buffers before they
+			// are erased.
+			p := layout.Pair{
+				Sig:   sig.Lo,
+				Key:   append([]byte(nil), key...),
+				Value: append([]byte(nil), value...),
+				Seq:   d.seq,
+			}
+			live := liveSize(len(p.Key), len(p.Value))
+			var newRP layout.RP
+			if layout.ExtentPages(d.flash.Config().PageSize, len(p.Key), len(p.Value)) > 1 {
+				newRP, err = d.appendExtent(&d.gcw, p, live)
+			} else {
+				newRP, err = d.appendPair(&d.gcw, p, live)
+			}
+			if err != nil {
+				return err
+			}
+			if _, _, err := d.idx.Insert(sig, uint64(newRP)); err != nil {
+				return fmt.Errorf("device: gc reinsert: %w", err)
+			}
+			d.stats.GCPagesMoved++
+			d.stats.GCBytesMoved += int64(live)
+		}
+	}
+	return nil
+}
+
+// collectIndex relocates live index and checkpoint pages out of an
+// index-zone victim block.
+func (d *Device) collectIndex(victim nand.BlockID) error {
+	rel, _ := d.idx.(index.Relocator)
+	pages := d.flash.ProgrammedPages(victim)
+	for pi := 0; pi < pages; pi++ {
+		ppa := d.flash.PPAOf(victim, pi)
+		_, spare, done, err := d.flash.Read(d.env.now, ppa)
+		if err != nil {
+			return err
+		}
+		d.env.now = done
+		kind, _, _, err := layout.DecodeSpare(spare)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case layout.KindIndex:
+			if rel == nil {
+				continue
+			}
+			if unit, live := rel.Owner(ppa); live {
+				if err := rel.Relocate(unit); err != nil {
+					return err
+				}
+				d.stats.GCPagesMoved++
+			}
+		case layout.KindCheckpoint:
+			if err := d.relocateCheckpointPage(ppa); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package device
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sim"
+)
+
+// IterEntry is one key (and optionally its value) produced by Iterate.
+type IterEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Iterate enumerates keys sharing the given prefix (§VI "Integrated
+// Iterator Support"). It requires an iterator-mode signature scheme
+// (SigScheme.PrefixLen > 0) and the RHIK index: prefix-sharing keys then
+// collapse into one directory bucket per directory generation, so the
+// scan touches a single record table plus one pair read per candidate.
+// Candidates whose keys do not actually share the prefix (hash
+// collisions into the bucket) are filtered by comparing the stored key.
+func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]IterEntry, sim.Time, error) {
+	if d.closed {
+		return nil, d.env.now, ErrClosed
+	}
+	if d.scheme.PrefixLen == 0 {
+		return nil, d.env.now, ErrNoIterator
+	}
+	rh, ok := d.idx.(*core.RHIK)
+	if !ok {
+		return nil, d.env.now, ErrNoIterator
+	}
+	if submitAt > d.env.now {
+		d.env.now = submitAt
+	}
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+
+	// All keys with this prefix share the signature's low 32 bits, so
+	// they land in directory bucket (prefixLow mod D).
+	low := uint64(d.scheme.PrefixLow(prefix))
+	bucket := low & uint64(rh.DirEntries()-1)
+	rps, err := rh.BucketRecords(bucket)
+	if err != nil {
+		return nil, d.env.now, err
+	}
+
+	var out []IterEntry
+	for _, rp := range rps {
+		hdr, key, value, done, err := d.readPair(layout.RP(rp), withValues, true)
+		if err != nil {
+			return nil, done, err
+		}
+		if hdr.Tombstone() || !bytes.HasPrefix(key, prefix) {
+			continue
+		}
+		e := IterEntry{Key: append([]byte(nil), key...)}
+		if withValues {
+			e.Value = append([]byte(nil), value...)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	d.stats.Iterates++
+	return out, d.env.now, nil
+}

@@ -1,0 +1,137 @@
+package device
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// readPair fetches the pair addressed by rp: from an open page buffer if
+// still pending, else from flash (head page plus continuations for
+// extents). When blocking is true the firmware waits for the data (key
+// verification gates the command); otherwise only the completion time
+// reflects the read and the firmware moves on (data-out phase of a
+// retrieve).
+func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.PairHeader, key, value []byte, done sim.Time, err error) {
+	if p, ok := d.pending[rp]; ok {
+		hdr = layout.PairHeader{KeyLen: len(p.key), ValueLen: len(p.value)}
+		return hdr, p.key, p.value, d.env.now, nil
+	}
+	ppa := nand.PPA(rp.Page())
+	data, _, readDone, err := d.flash.Read(d.env.now, ppa)
+	if err != nil {
+		return hdr, nil, nil, d.env.now, err
+	}
+	done = readDone
+	infos, err := layout.DecodeSigArea(data)
+	if err != nil {
+		return hdr, nil, nil, done, err
+	}
+	slot := rp.Slot()
+	if slot >= len(infos) {
+		return hdr, nil, nil, done, fmt.Errorf("device: rp %v slot %d beyond page (%d pairs)", rp, slot, len(infos))
+	}
+	hdr, key, value, err = layout.DecodePairAt(data, int(infos[slot].Offset))
+	if err != nil {
+		return hdr, nil, nil, done, err
+	}
+	if withValue && hdr.ValueLen > len(value) {
+		// Extent: continuations follow the head page in the same block.
+		full := make([]byte, 0, hdr.ValueLen)
+		full = append(full, value...)
+		for i := 1; len(full) < hdr.ValueLen; i++ {
+			cont, _, cd, err := d.flash.Read(done, ppa+nand.PPA(i))
+			if err != nil {
+				return hdr, nil, nil, done, fmt.Errorf("device: extent continuation %d: %w", i, err)
+			}
+			done = cd
+			full = append(full, cont...)
+		}
+		if len(full) > hdr.ValueLen {
+			full = full[:hdr.ValueLen]
+		}
+		value = full
+	}
+	if blocking && done > d.env.now {
+		d.env.now = done
+	}
+	return hdr, key, value, done, nil
+}
+
+// Retrieve executes a get command, returning the value (a copy) and the
+// command's completion time. The stored key is compared to the request
+// key before returning, so signature collisions can never return the
+// wrong value (§IV-A3).
+func (d *Device) Retrieve(submitAt sim.Time, key []byte) ([]byte, sim.Time, error) {
+	if d.closed {
+		return nil, d.env.now, ErrClosed
+	}
+	arrive := d.hostXfer(submitAt, len(key))
+	if arrive > d.env.now {
+		d.env.now = arrive
+	}
+	start := submitAt
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads
+
+	sig := d.scheme.Compute(key)
+	rp, ok, err := d.idx.Lookup(sig)
+	d.metaPerOp.Record(d.env.metaReads - metaBefore)
+	if err != nil {
+		return nil, d.env.now, err
+	}
+	if !ok {
+		return nil, d.env.now, ErrNotFound
+	}
+	hdr, storedKey, value, done, err := d.readPair(layout.RP(rp), true, false)
+	if err != nil {
+		return nil, done, err
+	}
+	if hdr.Tombstone() || !bytes.Equal(storedKey, key) {
+		return nil, done, ErrNotFound
+	}
+	if done < d.env.now {
+		done = d.env.now
+	}
+	// Value DMA back to the host, then the completion round trip.
+	done = d.hostXfer(done, len(value)).Add(d.cfg.AckOverhead)
+	d.stats.Retrieves++
+	d.stats.BytesRead += int64(len(value))
+	d.latGet.Record(int64(done.Sub(start)))
+	return append([]byte(nil), value...), done, nil
+}
+
+// Exist executes a key-exist command. The index answers from key
+// signatures; on a hit the stored key is fetched and compared, so the
+// result is exact (the extra flash read the paper describes for explicit
+// membership checks as signature collisions become likely).
+func (d *Device) Exist(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
+	if d.closed {
+		return false, d.env.now, ErrClosed
+	}
+	arrive := d.hostXfer(submitAt, len(key))
+	if arrive > d.env.now {
+		d.env.now = arrive
+	}
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads
+
+	sig := d.scheme.Compute(key)
+	rp, ok, err := d.idx.Lookup(sig)
+	d.metaPerOp.Record(d.env.metaReads - metaBefore)
+	if err != nil {
+		return false, d.env.now, err
+	}
+	d.stats.Exists++
+	if !ok {
+		return false, d.env.now, nil
+	}
+	hdr, storedKey, _, done, err := d.readPair(layout.RP(rp), false, true)
+	if err != nil {
+		return false, done, err
+	}
+	return !hdr.Tombstone() && bytes.Equal(storedKey, key), d.env.now, nil
+}

@@ -1,0 +1,376 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// acquireBufferSlot blocks the firmware until a write-buffer slot is
+// free, bounding outstanding page programs (device-buffer backpressure).
+func (d *Device) acquireBufferSlot() {
+	if len(d.inflight) < d.cfg.WriteBufferPages {
+		return
+	}
+	oldest := d.inflight[0]
+	d.inflight = d.inflight[1:]
+	if oldest > d.env.now {
+		d.env.now = oldest
+	}
+}
+
+// programData schedules a data-page program through the write buffer.
+// The firmware does not wait for completion; the die does the work.
+func (d *Device) programData(ppa nand.PPA, data, spare []byte) (sim.Time, error) {
+	d.acquireBufferSlot()
+	done, err := d.flash.Program(d.env.now, ppa, data, spare)
+	if err != nil {
+		return done, err
+	}
+	d.inflight = append(d.inflight, done)
+	return done, nil
+}
+
+// newLogWriter builds an empty striped writer.
+func (d *Device) newLogWriter(name string) logWriter {
+	return logWriter{
+		name:    name,
+		slots:   make([]stripeSlot, d.cfg.StripeWidth),
+		builder: layout.NewPageBuilder(d.flash.Config().PageSize),
+	}
+}
+
+// ensureSlot guarantees stripe slot si has an open block with at least
+// `pages` programmable pages left, sealing and allocating as needed.
+func (d *Device) ensureSlot(w *logWriter, si, pages int) error {
+	geo := d.flash.Config()
+	if pages > geo.PagesPerBlock {
+		return ErrValueTooLarge
+	}
+	s := &w.slots[si]
+	if s.open && s.next+pages > geo.PagesPerBlock {
+		s.open = false // seal; any unprogrammed tail pages are wasted
+	}
+	if s.open {
+		return nil
+	}
+	if err := d.maybeGC(); err != nil {
+		return err
+	}
+	b, err := d.mgr.Alloc(ftl.ZoneKV)
+	if err != nil {
+		return ErrDeviceFull
+	}
+	s.block = b
+	s.next = 0
+	s.open = true
+	return nil
+}
+
+// beginPage binds the builder to the next stripe slot's next page.
+func (d *Device) beginPage(w *logWriter) error {
+	w.cur = (w.cur + 1) % len(w.slots)
+	return d.ensureSlot(w, w.cur, 1)
+}
+
+// openPagePPA is the address the current open page will program to.
+func (w *logWriter) openPagePPA(d *Device) nand.PPA {
+	s := &w.slots[w.cur]
+	return d.flash.PPAOf(s.block, s.next)
+}
+
+// appendPair packs a single-page pair into writer w's open page and
+// returns its record pointer. live is the accounting size: positive for
+// live data, negative magnitude for dead-on-arrival bytes (tombstones).
+func (d *Device) appendPair(w *logWriter, p layout.Pair, live int) (layout.RP, error) {
+	if !w.builder.Empty() && !w.builder.Fits(len(p.Key), len(p.Value)) {
+		if err := d.flushOpen(w); err != nil {
+			return 0, err
+		}
+	}
+	if w.builder.Empty() {
+		if err := d.beginPage(w); err != nil {
+			return 0, err
+		}
+	}
+	slot, ok := w.builder.Add(p)
+	if !ok {
+		return 0, fmt.Errorf("device: pair does not fit an empty page (key %d, value %d)",
+			len(p.Key), len(p.Value))
+	}
+	rp := layout.MakeRP(uint64(w.openPagePPA(d)), slot)
+	w.pageRPs = append(w.pageRPs, rp)
+	w.liveLen = append(w.liveLen, live)
+	d.pending[rp] = pendingPair{
+		key:   append([]byte(nil), p.Key...),
+		value: append([]byte(nil), p.Value...),
+	}
+	return rp, nil
+}
+
+// flushOpen programs writer w's open page, settling per-pair accounting
+// and releasing the pending buffers.
+func (d *Device) flushOpen(w *logWriter) error {
+	if w.builder.Empty() {
+		return nil
+	}
+	s := &w.slots[w.cur]
+	data := w.builder.Bytes()
+	ppa := d.flash.PPAOf(s.block, s.next)
+	spare := layout.EncodeSpare(layout.KindData, 0, 0)
+	if _, err := d.programData(ppa, data, spare); err != nil {
+		return err
+	}
+	for i, rp := range w.pageRPs {
+		if n := w.liveLen[i]; n > 0 {
+			d.mgr.OnWrite(s.block, int64(n))
+		} else {
+			d.mgr.OnWriteDead(s.block, int64(-n))
+		}
+		delete(d.pending, rp)
+	}
+	w.builder.Reset()
+	w.pageRPs = w.pageRPs[:0]
+	w.liveLen = w.liveLen[:0]
+	s.next++
+	if s.next >= d.flash.Config().PagesPerBlock {
+		s.open = false
+	}
+	return nil
+}
+
+// appendExtent writes a multi-page pair (head + continuations) into
+// consecutive pages of a single erase block and returns the head record
+// pointer.
+func (d *Device) appendExtent(w *logWriter, p layout.Pair, live int) (layout.RP, error) {
+	geo := d.flash.Config()
+	pages := layout.ExtentPages(geo.PageSize, len(p.Key), len(p.Value))
+	if err := d.flushOpen(w); err != nil {
+		return 0, err
+	}
+	w.cur = (w.cur + 1) % len(w.slots)
+	if err := d.ensureSlot(w, w.cur, pages); err != nil {
+		return 0, err
+	}
+	s := &w.slots[w.cur]
+	head, conts, err := layout.BuildExtent(geo.PageSize, p)
+	if err != nil {
+		return 0, err
+	}
+	headPPA := d.flash.PPAOf(s.block, s.next)
+	rp := layout.MakeRP(uint64(headPPA), 0)
+	if _, err := d.programData(headPPA, head, layout.EncodeSpare(layout.KindData, 0, 0)); err != nil {
+		return 0, err
+	}
+	for i, c := range conts {
+		ppa := d.flash.PPAOf(s.block, s.next+1+i)
+		spare := layout.EncodeSpare(layout.KindContinuation, rp, i+1)
+		if _, err := d.programData(ppa, c, spare); err != nil {
+			return 0, err
+		}
+	}
+	s.next += pages
+	if s.next >= geo.PagesPerBlock {
+		s.open = false
+	}
+	if live > 0 {
+		d.mgr.OnWrite(s.block, int64(live))
+	} else {
+		d.mgr.OnWriteDead(s.block, int64(-live))
+	}
+	return rp, nil
+}
+
+// invalidateRP marks a stored pair's bytes stale, whether it has reached
+// flash or still sits in an open page buffer.
+func (d *Device) invalidateRP(rp layout.RP, size int) {
+	for _, w := range []*logWriter{&d.fg, &d.gcw} {
+		for i, prp := range w.pageRPs {
+			if prp == rp {
+				if w.liveLen[i] > 0 {
+					w.liveLen[i] = -w.liveLen[i]
+				}
+				return
+			}
+		}
+	}
+	d.mgr.OnInvalidate(d.flash.BlockOf(nand.PPA(rp.Page())), int64(size))
+}
+
+// liveSize is the accounting footprint of a pair: its body plus its
+// signature-area entry.
+func liveSize(keyLen, valueLen int) int {
+	return layout.PairSize(keyLen, valueLen) + layout.SigEntrySize
+}
+
+// hostXfer schedules payload movement over the host interface starting
+// no earlier than `at`, returning the transfer's completion time.
+func (d *Device) hostXfer(at sim.Time, bytes int) sim.Time {
+	if bytes <= 0 {
+		return at
+	}
+	dur := sim.Duration(int64(bytes) * 1000 / int64(d.cfg.HostMBps))
+	_, done := d.hostLink.Acquire(at, dur)
+	return done
+}
+
+// Store executes a put command submitted at submitAt, returning its
+// completion time. A store of an existing key verifies the stored key
+// (signature re-use, §IV-A3), writes the new pair log-style, updates the
+// index, and invalidates the old pair.
+func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
+	if d.closed {
+		return d.env.now, ErrClosed
+	}
+	if len(key) == 0 || len(key) > layout.MaxKeyLen ||
+		len(key) > layout.HeadCapacity(d.flash.Config().PageSize, 0)/2 {
+		return d.env.now, ErrKeyTooLarge
+	}
+	if len(value) > d.maxValue {
+		return d.env.now, ErrValueTooLarge
+	}
+	// The command and its payload cross the host link before the
+	// firmware can process it.
+	arrive := d.hostXfer(submitAt, len(key)+len(value))
+	if arrive > d.env.now {
+		d.env.now = arrive
+	}
+	start := submitAt
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads
+
+	sig := d.scheme.Compute(key)
+	oldRP, existed, err := d.idx.Lookup(sig)
+	if err != nil {
+		return d.env.now, err
+	}
+	var oldSize int
+	if existed {
+		hdr, oldKey, _, _, err := d.readPair(layout.RP(oldRP), false, true)
+		if err != nil {
+			return d.env.now, err
+		}
+		if !bytes.Equal(oldKey, key) {
+			// Two distinct keys share a 64-bit signature: the paper's
+			// collision-abort path — the application must choose another
+			// key.
+			d.stats.CollisionAborts++
+			return d.env.now, index.ErrCollision
+		}
+		oldSize = liveSize(hdr.KeyLen, hdr.ValueLen)
+	}
+
+	d.seq++
+	p := layout.Pair{Sig: sig.Lo, Key: key, Value: value, Seq: d.seq}
+	live := liveSize(len(key), len(value))
+	var rp layout.RP
+	if layout.ExtentPages(d.flash.Config().PageSize, len(key), len(value)) > 1 {
+		rp, err = d.appendExtent(&d.fg, p, live)
+	} else {
+		rp, err = d.appendPair(&d.fg, p, live)
+	}
+	if err != nil {
+		return d.env.now, err
+	}
+
+	if _, _, err := d.idx.Insert(sig, uint64(rp)); err != nil {
+		// The freshly written pair is unreachable: mark it dead.
+		d.invalidateRP(rp, live)
+		if errors.Is(err, index.ErrCollision) {
+			d.stats.CollisionAborts++
+		}
+		return d.env.now, err
+	}
+	if existed {
+		d.invalidateRP(layout.RP(oldRP), oldSize)
+	}
+
+	d.metaPerOp.Record(d.env.metaReads - metaBefore)
+	d.stats.Stores++
+	d.stats.BytesWritten += int64(len(key) + len(value))
+	if err := d.afterMutation(); err != nil {
+		return d.env.now, err
+	}
+	done := d.env.now.Add(d.cfg.AckOverhead)
+	d.latStore.Record(int64(done.Sub(start)))
+	return done, nil
+}
+
+// Delete executes a delete command: verify the key, remove the index
+// record, append a tombstone for recoverability, and invalidate the pair.
+func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
+	if d.closed {
+		return d.env.now, ErrClosed
+	}
+	arrive := d.hostXfer(submitAt, len(key))
+	if arrive > d.env.now {
+		d.env.now = arrive
+	}
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads
+
+	sig := d.scheme.Compute(key)
+	rp, ok, err := d.idx.Lookup(sig)
+	if err != nil {
+		return d.env.now, err
+	}
+	if !ok {
+		return d.env.now, ErrNotFound
+	}
+	hdr, storedKey, _, _, err := d.readPair(layout.RP(rp), false, true)
+	if err != nil {
+		return d.env.now, err
+	}
+	if !bytes.Equal(storedKey, key) {
+		return d.env.now, ErrNotFound // signature collision: not this key
+	}
+	if _, _, err := d.idx.Delete(sig); err != nil {
+		return d.env.now, err
+	}
+	d.seq++
+	tomb := layout.Pair{Sig: sig.Lo, Key: key, Seq: d.seq, Tombstone: true}
+	tombSize := liveSize(len(key), 0)
+	if _, err := d.appendPair(&d.fg, tomb, -tombSize); err != nil {
+		return d.env.now, err
+	}
+	d.invalidateRP(layout.RP(rp), liveSize(hdr.KeyLen, hdr.ValueLen))
+
+	d.metaPerOp.Record(d.env.metaReads - metaBefore)
+	d.stats.Deletes++
+	if err := d.afterMutation(); err != nil {
+		return d.env.now, err
+	}
+	return d.env.now.Add(d.cfg.AckOverhead), nil
+}
+
+// afterMutation runs post-command maintenance: RHIK re-configuration
+// (with the submission queue halted — the firmware timeline simply
+// advances through the migration) and periodic checkpoints.
+func (d *Device) afterMutation() error {
+	d.mutsSince++
+	if rz, ok := d.idx.(index.Resizer); ok && !d.cfg.DisableAutoResize && rz.NeedsResize() {
+		haltStart := d.env.now
+		if err := rz.Resize(); err != nil {
+			return err
+		}
+		d.stats.ResizeHalt += d.env.now.Sub(haltStart)
+	}
+	if d.cfg.CheckpointEveryOps > 0 && d.mutsSince >= d.cfg.CheckpointEveryOps {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+// FlushData programs any open page buffers without checkpointing.
+func (d *Device) FlushData() error {
+	if err := d.flushOpen(&d.fg); err != nil {
+		return err
+	}
+	return d.flushOpen(&d.gcw)
+}

@@ -1,0 +1,183 @@
+// Package dram models the KVSSD's integrated DRAM as a byte-budget LRU
+// cache for index pages. The FTL cache budget (e.g. the 10 MB budget in
+// the paper's Fig. 5 setup) bounds the total size of cached entries;
+// anything beyond the budget spills to flash, which is what makes index
+// size matter for performance. Eviction invokes a callback so write-back
+// owners can flush dirty entries to flash first.
+package dram
+
+import "container/list"
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Inserts   int64
+}
+
+// MissRatio reports misses / (hits + misses), or 0 when unused.
+func (s Stats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type entry struct {
+	key   uint64
+	value any
+	size  int64
+}
+
+// EvictFunc is invoked when an entry is evicted to make room. Write-back
+// owners flush dirty state to flash here.
+type EvictFunc func(key uint64, value any, size int64)
+
+// Cache is a least-recently-used cache bounded by a byte budget rather
+// than an entry count. It is not safe for concurrent use. A single entry
+// larger than the whole budget is still cached (and evicted on the next
+// insert), so a minimally-provisioned cache remains functional.
+type Cache struct {
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recent
+	byKey   map[uint64]*list.Element
+	onEvict EvictFunc
+	stats   Stats
+}
+
+// New returns a cache with the given byte budget. onEvict may be nil.
+func New(budget int64, onEvict EvictFunc) *Cache {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Cache{
+		budget:  budget,
+		ll:      list.New(),
+		byKey:   make(map[uint64]*list.Element),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the cached value for key, marking it most-recently used.
+// Every call counts as a hit or a miss.
+func (c *Cache) Get(key uint64) (any, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Contains reports whether key is cached without affecting recency or
+// hit/miss accounting.
+func (c *Cache) Contains(key uint64) bool {
+	_, ok := c.byKey[key]
+	return ok
+}
+
+// Put inserts or updates key with the given value and size, evicting
+// least-recently-used entries as needed to respect the budget.
+func (c *Cache) Put(key uint64, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		c.used += size - e.size
+		e.value = value
+		e.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, value: value, size: size})
+		c.byKey[key] = el
+		c.used += size
+		c.stats.Inserts++
+	}
+	c.evictToBudget()
+}
+
+// evictToBudget removes LRU entries until the budget holds, always keeping
+// at least one entry so an over-budget singleton still functions.
+func (c *Cache) evictToBudget() {
+	for c.used > c.budget && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.byKey, e.key)
+	c.used -= e.size
+	c.stats.Evictions++
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value, e.size)
+	}
+}
+
+// Remove drops key from the cache without invoking the eviction callback
+// (the caller already owns the value). It returns the removed value.
+func (c *Cache) Remove(key uint64) (any, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.byKey, key)
+	c.used -= e.size
+	return e.value, true
+}
+
+// Flush evicts every entry (oldest first), invoking the eviction callback
+// for each. Used at checkpoints to force dirty state to flash.
+func (c *Cache) Flush() {
+	for c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Range calls f for each cached entry from most to least recently used,
+// stopping if f returns false. It does not affect recency.
+func (c *Cache) Range(f func(key uint64, value any, size int64) bool) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !f(e.key, e.value, e.size) {
+			return
+		}
+	}
+}
+
+// Resize changes the byte budget, evicting as needed.
+func (c *Cache) Resize(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	c.budget = budget
+	c.evictToBudget()
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Used reports the summed size of cached entries.
+func (c *Cache) Used() int64 { return c.used }
+
+// Budget reports the configured byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,220 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGetMissAndHit(t *testing.T) {
+	c := New(100, nil)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "a", 10)
+	v, ok := c.Get(1)
+	if !ok || v.(string) != "a" {
+		t.Fatalf("Get = (%v,%v)", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MissRatio() != 0.5 {
+		t.Fatalf("MissRatio = %v", s.MissRatio())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	var evicted []uint64
+	c := New(30, func(key uint64, _ any, _ int64) { evicted = append(evicted, key) })
+	c.Put(1, nil, 10)
+	c.Put(2, nil, 10)
+	c.Put(3, nil, 10)
+	c.Get(1)          // 1 is now MRU; LRU order: 2, 3, 1
+	c.Put(4, nil, 10) // must evict 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	if c.Contains(2) || !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	c := New(100, nil)
+	for k := uint64(0); k < 50; k++ {
+		c.Put(k, nil, 7)
+	}
+	if c.Used() > c.Budget() {
+		t.Fatalf("Used %d > Budget %d", c.Used(), c.Budget())
+	}
+	if c.Len() != int(c.Used()/7) {
+		t.Fatalf("Len %d inconsistent with Used %d", c.Len(), c.Used())
+	}
+}
+
+func TestOversizedSingletonStays(t *testing.T) {
+	c := New(10, nil)
+	c.Put(1, "big", 100)
+	if !c.Contains(1) {
+		t.Fatal("oversized singleton was dropped")
+	}
+	c.Put(2, "next", 5)
+	if c.Contains(1) {
+		t.Fatal("oversized entry survived a subsequent insert")
+	}
+	if !c.Contains(2) {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestPutUpdateAdjustsSize(t *testing.T) {
+	c := New(100, nil)
+	c.Put(1, "a", 10)
+	c.Put(1, "b", 30)
+	if c.Used() != 30 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d after update", c.Used(), c.Len())
+	}
+	v, _ := c.Get(1)
+	if v.(string) != "b" {
+		t.Fatal("update did not replace value")
+	}
+	if c.Stats().Inserts != 1 {
+		t.Fatalf("Inserts = %d, want 1 (update is not an insert)", c.Stats().Inserts)
+	}
+}
+
+func TestRemoveSkipsCallback(t *testing.T) {
+	calls := 0
+	c := New(100, func(uint64, any, int64) { calls++ })
+	c.Put(1, "a", 10)
+	v, ok := c.Remove(1)
+	if !ok || v.(string) != "a" {
+		t.Fatalf("Remove = (%v,%v)", v, ok)
+	}
+	if calls != 0 {
+		t.Fatal("Remove invoked eviction callback")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("Remove left residue")
+	}
+	if _, ok := c.Remove(1); ok {
+		t.Fatal("second Remove succeeded")
+	}
+}
+
+func TestFlushEvictsAll(t *testing.T) {
+	var evicted []uint64
+	c := New(100, func(key uint64, _ any, _ int64) { evicted = append(evicted, key) })
+	c.Put(1, nil, 10)
+	c.Put(2, nil, 10)
+	c.Flush()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("Flush left entries")
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("Flush evicted %v", evicted)
+	}
+	// Oldest first: 1 then 2.
+	if evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("Flush order %v, want [1 2]", evicted)
+	}
+}
+
+func TestResizeShrinks(t *testing.T) {
+	c := New(100, nil)
+	for k := uint64(0); k < 10; k++ {
+		c.Put(k, nil, 10)
+	}
+	c.Resize(30)
+	if c.Used() > 30 {
+		t.Fatalf("Used %d after Resize(30)", c.Used())
+	}
+	if c.Budget() != 30 {
+		t.Fatalf("Budget = %d", c.Budget())
+	}
+}
+
+func TestRangeMRUOrder(t *testing.T) {
+	c := New(100, nil)
+	c.Put(1, nil, 1)
+	c.Put(2, nil, 1)
+	c.Put(3, nil, 1)
+	c.Get(1)
+	var order []uint64
+	c.Range(func(key uint64, _ any, _ int64) bool {
+		order = append(order, key)
+		return true
+	})
+	want := []uint64{1, 3, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestZeroBudgetCache(t *testing.T) {
+	c := New(0, nil)
+	c.Put(1, nil, 10)
+	if !c.Contains(1) {
+		t.Fatal("zero-budget cache must still hold the newest entry")
+	}
+	c.Put(2, nil, 10)
+	if c.Contains(1) {
+		t.Fatal("zero-budget cache held two entries")
+	}
+}
+
+func TestUsedNeverExceedsBudgetProperty(t *testing.T) {
+	f := func(ops []struct {
+		Key  uint8
+		Size uint8
+	}) bool {
+		c := New(64, nil)
+		for _, op := range ops {
+			c.Put(uint64(op.Key), nil, int64(op.Size))
+			if c.Len() > 1 && c.Used() > c.Budget() {
+				// Multiple entries may never exceed the budget.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountingInvariantProperty(t *testing.T) {
+	// Used must always equal the sum of resident entry sizes.
+	f := func(ops []struct {
+		Kind uint8
+		Key  uint8
+		Size uint8
+	}) bool {
+		c := New(128, nil)
+		for _, op := range ops {
+			switch op.Kind % 3 {
+			case 0:
+				c.Put(uint64(op.Key), nil, int64(op.Size))
+			case 1:
+				c.Get(uint64(op.Key))
+			case 2:
+				c.Remove(uint64(op.Key))
+			}
+			var sum int64
+			c.Range(func(_ uint64, _ any, size int64) bool {
+				sum += size
+				return true
+			})
+			if sum != c.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

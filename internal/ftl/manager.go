@@ -1,0 +1,231 @@
+// Package ftl manages the flash translation bookkeeping beneath the
+// KVSSD: the free-block pool, the index-zone / key-value-zone split
+// (Fig. 3), per-block valid-byte accounting, and greedy victim selection
+// for garbage collection. The device layer performs the actual relocation
+// and erase; this package decides where writes go and which block to
+// clean next.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nand"
+)
+
+// Zone labels what a block stores.
+type Zone int
+
+// Zones. KV blocks hold packed pairs and extents; index blocks hold
+// serialized record-layer tables and directory checkpoints.
+const (
+	ZoneKV Zone = iota
+	ZoneIndex
+)
+
+func (z Zone) String() string {
+	switch z {
+	case ZoneKV:
+		return "kv"
+	case ZoneIndex:
+		return "index"
+	default:
+		return fmt.Sprintf("zone(%d)", int(z))
+	}
+}
+
+// ErrNoFreeBlocks is returned when allocation is requested and the free
+// pool is empty; the caller must garbage-collect or fail the write.
+var ErrNoFreeBlocks = errors.New("ftl: no free blocks")
+
+type blockMeta struct {
+	zone    Zone
+	inUse   bool
+	valid   int64 // bytes of still-live data
+	written int64 // bytes ever written since last erase
+}
+
+// Stats summarizes pool and accounting state.
+type Stats struct {
+	TotalBlocks  int
+	FreeBlocks   int
+	KVBlocks     int
+	IndexBlocks  int
+	ValidBytes   int64
+	WrittenBytes int64
+}
+
+// Manager tracks block ownership and liveness. It is not safe for
+// concurrent use.
+type Manager struct {
+	flash  *nand.Flash
+	blocks []blockMeta
+	free   []nand.BlockID
+}
+
+// NewManager returns a manager with every block free. Blocks are handed
+// out in address order, spreading consecutive allocations across dies.
+func NewManager(flash *nand.Flash) *Manager {
+	total := flash.Config().TotalBlocks()
+	m := &Manager{
+		flash:  flash,
+		blocks: make([]blockMeta, total),
+		free:   make([]nand.BlockID, 0, total),
+	}
+	// Push in reverse so pops return ascending block IDs; interleave by
+	// die so consecutive log blocks land on different dies.
+	byDie := make([][]nand.BlockID, flash.Config().Dies())
+	perDie := flash.Config().BlocksPerDie
+	for b := 0; b < total; b++ {
+		die := b / perDie
+		byDie[die] = append(byDie[die], nand.BlockID(b))
+	}
+	for i := 0; len(m.free) < total; i++ {
+		for d := range byDie {
+			if i < len(byDie[d]) {
+				m.free = append(m.free, byDie[d][i])
+			}
+		}
+	}
+	// Reverse so Alloc pops from the tail in the interleaved order.
+	for i, j := 0, len(m.free)-1; i < j; i, j = i+1, j-1 {
+		m.free[i], m.free[j] = m.free[j], m.free[i]
+	}
+	return m
+}
+
+// Alloc takes a block from the free pool for the given zone.
+func (m *Manager) Alloc(zone Zone) (nand.BlockID, error) {
+	if len(m.free) == 0 {
+		return 0, ErrNoFreeBlocks
+	}
+	b := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.blocks[b] = blockMeta{zone: zone, inUse: true}
+	return b, nil
+}
+
+// Adopt claims block b for the given zone with zeroed accounting,
+// removing it from the free pool. Crash recovery uses it to re-own
+// blocks that hold programmed pages; the caller then replays accounting
+// with OnWrite/OnWriteDead.
+func (m *Manager) Adopt(b nand.BlockID, zone Zone) {
+	if m.blocks[b].inUse {
+		panic(fmt.Sprintf("ftl: adopting in-use block %d", b))
+	}
+	for i, f := range m.free {
+		if f == b {
+			m.free = append(m.free[:i], m.free[i+1:]...)
+			break
+		}
+	}
+	m.blocks[b] = blockMeta{zone: zone, inUse: true}
+}
+
+// Release returns an erased block to the free pool. The caller must have
+// erased it on the flash array first.
+func (m *Manager) Release(b nand.BlockID) {
+	if !m.blocks[b].inUse {
+		panic(fmt.Sprintf("ftl: releasing free block %d", b))
+	}
+	m.blocks[b] = blockMeta{}
+	m.free = append(m.free, b)
+}
+
+// OnWrite records that n bytes of live data were written to block b.
+func (m *Manager) OnWrite(b nand.BlockID, n int64) {
+	mb := &m.blocks[b]
+	if !mb.inUse {
+		panic(fmt.Sprintf("ftl: write accounting on free block %d", b))
+	}
+	mb.written += n
+	mb.valid += n
+}
+
+// OnWriteDead records that n bytes were written to block b that are
+// already dead (e.g. delete tombstones): they consume space but are never
+// live, so the block gets no valid-byte credit.
+func (m *Manager) OnWriteDead(b nand.BlockID, n int64) {
+	mb := &m.blocks[b]
+	if !mb.inUse {
+		panic(fmt.Sprintf("ftl: write accounting on free block %d", b))
+	}
+	mb.written += n
+}
+
+// OnInvalidate records that n bytes in block b became stale (the pair or
+// index page was updated or deleted).
+func (m *Manager) OnInvalidate(b nand.BlockID, n int64) {
+	mb := &m.blocks[b]
+	if !mb.inUse {
+		panic(fmt.Sprintf("ftl: invalidate on free block %d", b))
+	}
+	mb.valid -= n
+	if mb.valid < 0 {
+		panic(fmt.Sprintf("ftl: block %d valid bytes went negative", b))
+	}
+}
+
+// Zone reports block b's zone; meaningful only while the block is in use.
+func (m *Manager) Zone(b nand.BlockID) Zone { return m.blocks[b].zone }
+
+// InUse reports whether block b is allocated.
+func (m *Manager) InUse(b nand.BlockID) bool { return m.blocks[b].inUse }
+
+// ValidBytes reports the live bytes in block b.
+func (m *Manager) ValidBytes(b nand.BlockID) int64 { return m.blocks[b].valid }
+
+// WrittenBytes reports the bytes written to block b since its last erase.
+func (m *Manager) WrittenBytes(b nand.BlockID) int64 { return m.blocks[b].written }
+
+// FreeBlocks reports the free pool size.
+func (m *Manager) FreeBlocks() int { return len(m.free) }
+
+// Victim selects the greedy candidate for garbage collection in the given
+// zone: the in-use block with the fewest valid bytes, excluding the
+// listed active (open log head) blocks. Partially-programmed blocks are
+// eligible — after a crash recovery, abandoned log heads must remain
+// collectable. ok is false when no candidate exists.
+func (m *Manager) Victim(zone Zone, exclude ...nand.BlockID) (nand.BlockID, bool) {
+	skip := make(map[nand.BlockID]bool, len(exclude))
+	for _, b := range exclude {
+		skip[b] = true
+	}
+	best := nand.BlockID(0)
+	bestValid := int64(-1)
+	for b := range m.blocks {
+		bid := nand.BlockID(b)
+		mb := &m.blocks[b]
+		if !mb.inUse || mb.zone != zone || skip[bid] {
+			continue
+		}
+		if bestValid < 0 || mb.valid < bestValid {
+			best = bid
+			bestValid = mb.valid
+		}
+	}
+	return best, bestValid >= 0
+}
+
+// Stats returns a snapshot of pool and accounting state.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		TotalBlocks: len(m.blocks),
+		FreeBlocks:  len(m.free),
+	}
+	for i := range m.blocks {
+		mb := &m.blocks[i]
+		if !mb.inUse {
+			continue
+		}
+		switch mb.zone {
+		case ZoneKV:
+			s.KVBlocks++
+		case ZoneIndex:
+			s.IndexBlocks++
+		}
+		s.ValidBytes += mb.valid
+		s.WrittenBytes += mb.written
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+func newTestManager(t *testing.T) (*Manager, *nand.Flash) {
+	t.Helper()
+	cfg := nand.Config{
+		Channels: 2, DiesPerChan: 2, BlocksPerDie: 4, PagesPerBlock: 4,
+		PageSize: 1024, SpareSize: 32,
+		ReadLatency: 1, ProgramLatency: 1, EraseLatency: 1, ChannelMBps: 800,
+	}
+	f := nand.New(cfg, sim.NewClock())
+	return NewManager(f), f
+}
+
+func TestAllocDrainAndRefill(t *testing.T) {
+	m, _ := newTestManager(t)
+	total := m.Stats().TotalBlocks
+	if total != 16 {
+		t.Fatalf("TotalBlocks = %d", total)
+	}
+	var got []nand.BlockID
+	for {
+		b, err := m.Alloc(ZoneKV)
+		if err != nil {
+			if !errors.Is(err, ErrNoFreeBlocks) {
+				t.Fatal(err)
+			}
+			break
+		}
+		got = append(got, b)
+	}
+	if len(got) != total {
+		t.Fatalf("allocated %d blocks, want %d", len(got), total)
+	}
+	seen := make(map[nand.BlockID]bool)
+	for _, b := range got {
+		if seen[b] {
+			t.Fatalf("block %d allocated twice", b)
+		}
+		seen[b] = true
+	}
+	m.Release(got[0])
+	if m.FreeBlocks() != 1 {
+		t.Fatalf("FreeBlocks = %d", m.FreeBlocks())
+	}
+	b, err := m.Alloc(ZoneIndex)
+	if err != nil || b != got[0] {
+		t.Fatalf("re-alloc = (%d,%v)", b, err)
+	}
+	if m.Zone(b) != ZoneIndex {
+		t.Fatal("zone not reset on re-alloc")
+	}
+}
+
+func TestAllocSpreadsAcrossDies(t *testing.T) {
+	m, f := newTestManager(t)
+	perDie := f.Config().BlocksPerDie
+	dies := make(map[int]bool)
+	for i := 0; i < f.Config().Dies(); i++ {
+		b, err := m.Alloc(ZoneKV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dies[int(b)/perDie] = true
+	}
+	if len(dies) != f.Config().Dies() {
+		t.Fatalf("first %d allocations hit only %d dies", f.Config().Dies(), len(dies))
+	}
+}
+
+func TestWriteInvalidateAccounting(t *testing.T) {
+	m, _ := newTestManager(t)
+	b, _ := m.Alloc(ZoneKV)
+	m.OnWrite(b, 100)
+	m.OnWrite(b, 50)
+	if m.ValidBytes(b) != 150 || m.WrittenBytes(b) != 150 {
+		t.Fatalf("valid=%d written=%d", m.ValidBytes(b), m.WrittenBytes(b))
+	}
+	m.OnInvalidate(b, 60)
+	if m.ValidBytes(b) != 90 {
+		t.Fatalf("valid=%d after invalidate", m.ValidBytes(b))
+	}
+	m.OnWriteDead(b, 10)
+	if m.ValidBytes(b) != 90 || m.WrittenBytes(b) != 160 {
+		t.Fatalf("dead write accounting: valid=%d written=%d", m.ValidBytes(b), m.WrittenBytes(b))
+	}
+}
+
+func TestNegativeValidPanics(t *testing.T) {
+	m, _ := newTestManager(t)
+	b, _ := m.Alloc(ZoneKV)
+	m.OnWrite(b, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative valid bytes")
+		}
+	}()
+	m.OnInvalidate(b, 20)
+}
+
+func TestAccountingOnFreeBlockPanics(t *testing.T) {
+	m, _ := newTestManager(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on accounting against free block")
+		}
+	}()
+	m.OnWrite(3, 10)
+}
+
+func TestReleaseFreePanics(t *testing.T) {
+	m, _ := newTestManager(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double release")
+		}
+	}()
+	m.Release(3)
+}
+
+func fillBlock(t *testing.T, f *nand.Flash, b nand.BlockID) {
+	t.Helper()
+	for p := 0; p < f.Config().PagesPerBlock; p++ {
+		if _, err := f.Program(0, f.PPAOf(b, p), []byte{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVictimPicksLeastValid(t *testing.T) {
+	m, f := newTestManager(t)
+	b1, _ := m.Alloc(ZoneKV)
+	b2, _ := m.Alloc(ZoneKV)
+	b3, _ := m.Alloc(ZoneKV)
+	fillBlock(t, f, b1)
+	fillBlock(t, f, b2)
+	// b3 is the open log head: protected via the exclude list.
+	m.OnWrite(b1, 100)
+	m.OnWrite(b2, 100)
+	m.OnWrite(b3, 1)
+	m.OnInvalidate(b2, 80) // b2 has least valid data among sealed blocks
+
+	v, ok := m.Victim(ZoneKV, b3)
+	if !ok || v != b2 {
+		t.Fatalf("Victim = (%d,%v), want (%d,true)", v, ok, b2)
+	}
+}
+
+func TestVictimRespectsZoneAndExclude(t *testing.T) {
+	m, f := newTestManager(t)
+	kv, _ := m.Alloc(ZoneKV)
+	idx, _ := m.Alloc(ZoneIndex)
+	fillBlock(t, f, kv)
+	fillBlock(t, f, idx)
+	m.OnWrite(kv, 10)
+	m.OnWrite(idx, 10)
+
+	if v, ok := m.Victim(ZoneIndex); !ok || v != idx {
+		t.Fatalf("index victim = (%d,%v)", v, ok)
+	}
+	if _, ok := m.Victim(ZoneKV, kv); ok {
+		t.Fatal("excluded block selected as victim")
+	}
+}
+
+func TestVictimNoneWhenAllExcluded(t *testing.T) {
+	m, _ := newTestManager(t)
+	b, _ := m.Alloc(ZoneKV)
+	if _, ok := m.Victim(ZoneKV, b); ok {
+		t.Fatal("excluded active block selected as victim")
+	}
+	// Without exclusion the open block is eligible (post-recovery case).
+	if v, ok := m.Victim(ZoneKV); !ok || v != b {
+		t.Fatalf("Victim = (%d,%v), want (%d,true)", v, ok, b)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	m, _ := newTestManager(t)
+	kv, _ := m.Alloc(ZoneKV)
+	idx, _ := m.Alloc(ZoneIndex)
+	m.OnWrite(kv, 100)
+	m.OnWrite(idx, 40)
+	m.OnInvalidate(idx, 10)
+	s := m.Stats()
+	if s.KVBlocks != 1 || s.IndexBlocks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ValidBytes != 130 || s.WrittenBytes != 140 {
+		t.Fatalf("bytes = %+v", s)
+	}
+	if s.FreeBlocks != s.TotalBlocks-2 {
+		t.Fatalf("free = %d", s.FreeBlocks)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	if ZoneKV.String() != "kv" || ZoneIndex.String() != "index" {
+		t.Fatal("zone names wrong")
+	}
+	if Zone(9).String() == "" {
+		t.Fatal("unknown zone produced empty string")
+	}
+}

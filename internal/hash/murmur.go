@@ -1,0 +1,179 @@
+// Package hash implements the key-signature hash functions used by RHIK:
+// MurmurHash2-64A (the paper's default for 64-bit key signatures) and
+// MurmurHash3-x64-128 (the paper's proposed higher-resolution alternative
+// for reducing signature collisions, §IV-A3). Both are direct
+// transliterations of Austin Appleby's public-domain reference code.
+package hash
+
+import "encoding/binary"
+
+const (
+	murmur2M = 0xc6a4a7935bd1e995
+	murmur2R = 47
+)
+
+// Murmur2_64 computes the 64-bit MurmurHash2-64A of data with the given
+// seed. RHIK uses the result as the key signature that identifies a key
+// within the index.
+func Murmur2_64(data []byte, seed uint64) uint64 {
+	h := seed ^ uint64(len(data))*murmur2M
+
+	for len(data) >= 8 {
+		k := binary.LittleEndian.Uint64(data)
+		k *= murmur2M
+		k ^= k >> murmur2R
+		k *= murmur2M
+		h ^= k
+		h *= murmur2M
+		data = data[8:]
+	}
+
+	switch len(data) {
+	case 7:
+		h ^= uint64(data[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(data[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(data[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(data[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(data[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(data[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(data[0])
+		h *= murmur2M
+	}
+
+	h ^= h >> murmur2R
+	h *= murmur2M
+	h ^= h >> murmur2R
+	return h
+}
+
+const (
+	murmur3C1 = 0x87c37b91114253d5
+	murmur3C2 = 0x4cf5ad432745937f
+)
+
+func rotl64(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Murmur3_128 computes the 128-bit MurmurHash3-x64-128 of data with the
+// given seed, returned as two 64-bit halves (h1, h2).
+func Murmur3_128(data []byte, seed uint64) (uint64, uint64) {
+	h1, h2 := seed, seed
+	n := len(data)
+
+	body := data
+	for len(body) >= 16 {
+		k1 := binary.LittleEndian.Uint64(body)
+		k2 := binary.LittleEndian.Uint64(body[8:])
+		body = body[16:]
+
+		k1 *= murmur3C1
+		k1 = rotl64(k1, 31)
+		k1 *= murmur3C2
+		h1 ^= k1
+
+		h1 = rotl64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= murmur3C2
+		k2 = rotl64(k2, 33)
+		k2 *= murmur3C1
+		h2 ^= k2
+
+		h2 = rotl64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	var k1, k2 uint64
+	switch len(body) {
+	case 15:
+		k2 ^= uint64(body[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(body[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(body[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(body[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(body[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(body[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(body[8])
+		k2 *= murmur3C2
+		k2 = rotl64(k2, 33)
+		k2 *= murmur3C1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(body[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(body[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(body[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(body[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(body[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(body[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(body[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(body[0])
+		k1 *= murmur3C1
+		k1 = rotl64(k1, 31)
+		k1 *= murmur3C2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// Mix64 is a standalone 64-bit finalizer (the Murmur3 fmix64 step). The
+// record layer uses it to derive in-table slot positions from key
+// signatures so that the record-layer hash function is independent of the
+// directory-layer bit selection.
+func Mix64(x uint64) uint64 { return fmix64(x) }

@@ -1,0 +1,216 @@
+package hash
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMurmur2EmptyZeroSeed(t *testing.T) {
+	// With seed 0 and no input, h starts at 0 and every finalization step
+	// maps 0 to 0; this follows directly from the algorithm definition.
+	if got := Murmur2_64(nil, 0); got != 0 {
+		t.Fatalf("Murmur2_64(nil, 0) = %#x, want 0", got)
+	}
+}
+
+func TestMurmur2Deterministic(t *testing.T) {
+	a := Murmur2_64([]byte("key-00000042"), 0x9747b28c)
+	b := Murmur2_64([]byte("key-00000042"), 0x9747b28c)
+	if a != b {
+		t.Fatalf("non-deterministic: %#x vs %#x", a, b)
+	}
+}
+
+func TestMurmur2SeedSensitivity(t *testing.T) {
+	data := []byte("some key")
+	if Murmur2_64(data, 1) == Murmur2_64(data, 2) {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func TestMurmur2AllTailLengths(t *testing.T) {
+	// Every tail length 0..7 must be handled; flipping the last byte must
+	// change the hash for each.
+	base := make([]byte, 24)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	for n := 1; n <= 24; n++ {
+		buf := append([]byte(nil), base[:n]...)
+		h1 := Murmur2_64(buf, 0)
+		buf[n-1] ^= 0xff
+		h2 := Murmur2_64(buf, 0)
+		if h1 == h2 {
+			t.Errorf("len %d: flipping last byte did not change hash", n)
+		}
+	}
+}
+
+// Golden values pinned from this implementation (a transliteration of the
+// public-domain reference); they guard against regressions in refactors.
+func TestMurmur2Golden(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0x0},
+		{"a", 0, 0x71717d2d36b6b11},
+		{"ab", 0, 0x62be85b2fe53d1f8},
+		{"hello", 0, 0x1e68d17c457bf117},
+		{"hello, world!", 0x1234, 0x67753d4f8c62ba48},
+		{"0123456789abcdef", 0, 0x93a92d1a91a24bc7},
+	}
+	for _, c := range cases {
+		if got := Murmur2_64([]byte(c.in), c.seed); got != c.want {
+			t.Errorf("Murmur2_64(%q, %#x) = %#x, want %#x", c.in, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestMurmur3Golden(t *testing.T) {
+	cases := []struct {
+		in     string
+		seed   uint64
+		h1, h2 uint64
+	}{
+		{"", 0, 0x0, 0x0},
+		{"hello", 0, 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0, 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		{"The quick brown fox jumps over the lazy dog", 0, 0xe34bbc7bbc071b6c, 0x7a433ca9c49a9347},
+	}
+	for _, c := range cases {
+		h1, h2 := Murmur3_128([]byte(c.in), c.seed)
+		if h1 != c.h1 || h2 != c.h2 {
+			t.Errorf("Murmur3_128(%q, %#x) = (%#x, %#x), want (%#x, %#x)",
+				c.in, c.seed, h1, h2, c.h1, c.h2)
+		}
+	}
+}
+
+func TestMurmur3AllTailLengths(t *testing.T) {
+	base := make([]byte, 40)
+	for i := range base {
+		base[i] = byte(i*13 + 1)
+	}
+	seen := make(map[[2]uint64]int)
+	for n := 0; n <= 40; n++ {
+		h1, h2 := Murmur3_128(base[:n], 0)
+		if prev, dup := seen[[2]uint64{h1, h2}]; dup {
+			t.Errorf("lengths %d and %d collide", prev, n)
+		}
+		seen[[2]uint64{h1, h2}] = n
+	}
+}
+
+func TestMurmur2SubsliceIndependence(t *testing.T) {
+	// Hashing a subslice must equal hashing a copy of it (no dependence on
+	// the backing array beyond the slice bounds).
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	f := func(start, length uint8) bool {
+		s := int(start) % len(buf)
+		l := int(length) % (len(buf) - s)
+		sub := buf[s : s+l]
+		cp := append([]byte(nil), sub...)
+		return Murmur2_64(sub, 7) == Murmur2_64(cp, 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMurmur2BitDistribution(t *testing.T) {
+	// Over many hashed counters, each of the 64 output bits should be set
+	// roughly half the time. A grossly skewed bit means a broken
+	// transliteration.
+	const n = 20000
+	var counts [64]int
+	var key [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i))
+		h := Murmur2_64(key[:], 0)
+		for b := 0; b < 64; b++ {
+			if h&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.5) > 0.03 {
+			t.Errorf("bit %d set %.3f of the time, want ~0.5", b, frac)
+		}
+	}
+}
+
+func TestMurmur2LowBitsUniform(t *testing.T) {
+	// RHIK's directory layer uses the low d bits of the signature; check
+	// that a small directory would be evenly loaded.
+	const n = 1 << 16
+	const buckets = 64
+	var hist [buckets]int
+	var key [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i)*2654435761)
+		hist[Murmur2_64(key[:], 0)&(buckets-1)]++
+	}
+	mean := float64(n) / buckets
+	for b, c := range hist {
+		if math.Abs(float64(c)-mean) > mean*0.15 {
+			t.Errorf("bucket %d holds %d keys, mean %.0f", b, c, mean)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// fmix64 is a bijection; distinct inputs must map to distinct outputs.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		x := i * 0x9e3779b97f4a7c15
+		y := Mix64(x)
+		if prev, ok := seen[y]; ok {
+			t.Fatalf("Mix64 collision: %#x and %#x both map to %#x", prev, x, y)
+		}
+		seen[y] = x
+	}
+	if Mix64(0) != 0 {
+		t.Fatalf("Mix64(0) = %#x, want 0", Mix64(0))
+	}
+}
+
+func TestMurmur3SeedSensitivity(t *testing.T) {
+	a1, a2 := Murmur3_128([]byte("key"), 1)
+	b1, b2 := Murmur3_128([]byte("key"), 2)
+	if a1 == b1 && a2 == b2 {
+		t.Fatal("different seeds produced identical 128-bit hashes")
+	}
+}
+
+func BenchmarkMurmur2_16B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		Murmur2_64(key, 0)
+	}
+}
+
+func BenchmarkMurmur2_128B(b *testing.B) {
+	key := make([]byte, 128)
+	b.SetBytes(128)
+	for i := 0; i < b.N; i++ {
+		Murmur2_64(key, 0)
+	}
+}
+
+func BenchmarkMurmur3_16B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		Murmur3_128(key, 0)
+	}
+}

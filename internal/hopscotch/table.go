@@ -1,0 +1,389 @@
+// Package hopscotch implements the fixed-capacity hopscotch hash table
+// that RHIK uses for each record-layer index page (§IV-A1). A table holds
+// exactly R records of the form {key signature, physical page address,
+// hopinfo}; R is chosen so the serialized table fills one flash page
+// (Eq. 1). Collisions are resolved by hopscotch displacement within a hop
+// range of H slots (32 by default). When no slot can be freed within the
+// hop range the insert fails with ErrNoSlot — the paper's "uncorrectable
+// error" whose rate Fig. 8 studies.
+package hopscotch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hash"
+)
+
+// SlotSize is the serialized size of one record in the default 64-bit
+// signature mode: an 8-byte key signature, a 5-byte physical page address,
+// and a 4-byte hopinfo bitmap — the kh + ppa + hi of Eq. 1. Wide (128-bit
+// signature) tables use SlotSizeWide.
+const SlotSize = 8 + 5 + 4
+
+// SlotSizeWide is the serialized slot size with 128-bit key signatures,
+// the paper's proposed higher-resolution alternative (§IV-A3).
+const SlotSizeWide = 16 + 5 + 4
+
+// MaxHopRange is the widest supported hop range; the hopinfo bitmap is 32
+// bits, one per slot in the neighborhood.
+const MaxHopRange = 32
+
+// emptyPPA marks an unoccupied slot on flash. Physical page addresses are
+// 40-bit and the emulated devices stay far below 2^40-1 pages.
+const emptyPPA = 1<<40 - 1
+
+// ErrNoSlot is returned by Put when hopscotch displacement cannot free a
+// slot within the hop range of the key's home bucket. The caller (RHIK)
+// surfaces this as an index collision abort.
+var ErrNoSlot = errors.New("hopscotch: no free slot within hop range")
+
+// Table is a fixed-capacity hopscotch hash table mapping 64-bit key
+// signatures to physical page addresses. It is not safe for concurrent
+// use; RHIK serializes access in the firmware model.
+type Table struct {
+	sigs []uint64
+	his  []uint64 // upper signature halves; nil in 64-bit mode
+	ppas []uint64
+	hops []uint32
+	used []bool
+	n    int
+	hop  int
+}
+
+// New returns an empty 64-bit-signature table with the given slot
+// capacity and hop range. Hop ranges larger than MaxHopRange or the
+// capacity are clamped.
+func New(capacity, hopRange int) *Table {
+	return newTable(capacity, hopRange, false)
+}
+
+// NewWide returns an empty table storing 128-bit key signatures. Its
+// slots are larger (SlotSizeWide), so a page-sized table holds fewer
+// records — the capacity/false-positive trade-off Eq. 1 exposes.
+func NewWide(capacity, hopRange int) *Table {
+	return newTable(capacity, hopRange, true)
+}
+
+func newTable(capacity, hopRange int, wide bool) *Table {
+	if capacity < 1 {
+		panic(fmt.Sprintf("hopscotch: capacity %d < 1", capacity))
+	}
+	if hopRange < 1 {
+		hopRange = 1
+	}
+	if hopRange > MaxHopRange {
+		hopRange = MaxHopRange
+	}
+	if hopRange > capacity {
+		hopRange = capacity
+	}
+	t := &Table{
+		sigs: make([]uint64, capacity),
+		ppas: make([]uint64, capacity),
+		hops: make([]uint32, capacity),
+		used: make([]bool, capacity),
+		hop:  hopRange,
+	}
+	if wide {
+		t.his = make([]uint64, capacity)
+	}
+	return t
+}
+
+// Wide reports whether the table stores 128-bit signatures.
+func (t *Table) Wide() bool { return t.his != nil }
+
+// SlotSizeOf reports the serialized slot size of this table.
+func (t *Table) SlotSizeOf() int {
+	if t.Wide() {
+		return SlotSizeWide
+	}
+	return SlotSize
+}
+
+// Len reports the number of stored records.
+func (t *Table) Len() int { return t.n }
+
+// Cap reports the slot capacity R.
+func (t *Table) Cap() int { return len(t.sigs) }
+
+// HopRange reports the hop range H.
+func (t *Table) HopRange() int { return t.hop }
+
+// Occupancy reports Len/Cap in [0,1].
+func (t *Table) Occupancy() float64 { return float64(t.n) / float64(len(t.sigs)) }
+
+func (t *Table) home(sig uint64) int {
+	// The record layer's "fixed hash function": a full 64-bit remix so the
+	// in-table position is independent of the directory's low-bit
+	// selection of the table itself.
+	return int(hash.Mix64(sig) % uint64(len(t.sigs)))
+}
+
+func (t *Table) dist(from, to int) int {
+	d := to - from
+	if d < 0 {
+		d += len(t.sigs)
+	}
+	return d
+}
+
+func (t *Table) hiOf(slot int) uint64 {
+	if t.his == nil {
+		return 0
+	}
+	return t.his[slot]
+}
+
+func (t *Table) match(slot int, lo, hi uint64) bool {
+	return t.used[slot] && t.sigs[slot] == lo && t.hiOf(slot) == hi
+}
+
+// Get returns the physical page address stored for sig.
+func (t *Table) Get(sig uint64) (ppa uint64, ok bool) { return t.GetWide(sig, 0) }
+
+// GetWide looks up a record by its full (lo, hi) signature. In 64-bit
+// tables hi must be 0.
+func (t *Table) GetWide(lo, hi uint64) (ppa uint64, ok bool) {
+	home := t.home(lo)
+	for hop := t.hops[home]; hop != 0; hop &= hop - 1 {
+		i := bits.TrailingZeros32(hop)
+		slot := (home + i) % len(t.sigs)
+		if t.match(slot, lo, hi) {
+			return t.ppas[slot], true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates the record for sig. It reports whether an
+// existing record was replaced. ErrNoSlot means the neighborhood is
+// saturated and the operation must be aborted.
+func (t *Table) Put(sig, ppa uint64) (replaced bool, err error) {
+	return t.PutWide(sig, 0, ppa)
+}
+
+// PutWide inserts or updates a record keyed by its full (lo, hi)
+// signature.
+func (t *Table) PutWide(lo, hi, ppa uint64) (replaced bool, err error) {
+	home := t.home(lo)
+	for hop := t.hops[home]; hop != 0; hop &= hop - 1 {
+		i := bits.TrailingZeros32(hop)
+		slot := (home + i) % len(t.sigs)
+		if t.match(slot, lo, hi) {
+			t.ppas[slot] = ppa
+			return true, nil
+		}
+	}
+	if t.n == len(t.sigs) {
+		return false, ErrNoSlot
+	}
+
+	// Linear-probe for the nearest free slot.
+	free := -1
+	for d := 0; d < len(t.sigs); d++ {
+		slot := (home + d) % len(t.sigs)
+		if !t.used[slot] {
+			free = slot
+			break
+		}
+	}
+	if free < 0 {
+		return false, ErrNoSlot
+	}
+
+	// Hop the free slot backward until it is within range of home.
+	for t.dist(home, free) >= t.hop {
+		moved := false
+		for j := t.hop - 1; j >= 1; j-- {
+			cand := (free - j + len(t.sigs)) % len(t.sigs)
+			if !t.used[cand] {
+				continue
+			}
+			candHome := t.home(t.sigs[cand])
+			if t.dist(candHome, free) >= t.hop {
+				continue
+			}
+			// Move the candidate record into the free slot.
+			t.sigs[free] = t.sigs[cand]
+			if t.his != nil {
+				t.his[free] = t.his[cand]
+			}
+			t.ppas[free] = t.ppas[cand]
+			t.used[free] = true
+			t.used[cand] = false
+			t.hops[candHome] &^= 1 << uint(t.dist(candHome, cand))
+			t.hops[candHome] |= 1 << uint(t.dist(candHome, free))
+			free = cand
+			moved = true
+			break
+		}
+		if !moved {
+			return false, ErrNoSlot
+		}
+	}
+
+	t.sigs[free] = lo
+	if t.his != nil {
+		t.his[free] = hi
+	}
+	t.ppas[free] = ppa
+	t.used[free] = true
+	t.hops[home] |= 1 << uint(t.dist(home, free))
+	t.n++
+	return false, nil
+}
+
+// Delete removes the record for sig, returning its physical page address.
+func (t *Table) Delete(sig uint64) (ppa uint64, ok bool) { return t.DeleteWide(sig, 0) }
+
+// DeleteWide removes a record keyed by its full (lo, hi) signature.
+func (t *Table) DeleteWide(lo, hi uint64) (ppa uint64, ok bool) {
+	home := t.home(lo)
+	for hop := t.hops[home]; hop != 0; hop &= hop - 1 {
+		i := bits.TrailingZeros32(hop)
+		slot := (home + i) % len(t.sigs)
+		if t.match(slot, lo, hi) {
+			ppa = t.ppas[slot]
+			t.used[slot] = false
+			t.sigs[slot] = 0
+			if t.his != nil {
+				t.his[slot] = 0
+			}
+			t.ppas[slot] = 0
+			t.hops[home] &^= 1 << uint(i)
+			t.n--
+			return ppa, true
+		}
+	}
+	return 0, false
+}
+
+// Range calls f for every stored record until f returns false. Iteration
+// order is slot order, not insertion order.
+func (t *Table) Range(f func(sig, ppa uint64) bool) {
+	for i, u := range t.used {
+		if u && !f(t.sigs[i], t.ppas[i]) {
+			return
+		}
+	}
+}
+
+// RangeWide is Range with the full (lo, hi) signature exposed.
+func (t *Table) RangeWide(f func(lo, hi, ppa uint64) bool) {
+	for i, u := range t.used {
+		if u && !f(t.sigs[i], t.hiOf(i), t.ppas[i]) {
+			return
+		}
+	}
+}
+
+// Reset empties the table in place.
+func (t *Table) Reset() {
+	for i := range t.used {
+		t.used[i] = false
+		t.sigs[i] = 0
+		if t.his != nil {
+			t.his[i] = 0
+		}
+		t.ppas[i] = 0
+		t.hops[i] = 0
+	}
+	t.n = 0
+}
+
+// EncodedSize reports the number of bytes a 64-bit-signature table with
+// the given capacity occupies on flash.
+func EncodedSize(capacity int) int { return capacity * SlotSize }
+
+// EncodedSizeWide is EncodedSize for 128-bit-signature tables.
+func EncodedSizeWide(capacity int) int { return capacity * SlotSizeWide }
+
+// EncodedBytes reports the flash footprint of this table.
+func (t *Table) EncodedBytes() int { return len(t.sigs) * t.SlotSizeOf() }
+
+// EncodeTo serializes the table into buf, which must hold at least
+// t.EncodedBytes() bytes. The layout per slot is little-endian
+// {sig:8[+hi:8], ppa:5, hopinfo:4}; unoccupied slots carry the all-ones
+// PPA.
+func (t *Table) EncodeTo(buf []byte) {
+	need := t.EncodedBytes()
+	if len(buf) < need {
+		panic(fmt.Sprintf("hopscotch: encode buffer %d < %d", len(buf), need))
+	}
+	ss := t.SlotSizeOf()
+	for i := range t.sigs {
+		off := i * ss
+		ppa := uint64(emptyPPA)
+		var lo, hi uint64
+		if t.used[i] {
+			ppa = t.ppas[i]
+			lo = t.sigs[i]
+			hi = t.hiOf(i)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], lo)
+		off += 8
+		if t.his != nil {
+			binary.LittleEndian.PutUint64(buf[off:], hi)
+			off += 8
+		}
+		putUint40(buf[off:], ppa)
+		binary.LittleEndian.PutUint32(buf[off+5:], t.hops[i])
+	}
+}
+
+// DecodeFrom rebuilds the table state from a buffer produced by EncodeTo.
+// The buffer's capacity and signature width must match the table's.
+func (t *Table) DecodeFrom(buf []byte) error {
+	need := t.EncodedBytes()
+	if len(buf) < need {
+		return fmt.Errorf("hopscotch: decode buffer %d < %d", len(buf), need)
+	}
+	ss := t.SlotSizeOf()
+	t.n = 0
+	for i := range t.sigs {
+		off := i * ss
+		lo := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		var hi uint64
+		if t.his != nil {
+			hi = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		ppa := uint40(buf[off:])
+		t.hops[i] = binary.LittleEndian.Uint32(buf[off+5:])
+		if ppa == emptyPPA {
+			t.used[i] = false
+			t.sigs[i] = 0
+			if t.his != nil {
+				t.his[i] = 0
+			}
+			t.ppas[i] = 0
+			continue
+		}
+		t.used[i] = true
+		t.sigs[i] = lo
+		if t.his != nil {
+			t.his[i] = hi
+		}
+		t.ppas[i] = ppa
+		t.n++
+	}
+	return nil
+}
+
+func putUint40(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+}
+
+func uint40(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32
+}

@@ -1,0 +1,93 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// Sig is a key signature: the fixed-size identifier RHIK derives from a
+// variable-length key (§IV-A). Hi is zero in 64-bit mode and carries the
+// upper half in 128-bit mode.
+type Sig struct {
+	Lo, Hi uint64
+}
+
+// SigScheme configures how key signatures are computed.
+type SigScheme struct {
+	// Bits is the signature width: 64 (default, MurmurHash2) or 128
+	// (MurmurHash3, the paper's reduced-collision alternative).
+	Bits int
+	// Seed perturbs the hash; fixed per device instance.
+	Seed uint64
+	// PrefixLen, when non-zero, enables iterator-friendly signatures
+	// (§VI): the low 32 bits of Lo hash only the first PrefixLen bytes
+	// of the key, so all keys sharing that prefix select the same
+	// directory buckets and prefix iteration scans a bounded region.
+	PrefixLen int
+}
+
+// DefaultSigScheme is the paper's default: 64-bit MurmurHash2 signatures.
+var DefaultSigScheme = SigScheme{Bits: 64}
+
+// Validate reports a descriptive error for unsupported configurations.
+func (s SigScheme) Validate() error {
+	if s.Bits != 64 && s.Bits != 128 {
+		return fmt.Errorf("index: signature width %d not in {64, 128}", s.Bits)
+	}
+	if s.PrefixLen < 0 {
+		return fmt.Errorf("index: negative PrefixLen %d", s.PrefixLen)
+	}
+	if s.PrefixLen > 0 && s.Bits != 64 {
+		return fmt.Errorf("index: iterator-mode signatures require 64-bit width")
+	}
+	return nil
+}
+
+// Wide reports whether signatures carry 128 bits.
+func (s SigScheme) Wide() bool { return s.Bits == 128 }
+
+// Compute derives the signature of key.
+func (s SigScheme) Compute(key []byte) Sig {
+	if s.PrefixLen > 0 {
+		return s.computePrefixed(key)
+	}
+	if s.Wide() {
+		lo, hi := hash.Murmur3_128(key, s.Seed)
+		return Sig{Lo: lo, Hi: hi}
+	}
+	return Sig{Lo: hash.Murmur2_64(key, s.Seed)}
+}
+
+// computePrefixed builds an iterator-friendly 64-bit signature: the low
+// 32 bits depend only on the key's prefix (so the directory layer groups
+// prefix-sharing keys together), the high 32 bits hash the remainder.
+func (s SigScheme) computePrefixed(key []byte) Sig {
+	p := s.PrefixLen
+	if p > len(key) {
+		p = len(key)
+	}
+	prefixHash := uint32(hash.Murmur2_64(key[:p], s.Seed))
+	suffixHash := uint32(hash.Murmur2_64(key[p:], s.Seed^0x9e3779b97f4a7c15))
+	return Sig{Lo: uint64(suffixHash)<<32 | uint64(prefixHash)}
+}
+
+// PrefixBucketBits reports how many low signature bits are determined
+// purely by the key prefix in iterator mode (0 when disabled). A
+// directory of up to 2^32 entries can therefore be filtered by prefix.
+func (s SigScheme) PrefixBucketBits() int {
+	if s.PrefixLen == 0 {
+		return 0
+	}
+	return 32
+}
+
+// PrefixLow returns the signature low bits shared by every key with the
+// given prefix (meaningful only in iterator mode).
+func (s SigScheme) PrefixLow(prefix []byte) uint32 {
+	p := s.PrefixLen
+	if p > len(prefix) {
+		p = len(prefix)
+	}
+	return uint32(hash.Murmur2_64(prefix[:p], s.Seed))
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSchemeValid(t *testing.T) {
+	if err := DefaultSigScheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSigScheme.Compute([]byte("hello"))
+	if s.Hi != 0 {
+		t.Fatalf("64-bit scheme produced Hi = %#x", s.Hi)
+	}
+	if s.Lo == 0 {
+		t.Fatal("suspicious zero signature for non-empty key")
+	}
+}
+
+func TestWideScheme(t *testing.T) {
+	sc := SigScheme{Bits: 128}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Wide() {
+		t.Fatal("128-bit scheme not Wide")
+	}
+	s := sc.Compute([]byte("hello"))
+	if s.Hi == 0 && s.Lo == 0 {
+		t.Fatal("zero wide signature")
+	}
+	// 64-bit and 128-bit schemes must use different hash functions.
+	if s.Lo == DefaultSigScheme.Compute([]byte("hello")).Lo {
+		t.Fatal("wide scheme reused narrow hash")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, sc := range []SigScheme{
+		{Bits: 32},
+		{Bits: 64, PrefixLen: -1},
+		{Bits: 128, PrefixLen: 4},
+	} {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("accepted %+v", sc)
+		}
+	}
+}
+
+func TestSeedChangesSignature(t *testing.T) {
+	a := SigScheme{Bits: 64, Seed: 1}.Compute([]byte("k"))
+	b := SigScheme{Bits: 64, Seed: 2}.Compute([]byte("k"))
+	if a == b {
+		t.Fatal("seed did not perturb signature")
+	}
+}
+
+func TestPrefixedSchemeGroupsPrefixes(t *testing.T) {
+	sc := SigScheme{Bits: 64, PrefixLen: 4}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := sc.Compute([]byte("userXalpha"))
+	b := sc.Compute([]byte("userXbeta"))
+	// Same 4-byte prefix "user": identical low 32 bits.
+	if uint32(a.Lo) != uint32(b.Lo) {
+		t.Fatalf("prefix-sharing keys differ in low bits: %#x vs %#x", a.Lo, b.Lo)
+	}
+	if a.Lo == b.Lo {
+		t.Fatal("different suffixes produced identical signatures")
+	}
+	if uint32(a.Lo) != sc.PrefixLow([]byte("user")) {
+		t.Fatal("PrefixLow disagrees with Compute")
+	}
+	c := sc.Compute([]byte("postXalpha"))
+	if uint32(c.Lo) == uint32(a.Lo) {
+		t.Fatal("different prefixes share low bits (unlucky but suspicious)")
+	}
+}
+
+func TestPrefixedSchemeShortKeys(t *testing.T) {
+	sc := SigScheme{Bits: 64, PrefixLen: 8}
+	// Keys shorter than the prefix must still hash deterministically.
+	a := sc.Compute([]byte("ab"))
+	b := sc.Compute([]byte("ab"))
+	if a != b {
+		t.Fatal("non-deterministic short-key signature")
+	}
+	if sc.PrefixBucketBits() != 32 {
+		t.Fatalf("PrefixBucketBits = %d", sc.PrefixBucketBits())
+	}
+	if DefaultSigScheme.PrefixBucketBits() != 0 {
+		t.Fatal("default scheme claims prefix bits")
+	}
+}
+
+func TestComputeDeterministicProperty(t *testing.T) {
+	schemes := []SigScheme{
+		{Bits: 64},
+		{Bits: 128},
+		{Bits: 64, PrefixLen: 4},
+	}
+	f := func(key []byte) bool {
+		for _, sc := range schemes {
+			if sc.Compute(key) != sc.Compute(append([]byte(nil), key...)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

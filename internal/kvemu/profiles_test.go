@@ -1,0 +1,62 @@
+package kvemu
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestProfilesBuildOpenableDevices(t *testing.T) {
+	for _, p := range Profiles() {
+		cfg, err := Config(p, 64<<20, 100_000)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		d, err := device.Open(cfg)
+		if err != nil {
+			t.Fatalf("%s: open: %v", p, err)
+		}
+		if _, err := d.Store(0, []byte("key-000000000001"), make([]byte, 100)); err != nil {
+			t.Fatalf("%s: store: %v", p, err)
+		}
+		if _, _, err := d.Retrieve(d.Now(), []byte("key-000000000001")); err != nil {
+			t.Fatalf("%s: retrieve: %v", p, err)
+		}
+	}
+}
+
+func TestProfileIndexKinds(t *testing.T) {
+	rh, _ := Config(ProfileRHIK, 1<<20, 0)
+	if rh.Index != device.IndexRHIK {
+		t.Fatal("rhik profile wrong index")
+	}
+	for _, p := range []string{ProfileKVEMU, ProfileKVSSD} {
+		c, _ := Config(p, 1<<20, 0)
+		if c.Index != device.IndexMultiLevel {
+			t.Fatalf("%s profile wrong index", p)
+		}
+	}
+}
+
+func TestKVSSDProfileIsSlowerPerCommand(t *testing.T) {
+	emu, _ := Config(ProfileKVEMU, 1<<20, 0)
+	real, _ := Config(ProfileKVSSD, 1<<20, 0)
+	if real.CmdCPU <= emu.CmdCPU {
+		t.Fatal("real-device stand-in should cost more per command")
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if _, err := Config("nope", 1<<20, 0); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestLevelZeroScales(t *testing.T) {
+	if levelZeroFor(0) < 2 {
+		t.Fatal("default too small")
+	}
+	if levelZeroFor(100_000_000) <= levelZeroFor(1_000_000) {
+		t.Fatal("level0 does not scale with keys")
+	}
+}

@@ -1,0 +1,368 @@
+package layout
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRPRoundTrip(t *testing.T) {
+	r := MakeRP(123456, 789)
+	if r.Page() != 123456 || r.Slot() != 789 {
+		t.Fatalf("RP round trip: page=%d slot=%d", r.Page(), r.Slot())
+	}
+}
+
+func TestRPRoundTripProperty(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		s := int(slot) % MaxSlots
+		r := MakeRP(uint64(page), s)
+		return r.Page() == uint64(page) && r.Slot() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPBadSlotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeRP accepted out-of-range slot")
+		}
+	}()
+	MakeRP(1, MaxSlots)
+}
+
+func TestRPFitsFiveBytes(t *testing.T) {
+	// A 2 GiB device with 32 KiB pages has 65536 pages; the RP must stay
+	// within the index's 40-bit address field.
+	r := MakeRP(65536, MaxSlots-1)
+	if uint64(r) >= 1<<40 {
+		t.Fatalf("RP %#x exceeds 40 bits", uint64(r))
+	}
+}
+
+func TestPageBuilderSinglePair(t *testing.T) {
+	b := NewPageBuilder(4096)
+	p := Pair{Sig: 42, Key: []byte("key"), Value: []byte("value"), Seq: 7}
+	slot, ok := b.Add(p)
+	if !ok || slot != 0 {
+		t.Fatalf("Add = (%d,%v)", slot, ok)
+	}
+	page := b.Bytes()
+	infos, err := DecodeSigArea(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Sig != 42 || infos[0].Offset != 0 {
+		t.Fatalf("infos = %+v", infos)
+	}
+	hdr, key, val, err := DecodePairAt(page, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seq != 7 || hdr.Tombstone() {
+		t.Fatalf("hdr = %+v", hdr)
+	}
+	if !bytes.Equal(key, p.Key) || !bytes.Equal(val, p.Value) {
+		t.Fatal("key/value mismatch")
+	}
+}
+
+func TestPageBuilderPacksManyPairs(t *testing.T) {
+	const pageSize = 32 * 1024
+	b := NewPageBuilder(pageSize)
+	var added []Pair
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; ; i++ {
+		p := Pair{
+			Sig:   rng.Uint64(),
+			Key:   []byte{byte(i), byte(i >> 8), 'k'},
+			Value: bytes.Repeat([]byte{byte(i)}, rng.Intn(100)),
+			Seq:   uint64(i),
+		}
+		slot, ok := b.Add(p)
+		if !ok {
+			break
+		}
+		if slot != len(added) {
+			t.Fatalf("slot %d, want %d", slot, len(added))
+		}
+		added = append(added, p)
+	}
+	if len(added) < 100 {
+		t.Fatalf("only packed %d pairs into a 32K page", len(added))
+	}
+	page := b.Bytes()
+	if len(page) > pageSize {
+		t.Fatalf("page image %d > %d", len(page), pageSize)
+	}
+	infos, err := DecodeSigArea(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(added) {
+		t.Fatalf("decoded %d infos, want %d", len(infos), len(added))
+	}
+	for i, p := range added {
+		if infos[i].Sig != p.Sig {
+			t.Fatalf("pair %d sig mismatch", i)
+		}
+		hdr, key, val, err := DecodePairAt(page, int(infos[i].Offset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Seq != p.Seq || !bytes.Equal(key, p.Key) || !bytes.Equal(val, p.Value) {
+			t.Fatalf("pair %d body mismatch", i)
+		}
+	}
+}
+
+func TestPageBuilderRejectsWhenFull(t *testing.T) {
+	b := NewPageBuilder(128)
+	big := Pair{Key: []byte("k"), Value: bytes.Repeat([]byte{1}, 200)}
+	if _, ok := b.Add(big); ok {
+		t.Fatal("Add accepted oversized pair")
+	}
+	small := Pair{Key: []byte("k"), Value: []byte("v")}
+	if _, ok := b.Add(small); !ok {
+		t.Fatal("Add rejected fitting pair")
+	}
+}
+
+func TestPageBuilderReset(t *testing.T) {
+	b := NewPageBuilder(512)
+	b.Add(Pair{Key: []byte("a"), Value: []byte("1")})
+	b.Reset()
+	if b.Count() != 0 || b.DataLen() != 0 || !b.Empty() {
+		t.Fatal("Reset left state")
+	}
+	slot, ok := b.Add(Pair{Key: []byte("b"), Value: []byte("2")})
+	if !ok || slot != 0 {
+		t.Fatalf("Add after Reset = (%d,%v)", slot, ok)
+	}
+}
+
+func TestTombstoneRoundTrip(t *testing.T) {
+	b := NewPageBuilder(512)
+	b.Add(Pair{Sig: 9, Key: []byte("dead"), Tombstone: true, Seq: 3})
+	page := b.Bytes()
+	hdr, key, val, err := DecodePairAt(page, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Tombstone() || string(key) != "dead" || len(val) != 0 {
+		t.Fatalf("tombstone decode: hdr=%+v key=%q val=%q", hdr, key, val)
+	}
+}
+
+func TestPackDecodePropertyRoundTrip(t *testing.T) {
+	f := func(raw [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewPageBuilder(2048)
+		var pairs []Pair
+		for i, v := range raw {
+			if len(v) > 300 {
+				v = v[:300]
+			}
+			p := Pair{
+				Sig:   rng.Uint64(),
+				Key:   []byte{byte(i + 1)},
+				Value: v,
+				Seq:   uint64(i),
+			}
+			if _, ok := b.Add(p); ok {
+				pairs = append(pairs, p)
+			}
+		}
+		page := b.Bytes()
+		infos, err := DecodeSigArea(page)
+		if err != nil || len(infos) != len(pairs) {
+			return false
+		}
+		for i, p := range pairs {
+			hdr, key, val, err := DecodePairAt(page, int(infos[i].Offset))
+			if err != nil || hdr.Seq != p.Seq {
+				return false
+			}
+			if !bytes.Equal(key, p.Key) || !bytes.Equal(val, p.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSigAreaCorrupt(t *testing.T) {
+	if _, err := DecodeSigArea([]byte{1}); err == nil {
+		t.Fatal("accepted page shorter than count")
+	}
+	// Count claims more entries than the page holds.
+	page := []byte{0, 0, 0, 0xff, 0xff}
+	if _, err := DecodeSigArea(page); err == nil {
+		t.Fatal("accepted absurd count")
+	}
+}
+
+func TestDecodePairAtCorrupt(t *testing.T) {
+	if _, _, _, err := DecodePairAt([]byte{1, 2}, 0); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, _, _, err := DecodePairAt(make([]byte, 64), -1); err == nil {
+		t.Fatal("accepted negative offset")
+	}
+	// Header claims a key longer than the page.
+	b := NewPageBuilder(128)
+	b.Add(Pair{Key: []byte("k"), Value: []byte("v")})
+	page := b.Bytes()
+	page[1] = 0xff // key length low byte
+	page[2] = 0xff
+	if _, _, _, err := DecodePairAt(page, 0); err == nil {
+		t.Fatal("accepted key overrun")
+	}
+}
+
+func TestExtentRoundTrip(t *testing.T) {
+	const pageSize = 4096
+	val := make([]byte, 3*pageSize+500)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(val)
+	p := Pair{Sig: 77, Key: []byte("bigkey"), Value: val, Seq: 11}
+
+	head, conts, err := BuildExtent(pageSize, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) > pageSize {
+		t.Fatalf("head %d > page", len(head))
+	}
+	wantPages := ExtentPages(pageSize, len(p.Key), len(val))
+	if 1+len(conts) != wantPages {
+		t.Fatalf("extent spans %d pages, ExtentPages says %d", 1+len(conts), wantPages)
+	}
+	for i, c := range conts {
+		if len(c) > pageSize {
+			t.Fatalf("continuation %d is %d bytes", i, len(c))
+		}
+	}
+
+	infos, err := DecodeSigArea(head)
+	if err != nil || len(infos) != 1 || infos[0].Sig != 77 {
+		t.Fatalf("head sig area: %v %v", infos, err)
+	}
+	hdr, key, inline, err := DecodePairAt(head, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.ValueLen != len(val) || !bytes.Equal(key, p.Key) {
+		t.Fatalf("head decode: len=%d key=%q", hdr.ValueLen, key)
+	}
+	reassembled := append([]byte(nil), inline...)
+	for _, c := range conts {
+		reassembled = append(reassembled, c...)
+	}
+	if !bytes.Equal(reassembled, val) {
+		t.Fatal("extent reassembly mismatch")
+	}
+}
+
+func TestExtentRejectsSmallPair(t *testing.T) {
+	if _, _, err := BuildExtent(4096, Pair{Key: []byte("k"), Value: []byte("v")}); err == nil {
+		t.Fatal("BuildExtent accepted a pair that fits in one page")
+	}
+}
+
+func TestExtentPagesSinglePage(t *testing.T) {
+	if n := ExtentPages(4096, 16, 100); n != 1 {
+		t.Fatalf("ExtentPages small = %d", n)
+	}
+	if n := ExtentPages(4096, 16, 4096); n != 2 {
+		t.Fatalf("ExtentPages 1-page value = %d", n)
+	}
+}
+
+func TestExtentRoundTripProperty(t *testing.T) {
+	f := func(valLen uint16, keyLen uint8, seed int64) bool {
+		const pageSize = 1024
+		kl := int(keyLen)%32 + 1
+		vl := int(valLen)%8000 + pageSize // always extent-sized
+		rng := rand.New(rand.NewSource(seed))
+		p := Pair{
+			Sig:   rng.Uint64(),
+			Key:   make([]byte, kl),
+			Value: make([]byte, vl),
+		}
+		rng.Read(p.Key)
+		rng.Read(p.Value)
+		head, conts, err := BuildExtent(pageSize, p)
+		if err != nil {
+			return false
+		}
+		if 1+len(conts) != ExtentPages(pageSize, kl, vl) {
+			return false
+		}
+		_, key, inline, err := DecodePairAt(head, 0)
+		if err != nil || !bytes.Equal(key, p.Key) {
+			return false
+		}
+		got := append([]byte(nil), inline...)
+		for _, c := range conts {
+			got = append(got, c...)
+		}
+		return bytes.Equal(got, p.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpareRoundTrip(t *testing.T) {
+	owner := MakeRP(99999, 5)
+	spare := EncodeSpare(KindContinuation, owner, 3)
+	if len(spare) != SpareSizeUsed {
+		t.Fatalf("spare len = %d", len(spare))
+	}
+	kind, got, seg, err := DecodeSpare(spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindContinuation || got != owner || seg != 3 {
+		t.Fatalf("DecodeSpare = (%v,%v,%d)", kind, got, seg)
+	}
+}
+
+func TestSpareRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, page uint32, slot uint16, seg uint16) bool {
+		k := PageKind(kind%4 + 1)
+		// Spare encoding carries 40-bit RPs: pages are bounded by 2^29.
+		owner := MakeRP(uint64(page)%(1<<29), int(slot)%MaxSlots)
+		gk, go_, gs, err := DecodeSpare(EncodeSpare(k, owner, int(seg)))
+		return err == nil && gk == k && go_ == owner && gs == int(seg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSpareShort(t *testing.T) {
+	if _, _, _, err := DecodeSpare([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short spare")
+	}
+}
+
+func BenchmarkPageBuilderPack(b *testing.B) {
+	val := make([]byte, 100)
+	key := []byte("key-0000000000000")
+	pb := NewPageBuilder(32 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pb.Add(Pair{Sig: uint64(i), Key: key, Value: val}); !ok {
+			pb.Bytes()
+			pb.Reset()
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package lsmindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// memEnv mirrors the in-memory environment of the other index tests.
+type memEnv struct {
+	clock       sim.Clock
+	pages       map[nand.PPA][]byte
+	next        nand.PPA
+	reads       int64
+	invalidated map[nand.PPA]bool
+}
+
+func newMemEnv() *memEnv {
+	return &memEnv{pages: make(map[nand.PPA][]byte), invalidated: make(map[nand.PPA]bool)}
+}
+
+func (e *memEnv) ReadPage(p nand.PPA) ([]byte, error) {
+	data, ok := e.pages[p]
+	if !ok {
+		return nil, fmt.Errorf("memEnv: page %d absent", p)
+	}
+	e.reads++
+	e.clock.Advance(60 * sim.Microsecond)
+	return data, nil
+}
+
+func (e *memEnv) AppendPage(data []byte) (nand.PPA, error) {
+	p := e.next
+	e.next++
+	e.pages[p] = append([]byte(nil), data...)
+	e.clock.Advance(700 * sim.Microsecond)
+	return p, nil
+}
+
+func (e *memEnv) Invalidate(p nand.PPA) {
+	e.invalidated[p] = true
+	delete(e.pages, p)
+}
+
+func (e *memEnv) ChargeCPU(d sim.Duration) { e.clock.Advance(d) }
+func (e *memEnv) MetaReads() int64         { return e.reads }
+func (e *memEnv) Now() sim.Time            { return e.clock.Now() }
+
+func sig64(lo uint64) index.Sig { return index.Sig{Lo: lo} }
+
+func newTestLSM(t *testing.T, cfg Config) (*Index, *memEnv) {
+	t.Helper()
+	env := newMemEnv()
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 1024
+	}
+	ix, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, env
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{PageSize: 4}, newMemEnv()); err == nil {
+		t.Fatal("accepted tiny page")
+	}
+	if _, err := New(Config{PageSize: 1024, MaxRuns: -1}, newMemEnv()); err == nil {
+		t.Fatal("accepted negative MaxRuns")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	ix, _ := newTestLSM(t, Config{})
+	if _, rep, err := ix.Insert(sig64(1), 10); err != nil || rep {
+		t.Fatalf("insert = (%v,%v)", rep, err)
+	}
+	rp, ok, err := ix.Lookup(sig64(1))
+	if err != nil || !ok || rp != 10 {
+		t.Fatalf("lookup = (%d,%v,%v)", rp, ok, err)
+	}
+	old, rep, err := ix.Insert(sig64(1), 20)
+	if err != nil || !rep || old != 10 {
+		t.Fatalf("update = (%d,%v,%v)", old, rep, err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	rp, ok, err = ix.Delete(sig64(1))
+	if err != nil || !ok || rp != 20 {
+		t.Fatalf("delete = (%d,%v,%v)", rp, ok, err)
+	}
+	if _, ok, _ := ix.Lookup(sig64(1)); ok {
+		t.Fatal("deleted key found")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestFlushAndColdLookup(t *testing.T) {
+	ix, _ := newTestLSM(t, Config{MemtableRecords: 64})
+	rng := rand.New(rand.NewSource(1))
+	want := map[uint64]uint64{}
+	for i := 0; i < 500; i++ {
+		lo := rng.Uint64()
+		rp := uint64(i + 1)
+		if _, _, err := ix.Insert(sig64(lo), rp); err != nil {
+			t.Fatal(err)
+		}
+		want[lo] = rp
+	}
+	if ix.Runs() == 0 {
+		t.Fatal("no runs flushed")
+	}
+	for lo, rp := range want {
+		got, ok, err := ix.Lookup(sig64(lo))
+		if err != nil || !ok || got != rp {
+			t.Fatalf("Lookup(%#x) = (%d,%v,%v), want %d", lo, got, ok, err, rp)
+		}
+	}
+}
+
+func TestCompactionBoundsRuns(t *testing.T) {
+	ix, env := newTestLSM(t, Config{MemtableRecords: 32, MaxRuns: 3})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if _, _, err := ix.Insert(sig64(rng.Uint64()), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Runs() > 3 {
+		t.Fatalf("runs = %d, want <= 3", ix.Runs())
+	}
+	if ix.Compactions() == 0 {
+		t.Fatal("no compactions")
+	}
+	if len(env.invalidated) == 0 {
+		t.Fatal("compaction did not invalidate superseded pages")
+	}
+}
+
+func TestTombstonesSurviveFlushUntilCompaction(t *testing.T) {
+	ix, _ := newTestLSM(t, Config{MemtableRecords: 16, MaxRuns: 8})
+	// Insert, flush, delete, flush: the tombstone lives in a newer run
+	// and must shadow the older record.
+	for i := uint64(0); i < 16; i++ {
+		ix.Insert(sig64(i), i+1)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ix.Delete(sig64(5)); !ok {
+		t.Fatal("delete failed")
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ix.Lookup(sig64(5)); ok {
+		t.Fatal("tombstone did not shadow older record")
+	}
+	// Compaction drops both.
+	if err := ix.compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ix.Lookup(sig64(5)); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+	if rp, ok, _ := ix.Lookup(sig64(6)); !ok || rp != 7 {
+		t.Fatalf("live key lost by compaction: (%d,%v)", rp, ok)
+	}
+}
+
+func TestLookupCostGrowsWithRuns(t *testing.T) {
+	// The paper's criticism: without knowing which run holds a record, a
+	// lookup may read a page per run.
+	ix, env := newTestLSM(t, Config{MemtableRecords: 32, MaxRuns: 8, CacheBudget: 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		ix.Insert(sig64(rng.Uint64()), 1)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Runs() < 3 {
+		t.Fatalf("runs = %d, want >= 3", ix.Runs())
+	}
+	before := env.MetaReads()
+	ix.Lookup(sig64(1 << 63)) // absent mid-range key: probes every run
+	reads := env.MetaReads() - before
+	if reads < 2 {
+		t.Fatalf("absent-key lookup read %d pages, want >= 2 across runs", reads)
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	ix, env := newTestLSM(t, Config{MemtableRecords: 32})
+	rng := rand.New(rand.NewSource(4))
+	want := map[uint64]uint64{}
+	for i := 0; i < 100; i++ {
+		lo := rng.Uint64()
+		ix.Insert(sig64(lo), uint64(i+1))
+		want[lo] = uint64(i + 1)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var victim nand.PPA
+	var unit uint64
+	found := false
+	for p := range env.pages {
+		if u, live := ix.Owner(p); live {
+			victim, unit, found = p, u, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no live pages")
+	}
+	if err := ix.Relocate(unit); err != nil {
+		t.Fatal(err)
+	}
+	if !env.invalidated[victim] {
+		t.Fatal("old page not invalidated")
+	}
+	for lo, rp := range want {
+		got, ok, err := ix.Lookup(sig64(lo))
+		if err != nil || !ok || got != rp {
+			t.Fatalf("record lost after relocation: (%d,%v,%v)", got, ok, err)
+		}
+	}
+}
+
+func TestOracleProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		ix, _ := newTestLSM(t, Config{MemtableRecords: 16, MaxRuns: 3, CacheBudget: 2048})
+		rng := rand.New(rand.NewSource(seed))
+		oracle := map[uint64]uint64{}
+		keys := []uint64{}
+		for _, k := range ops {
+			var lo uint64
+			if len(keys) > 0 && k%2 == 0 {
+				lo = keys[rng.Intn(len(keys))]
+			} else {
+				lo = rng.Uint64()
+			}
+			switch k % 3 {
+			case 0:
+				rp := rng.Uint64() % (1 << 39)
+				if _, _, err := ix.Insert(sig64(lo), rp); err != nil {
+					return false
+				}
+				if _, dup := oracle[lo]; !dup {
+					keys = append(keys, lo)
+				}
+				oracle[lo] = rp
+			case 1:
+				got, ok, err := ix.Lookup(sig64(lo))
+				want, exists := oracle[lo]
+				if err != nil || ok != exists || (ok && got != want) {
+					return false
+				}
+			case 2:
+				_, ok, err := ix.Delete(sig64(lo))
+				_, exists := oracle[lo]
+				if err != nil || ok != exists {
+					return false
+				}
+				delete(oracle, lo)
+			}
+		}
+		if ix.Len() != int64(len(oracle)) {
+			return false
+		}
+		for lo, want := range oracle {
+			got, ok, err := ix.Lookup(sig64(lo))
+			if err != nil || !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix, _ := newTestLSM(t, Config{MemtableRecords: 32})
+	for i := uint64(0); i < 100; i++ {
+		ix.Insert(sig64(i), i+1)
+	}
+	s := ix.IndexStats()
+	if s.Records != 100 {
+		t.Fatalf("records = %d", s.Records)
+	}
+	if s.DRAMBytes <= 0 {
+		t.Fatal("no DRAM accounted")
+	}
+	if ix.Name() != "lsm" {
+		t.Fatal("wrong name")
+	}
+}

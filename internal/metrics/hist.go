@@ -1,0 +1,229 @@
+// Package metrics provides the measurement primitives shared by the
+// emulator and the experiment harness: log-linear histograms for latency
+// and flash-access distributions, counters, and x/y series for
+// bandwidth-over-utilization curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// histogram bucketing: values are grouped by their bit length (log2 major
+// bucket), and each major bucket is split into subBuckets linear
+// sub-buckets. Relative quantile error is bounded by 1/subBuckets.
+const subBuckets = 16
+
+// Histogram records non-negative int64 observations with bounded relative
+// error and answers count/mean/min/max/percentile queries. The zero value
+// is ready to use.
+type Histogram struct {
+	counts   map[int]uint64
+	total    uint64
+	sum      float64
+	min, max int64
+}
+
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v) // exact buckets for tiny values
+	}
+	// Major bucket by bit length, linear sub-bucket within it.
+	bl := bits.Len64(uint64(v)) // >= 5 here
+	top := v >> uint(bl-5)      // 16..31: the 4 bits after the leading one
+	return (bl-4)*subBuckets + int(top-subBuckets)
+}
+
+// bucketLow returns the smallest value mapped to bucket b; bucketHigh the
+// largest. Together they bound the quantile estimate.
+func bucketLow(b int) int64 {
+	if b < subBuckets {
+		return int64(b)
+	}
+	major := b/subBuckets + 4 // bit length of values in this bucket
+	sub := b % subBuckets
+	return int64(subBuckets+sub) << uint(major-5)
+}
+
+func bucketHigh(b int) int64 {
+	if b < subBuckets {
+		return int64(b)
+	}
+	major := b/subBuckets + 4
+	sub := b % subBuckets
+	return (int64(subBuckets+sub+1) << uint(major-5)) - 1
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min = v
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest observation, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns an estimate of the p-th percentile (p in [0,100]).
+// The estimate is the midpoint of the bucket containing the rank, clamped
+// to [Min, Max], so exact for values < 16 and within ~6% above.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	// Walk buckets in ascending order.
+	maxB := bucketOf(h.max)
+	var cum uint64
+	for b := 0; b <= maxB; b++ {
+		c, ok := h.counts[b]
+		if !ok {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			mid := (bucketLow(b) + bucketHigh(b)) / 2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// CountAtMost reports how many observations fell in buckets entirely at or
+// below v. Exact for v < 16 (used for flash-reads-per-lookup CDFs).
+func (h *Histogram) CountAtMost(v int64) uint64 {
+	var cum uint64
+	maxB := bucketOf(v)
+	for b := 0; b <= maxB; b++ {
+		if bucketHigh(b) > v {
+			break
+		}
+		cum += h.counts[b]
+	}
+	return cum
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.counts = nil
+	h.total = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Summary renders a one-line digest: count, mean, p50/p90/p99, max.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max)
+}
+
+// Series is an ordered list of (x, y) points, used for curves such as
+// write bandwidth vs. space utilization (Fig. 2).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// MaxY reports the largest y value, or 0 if empty.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Normalized returns a copy with every y divided by the series maximum,
+// matching the paper's normalized-bandwidth axes.
+func (s *Series) Normalized() *Series {
+	out := &Series{Name: s.Name}
+	m := s.MaxY()
+	for i := range s.X {
+		y := 0.0
+		if m > 0 {
+			y = s.Y[i] / m
+		}
+		out.Add(s.X[i], y)
+	}
+	return out
+}
+
+// Table renders the series as aligned rows for terminal output.
+func (s *Series) Table(xLabel, yLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-16s\n", xLabel, yLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%-16.3f %-16.4f\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}

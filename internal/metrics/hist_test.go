@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram returned non-zero stats")
+	}
+	if h.Summary() != "empty" {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	// Flash-reads-per-lookup style data: small integers must be exact.
+	for _, v := range []int64{1, 1, 1, 2, 2, 3, 8, 0, 0, 1} {
+		h.Record(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Percentile(100); got != 8 {
+		t.Fatalf("p100 = %d, want 8", got)
+	}
+	if got := h.CountAtMost(1); got != 6 {
+		t.Fatalf("CountAtMost(1) = %d, want 6", got)
+	}
+	if got := h.CountAtMost(2); got != 8 {
+		t.Fatalf("CountAtMost(2) = %d, want 8", got)
+	}
+}
+
+func TestHistogramMeanMinMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative value not clamped to zero")
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, 50000)
+	for i := range vals {
+		vals[i] = int64(rng.ExpFloat64() * 100000) // latency-like distribution
+		h.Record(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := vals[int(p/100*float64(len(vals)))-1]
+		est := h.Percentile(p)
+		if exact == 0 {
+			continue
+		}
+		rel := float64(est-exact) / float64(exact)
+		if rel < -0.10 || rel > 0.10 {
+			t.Errorf("p%v: est %d vs exact %d (rel err %.3f)", p, est, exact, rel)
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestBucketBoundsConsistent(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		b := bucketOf(v)
+		return bucketLow(b) <= v && v <= bucketHigh(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 100000; v += 7 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestSeriesNormalized(t *testing.T) {
+	var s Series
+	s.Add(0, 100)
+	s.Add(1, 50)
+	s.Add(2, 200)
+	n := s.Normalized()
+	if n.Y[2] != 1.0 || n.Y[0] != 0.5 || n.Y[1] != 0.25 {
+		t.Fatalf("Normalized = %v", n.Y)
+	}
+	if s.MaxY() != 200 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestSeriesNormalizedEmptyAndZero(t *testing.T) {
+	var s Series
+	if s.Normalized().Len() != 0 {
+		t.Fatal("empty series normalized non-empty")
+	}
+	s.Add(0, 0)
+	if y := s.Normalized().Y[0]; y != 0 {
+		t.Fatalf("all-zero series normalized to %v", y)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	out := s.Table("x", "y")
+	if len(out) == 0 {
+		t.Fatal("empty table output")
+	}
+}

@@ -1,0 +1,314 @@
+package mlhash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// memEnv mirrors the in-memory environment used by the core tests.
+type memEnv struct {
+	clock       sim.Clock
+	pages       map[nand.PPA][]byte
+	next        nand.PPA
+	reads       int64
+	invalidated map[nand.PPA]bool
+}
+
+func newMemEnv() *memEnv {
+	return &memEnv{pages: make(map[nand.PPA][]byte), invalidated: make(map[nand.PPA]bool)}
+}
+
+func (e *memEnv) ReadPage(p nand.PPA) ([]byte, error) {
+	data, ok := e.pages[p]
+	if !ok {
+		return nil, fmt.Errorf("memEnv: page %d absent", p)
+	}
+	e.reads++
+	e.clock.Advance(60 * sim.Microsecond)
+	return data, nil
+}
+
+func (e *memEnv) AppendPage(data []byte) (nand.PPA, error) {
+	p := e.next
+	e.next++
+	e.pages[p] = append([]byte(nil), data...)
+	e.clock.Advance(700 * sim.Microsecond)
+	return p, nil
+}
+
+func (e *memEnv) Invalidate(p nand.PPA) {
+	e.invalidated[p] = true
+	delete(e.pages, p)
+}
+
+func (e *memEnv) ChargeCPU(d sim.Duration) { e.clock.Advance(d) }
+func (e *memEnv) MetaReads() int64         { return e.reads }
+func (e *memEnv) Now() sim.Time            { return e.clock.Now() }
+
+func sig64(lo uint64) index.Sig { return index.Sig{Lo: lo} }
+
+func newTestIndex(t *testing.T, cfg Config) (*Index, *memEnv) {
+	t.Helper()
+	env := newMemEnv()
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 1024
+	}
+	ix, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, env
+}
+
+func TestValidation(t *testing.T) {
+	env := newMemEnv()
+	if _, err := New(Config{PageSize: 4}, env); err == nil {
+		t.Fatal("accepted tiny page")
+	}
+	if _, err := New(Config{PageSize: 1024, Levels: 40}, env); err == nil {
+		t.Fatal("accepted absurd level count")
+	}
+	if _, err := New(Config{PageSize: 1024, Level0Pages: -1}, env); err == nil {
+		t.Fatal("accepted negative level0")
+	}
+}
+
+func TestInsertLookupDeleteUpdate(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{})
+	if _, rep, err := ix.Insert(sig64(10), 100); err != nil || rep {
+		t.Fatalf("Insert = (%v,%v)", rep, err)
+	}
+	rp, ok, err := ix.Lookup(sig64(10))
+	if err != nil || !ok || rp != 100 {
+		t.Fatalf("Lookup = (%d,%v,%v)", rp, ok, err)
+	}
+	old, rep, err := ix.Insert(sig64(10), 200)
+	if err != nil || !rep || old != 100 {
+		t.Fatalf("update = (%d,%v,%v)", old, rep, err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	rp, ok, err = ix.Delete(sig64(10))
+	if err != nil || !ok || rp != 200 {
+		t.Fatalf("Delete = (%d,%v,%v)", rp, ok, err)
+	}
+	if _, ok, _ := ix.Lookup(sig64(10)); ok {
+		t.Fatal("deleted record found")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestCascadeOverflowsToDeeperLevels(t *testing.T) {
+	// A tiny level 0 forces overflow into deeper levels long before the
+	// total capacity is reached.
+	ix, _ := newTestIndex(t, Config{PageSize: 256, Levels: 4, Level0Pages: 1})
+	rng := rand.New(rand.NewSource(1))
+	inserted := map[uint64]uint64{}
+	target := ix.MaxCapacity() / 2
+	for int64(len(inserted)) < target {
+		lo := rng.Uint64()
+		if _, _, err := ix.Insert(sig64(lo), uint64(len(inserted)+1)); err != nil {
+			if errors.Is(err, index.ErrCollision) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		inserted[lo] = uint64(len(inserted))
+	}
+	for lo := range inserted {
+		if _, ok, err := ix.Lookup(sig64(lo)); err != nil || !ok {
+			t.Fatalf("Lookup(%#x) = (%v,%v)", lo, ok, err)
+		}
+	}
+}
+
+func TestCollisionWhenCascadeFull(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{PageSize: 128, Levels: 2, Level0Pages: 1})
+	rng := rand.New(rand.NewSource(2))
+	var aborted bool
+	for i := 0; i < 2000 && !aborted; i++ {
+		_, _, err := ix.Insert(sig64(rng.Uint64()), 1)
+		if errors.Is(err, index.ErrCollision) {
+			aborted = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !aborted {
+		t.Fatal("full cascade never aborted")
+	}
+	if ix.IndexStats().Collisions == 0 {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestLookupCostsGrowWithDepth(t *testing.T) {
+	// With a cold cache, a missing key probes every level: L flash reads
+	// once all levels are populated. This is the behaviour RHIK's
+	// one-read guarantee eliminates (Fig. 5b).
+	ix, env := newTestIndex(t, Config{PageSize: 256, Levels: 4, Level0Pages: 1, CacheBudget: 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		ix.Insert(sig64(rng.Uint64()), 1)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := env.MetaReads()
+	ix.Lookup(sig64(0xdeadbeef)) // absent key
+	reads := env.MetaReads() - before
+	if reads < 2 {
+		t.Fatalf("absent-key lookup took %d flash reads, want >= 2 (multi-level probing)", reads)
+	}
+}
+
+func TestWritebackColdReload(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{PageSize: 512, CacheBudget: 1})
+	rng := rand.New(rand.NewSource(4))
+	inserted := map[uint64]uint64{}
+	for i := 0; len(inserted) < 200; i++ {
+		lo := rng.Uint64()
+		if _, _, err := ix.Insert(sig64(lo), uint64(i+1)); err == nil {
+			inserted[lo] = uint64(i + 1)
+		}
+	}
+	for lo, rp := range inserted {
+		got, ok, err := ix.Lookup(sig64(lo))
+		if err != nil || !ok || got != rp {
+			t.Fatalf("cold Lookup = (%d,%v,%v), want %d", got, ok, err, rp)
+		}
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	ix, env := newTestIndex(t, Config{PageSize: 512})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		ix.Insert(sig64(rng.Uint64()), 1)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var victim nand.PPA
+	var unit uint64
+	found := false
+	for p := range env.pages {
+		if u, live := ix.Owner(p); live {
+			victim, unit, found = p, u, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no live pages")
+	}
+	if err := ix.Relocate(unit); err != nil {
+		t.Fatal(err)
+	}
+	if !env.invalidated[victim] {
+		t.Fatal("old page not invalidated")
+	}
+	if _, live := ix.Owner(victim); live {
+		t.Fatal("old page still live")
+	}
+}
+
+func TestExist(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{})
+	ix.Insert(sig64(5), 50)
+	if ok, _ := ix.Exist(sig64(5)); !ok {
+		t.Fatal("Exist false negative")
+	}
+	if ok, _ := ix.Exist(sig64(6)); ok {
+		t.Fatal("Exist false positive for absent signature")
+	}
+}
+
+func TestOracleProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		ix, _ := newTestIndex(t, Config{PageSize: 512, Levels: 3, Level0Pages: 2, CacheBudget: 2048})
+		rng := rand.New(rand.NewSource(seed))
+		oracle := map[uint64]uint64{}
+		keys := []uint64{}
+		for _, k := range ops {
+			var lo uint64
+			if len(keys) > 0 && k%2 == 0 {
+				lo = keys[rng.Intn(len(keys))]
+			} else {
+				lo = rng.Uint64()
+			}
+			switch k % 3 {
+			case 0:
+				rp := rng.Uint64() % (1 << 39)
+				if _, _, err := ix.Insert(sig64(lo), rp); err == nil {
+					if _, dup := oracle[lo]; !dup {
+						keys = append(keys, lo)
+					}
+					oracle[lo] = rp
+				}
+			case 1:
+				got, ok, err := ix.Lookup(sig64(lo))
+				want, exists := oracle[lo]
+				if err != nil || ok != exists || (ok && got != want) {
+					return false
+				}
+			case 2:
+				_, ok, err := ix.Delete(sig64(lo))
+				_, exists := oracle[lo]
+				if err != nil || ok != exists {
+					return false
+				}
+				delete(oracle, lo)
+			}
+		}
+		if ix.Len() != int64(len(oracle)) {
+			return false
+		}
+		for lo, want := range oracle {
+			got, ok, err := ix.Lookup(sig64(lo))
+			if err != nil || !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityGrowsWithLevels(t *testing.T) {
+	ix, _ := newTestIndex(t, Config{PageSize: 1024, Levels: 3, Level0Pages: 2})
+	slots := int64(1024 / SlotSize)
+	if ix.Levels() != 1 || ix.Capacity() != 2*slots {
+		t.Fatalf("fresh index: levels=%d capacity=%d", ix.Levels(), ix.Capacity())
+	}
+	if want := slots * (2 + 4 + 8); ix.MaxCapacity() != want {
+		t.Fatalf("MaxCapacity = %d, want %d", ix.MaxCapacity(), want)
+	}
+	// Fill past level 0: deeper levels must materialize on demand.
+	rng := rand.New(rand.NewSource(8))
+	for ix.Len() < ix.MaxCapacity()/2 {
+		if _, _, err := ix.Insert(sig64(rng.Uint64()), 1); err != nil {
+			if errors.Is(err, index.ErrCollision) {
+				continue
+			}
+			t.Fatal(err)
+		}
+	}
+	if ix.Levels() < 2 {
+		t.Fatalf("levels did not grow: %d", ix.Levels())
+	}
+	if ix.Capacity() <= 2*slots {
+		t.Fatal("capacity did not grow with levels")
+	}
+}

@@ -1,0 +1,110 @@
+// Package nand models the NAND flash array underneath the emulated KVSSD:
+// channels, dies, erase blocks, and pages with separate data and spare
+// areas. Operations are scheduled on per-die and per-channel sim.Resources
+// so that read/program/erase latency, bus transfer time, and die-level
+// parallelism all shape the simulated timeline. Page contents are stored
+// lazily so sparsely-written devices cost little host memory.
+package nand
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the flash geometry and timing. The defaults mirror the
+// paper's emulator setup (erase blocks of 256 pages of 32 KB) with
+// TLC-class timing.
+type Config struct {
+	Channels      int // independent channel buses
+	DiesPerChan   int // dies (LUNs) per channel
+	BlocksPerDie  int // erase blocks per die
+	PagesPerBlock int // pages per erase block
+	PageSize      int // data area bytes per page
+	SpareSize     int // spare (out-of-band) bytes per page
+
+	ReadLatency    sim.Duration // array read (tR)
+	ProgramLatency sim.Duration // page program (tPROG)
+	EraseLatency   sim.Duration // block erase (tBERS)
+	ChannelMBps    int          // channel bus bandwidth, MB/s
+}
+
+// DefaultConfig returns the paper-style geometry sized to the requested
+// usable capacity in bytes (rounded up to whole dies). Timing reflects a
+// modern TLC device; the channel count provides the internal parallelism
+// async workloads exploit.
+func DefaultConfig(capacity int64) Config {
+	cfg := Config{
+		Channels:      8,
+		DiesPerChan:   2,
+		PagesPerBlock: 256,
+		PageSize:      32 * 1024,
+		SpareSize:     1024, // 1/32 of the data area, per the paper
+
+		ReadLatency:    60 * sim.Microsecond,
+		ProgramLatency: 700 * sim.Microsecond,
+		EraseLatency:   3500 * sim.Microsecond,
+		ChannelMBps:    800,
+	}
+	blockBytes := int64(cfg.PagesPerBlock) * int64(cfg.PageSize)
+	dieCount := int64(cfg.Channels * cfg.DiesPerChan)
+	perDie := (capacity + blockBytes*dieCount - 1) / (blockBytes * dieCount)
+	if perDie < 4 {
+		perDie = 4
+	}
+	cfg.BlocksPerDie = int(perDie)
+	return cfg
+}
+
+// Validate reports a descriptive error for nonsensical geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("nand: Channels %d < 1", c.Channels)
+	case c.DiesPerChan < 1:
+		return fmt.Errorf("nand: DiesPerChan %d < 1", c.DiesPerChan)
+	case c.BlocksPerDie < 1:
+		return fmt.Errorf("nand: BlocksPerDie %d < 1", c.BlocksPerDie)
+	case c.PagesPerBlock < 1:
+		return fmt.Errorf("nand: PagesPerBlock %d < 1", c.PagesPerBlock)
+	case c.PageSize < 64:
+		return fmt.Errorf("nand: PageSize %d < 64", c.PageSize)
+	case c.SpareSize < 0:
+		return fmt.Errorf("nand: SpareSize %d < 0", c.SpareSize)
+	case c.ChannelMBps < 1:
+		return fmt.Errorf("nand: ChannelMBps %d < 1", c.ChannelMBps)
+	case c.ReadLatency <= 0 || c.ProgramLatency <= 0 || c.EraseLatency <= 0:
+		return fmt.Errorf("nand: latencies must be positive")
+	}
+	return nil
+}
+
+// Dies reports the total die count.
+func (c Config) Dies() int { return c.Channels * c.DiesPerChan }
+
+// TotalBlocks reports the device-wide erase block count.
+func (c Config) TotalBlocks() int { return c.Dies() * c.BlocksPerDie }
+
+// TotalPages reports the device-wide page count.
+func (c Config) TotalPages() int64 {
+	return int64(c.TotalBlocks()) * int64(c.PagesPerBlock)
+}
+
+// Capacity reports the raw data-area capacity in bytes.
+func (c Config) Capacity() int64 {
+	return c.TotalPages() * int64(c.PageSize)
+}
+
+// BlockBytes reports the data-area bytes per erase block.
+func (c Config) BlockBytes() int64 {
+	return int64(c.PagesPerBlock) * int64(c.PageSize)
+}
+
+// xferTime is the channel bus time to move n bytes.
+func (c Config) xferTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	// MBps here means 1e6 bytes per second: ns = bytes * 1000 / MBps.
+	return sim.Duration(int64(n) * 1000 / int64(c.ChannelMBps))
+}

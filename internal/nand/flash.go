@@ -1,0 +1,281 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PPA is a physical page address: a device-wide page index. The on-flash
+// index encodes PPAs in 5 bytes (Eq. 1), far above any emulated geometry.
+type PPA uint64
+
+// BlockID is a device-wide erase block index.
+type BlockID uint32
+
+// Errors returned by flash operations.
+var (
+	ErrOutOfRange    = errors.New("nand: address out of range")
+	ErrNotProgrammed = errors.New("nand: reading an unwritten page")
+	ErrOverwrite     = errors.New("nand: programming a written page without erase")
+	ErrProgramOrder  = errors.New("nand: pages in a block must be programmed in order")
+	ErrOversize      = errors.New("nand: payload exceeds page area")
+	// ErrReadFault is an injected uncorrectable read error (ECC failure),
+	// used to test the device's error paths.
+	ErrReadFault = errors.New("nand: uncorrectable read error (injected)")
+	// ErrProgramFault is an injected program failure.
+	ErrProgramFault = errors.New("nand: program failure (injected)")
+)
+
+// Stats counts flash operations and traffic since device power-on.
+type Stats struct {
+	Reads      int64
+	Programs   int64
+	Erases     int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+type block struct {
+	pages      [][]byte // data area per page; nil until programmed
+	spares     [][]byte
+	programmed int // pages programmed so far (program order enforced)
+	erases     int64
+}
+
+// Flash is the emulated NAND array. It is not safe for concurrent use;
+// the device model serializes access in the firmware.
+type Flash struct {
+	cfg    Config
+	clock  *sim.Clock
+	dies   []*sim.Resource
+	chans  []*sim.Resource
+	blocks []block
+	stats  Stats
+	// bufPool recycles full-size page buffers freed by Erase; Program
+	// draws from it, keeping high-churn workloads off the Go allocator.
+	bufPool [][]byte
+
+	failReads    int // countdown of injected read faults
+	failPrograms int // countdown of injected program faults
+}
+
+// FailNextReads arms n injected uncorrectable read errors: the next n
+// Read calls fail with ErrReadFault. Testing hook.
+func (f *Flash) FailNextReads(n int) { f.failReads = n }
+
+// FailNextPrograms arms n injected program failures. Testing hook.
+func (f *Flash) FailNextPrograms(n int) { f.failPrograms = n }
+
+// New builds a flash array on the given clock. It panics on invalid
+// geometry; validate configs at the device boundary.
+func New(cfg Config, clock *sim.Clock) *Flash {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := &Flash{
+		cfg:    cfg,
+		clock:  clock,
+		blocks: make([]block, cfg.TotalBlocks()),
+	}
+	for d := 0; d < cfg.Dies(); d++ {
+		f.dies = append(f.dies, sim.NewResource(fmt.Sprintf("die%d", d)))
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		f.chans = append(f.chans, sim.NewResource(fmt.Sprintf("chan%d", c)))
+	}
+	return f
+}
+
+// Config returns the geometry the array was built with.
+func (f *Flash) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of the operation counters.
+func (f *Flash) Stats() Stats { return f.stats }
+
+// BlockOf maps a page address to its erase block.
+func (f *Flash) BlockOf(p PPA) BlockID {
+	return BlockID(uint64(p) / uint64(f.cfg.PagesPerBlock))
+}
+
+// PageIndex maps a page address to its index within its block.
+func (f *Flash) PageIndex(p PPA) int {
+	return int(uint64(p) % uint64(f.cfg.PagesPerBlock))
+}
+
+// PPAOf composes a page address from a block and in-block page index.
+func (f *Flash) PPAOf(b BlockID, page int) PPA {
+	return PPA(uint64(b)*uint64(f.cfg.PagesPerBlock) + uint64(page))
+}
+
+func (f *Flash) dieOf(b BlockID) int {
+	return int(b) / f.cfg.BlocksPerDie
+}
+
+func (f *Flash) chanOf(b BlockID) int {
+	return f.dieOf(b) / f.cfg.DiesPerChan
+}
+
+// copyData stores a private copy of a programmed payload, reusing
+// recycled page buffers where possible.
+func (f *Flash) copyData(data []byte) []byte {
+	if n := len(f.bufPool); n > 0 {
+		buf := f.bufPool[n-1]
+		f.bufPool = f.bufPool[:n-1]
+		buf = buf[:cap(buf)]
+		if len(data) <= len(buf) {
+			copy(buf, data)
+			return buf[:len(data)]
+		}
+		f.bufPool = append(f.bufPool, buf)
+	}
+	// Allocate at full page capacity so the buffer is reusable later.
+	buf := make([]byte, len(data), f.cfg.PageSize)
+	copy(buf, data)
+	return buf
+}
+
+func (f *Flash) checkPPA(p PPA) error {
+	if int64(p) >= f.cfg.TotalPages() {
+		return fmt.Errorf("%w: ppa %d >= %d", ErrOutOfRange, p, f.cfg.TotalPages())
+	}
+	return nil
+}
+
+// Read performs a page read issued at time `at`. It returns the page's
+// data and spare areas and the operation's completion time. The returned
+// slices alias the array's internal storage and must not be modified.
+func (f *Flash) Read(at sim.Time, p PPA) (data, spare []byte, done sim.Time, err error) {
+	if err = f.checkPPA(p); err != nil {
+		return nil, nil, at, err
+	}
+	if f.failReads > 0 {
+		f.failReads--
+		return nil, nil, at, fmt.Errorf("%w: ppa %d", ErrReadFault, p)
+	}
+	bid := f.BlockOf(p)
+	blk := &f.blocks[bid]
+	pi := f.PageIndex(p)
+	if blk.pages == nil || pi >= blk.programmed || blk.pages[pi] == nil {
+		return nil, nil, at, fmt.Errorf("%w: ppa %d", ErrNotProgrammed, p)
+	}
+	data = blk.pages[pi]
+	spare = blk.spares[pi]
+
+	_, dieDone := f.dies[f.dieOf(bid)].Acquire(at, f.cfg.ReadLatency)
+	_, done = f.chans[f.chanOf(bid)].Acquire(dieDone, f.cfg.xferTime(len(data)+len(spare)))
+	f.stats.Reads++
+	f.stats.ReadBytes += int64(len(data) + len(spare))
+	return data, spare, done, nil
+}
+
+// Program writes data and spare to page p at time `at`. NAND constraints
+// are enforced: the page must be erased and pages within a block must be
+// programmed in ascending order. Both buffers are copied.
+func (f *Flash) Program(at sim.Time, p PPA, data, spare []byte) (done sim.Time, err error) {
+	if err = f.checkPPA(p); err != nil {
+		return at, err
+	}
+	if len(data) > f.cfg.PageSize {
+		return at, fmt.Errorf("%w: data %d > page %d", ErrOversize, len(data), f.cfg.PageSize)
+	}
+	if len(spare) > f.cfg.SpareSize {
+		return at, fmt.Errorf("%w: spare %d > %d", ErrOversize, len(spare), f.cfg.SpareSize)
+	}
+	if f.failPrograms > 0 {
+		f.failPrograms--
+		return at, fmt.Errorf("%w: ppa %d", ErrProgramFault, p)
+	}
+	bid := f.BlockOf(p)
+	blk := &f.blocks[bid]
+	pi := f.PageIndex(p)
+	if blk.pages == nil {
+		blk.pages = make([][]byte, f.cfg.PagesPerBlock)
+		blk.spares = make([][]byte, f.cfg.PagesPerBlock)
+	}
+	if pi < blk.programmed {
+		return at, fmt.Errorf("%w: ppa %d", ErrOverwrite, p)
+	}
+	if pi != blk.programmed {
+		return at, fmt.Errorf("%w: ppa %d is page %d, next programmable is %d",
+			ErrProgramOrder, p, pi, blk.programmed)
+	}
+	blk.pages[pi] = f.copyData(data)
+	blk.spares[pi] = append([]byte(nil), spare...)
+	blk.programmed++
+
+	_, chanDone := f.chans[f.chanOf(bid)].Acquire(at, f.cfg.xferTime(len(data)+len(spare)))
+	_, done = f.dies[f.dieOf(bid)].Acquire(chanDone, f.cfg.ProgramLatency)
+	f.stats.Programs++
+	f.stats.WriteBytes += int64(len(data) + len(spare))
+	return done, nil
+}
+
+// Erase wipes block b at time `at`, freeing its page storage and
+// incrementing its wear counter.
+func (f *Flash) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
+	if int(b) >= len(f.blocks) {
+		return at, fmt.Errorf("%w: block %d >= %d", ErrOutOfRange, b, len(f.blocks))
+	}
+	blk := &f.blocks[b]
+	for _, pg := range blk.pages {
+		// Recycle full-size buffers; odd-size tails are left to the GC.
+		if cap(pg) == f.cfg.PageSize && len(f.bufPool) < 4*f.cfg.PagesPerBlock {
+			f.bufPool = append(f.bufPool, pg)
+		}
+	}
+	blk.pages = nil
+	blk.spares = nil
+	blk.programmed = 0
+	blk.erases++
+
+	_, done = f.dies[f.dieOf(b)].Acquire(at, f.cfg.EraseLatency)
+	f.stats.Erases++
+	return done, nil
+}
+
+// ProgrammedPages reports how many pages of block b are written.
+func (f *Flash) ProgrammedPages(b BlockID) int {
+	if int(b) >= len(f.blocks) {
+		return 0
+	}
+	return f.blocks[b].programmed
+}
+
+// EraseCount reports block b's wear (number of erases).
+func (f *Flash) EraseCount(b BlockID) int64 {
+	if int(b) >= len(f.blocks) {
+		return 0
+	}
+	return f.blocks[b].erases
+}
+
+// DieUtilization reports the mean busy fraction across dies at time now.
+func (f *Flash) DieUtilization(now sim.Time) float64 {
+	if len(f.dies) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range f.dies {
+		sum += d.Utilization(now)
+	}
+	return sum / float64(len(f.dies))
+}
+
+// BusyUntil reports the latest completion time across all dies — the time
+// at which every in-flight flash operation has finished.
+func (f *Flash) BusyUntil() sim.Time {
+	var t sim.Time
+	for _, d := range f.dies {
+		if d.BusyUntil() > t {
+			t = d.BusyUntil()
+		}
+	}
+	for _, c := range f.chans {
+		if c.BusyUntil() > t {
+			t = c.BusyUntil()
+		}
+	}
+	return t
+}

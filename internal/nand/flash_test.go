@@ -1,0 +1,259 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(64 << 20) // 64 MiB
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, cap := range []int64{1 << 20, 64 << 20, 1 << 30, 4 << 30} {
+		cfg := DefaultConfig(cap)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("DefaultConfig(%d): %v", cap, err)
+		}
+		if cfg.Capacity() < cap {
+			t.Fatalf("DefaultConfig(%d) capacity %d below request", cap, cfg.Capacity())
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.DiesPerChan = 0 },
+		func(c *Config) { c.BlocksPerDie = 0 },
+		func(c *Config) { c.PagesPerBlock = 0 },
+		func(c *Config) { c.PageSize = 32 },
+		func(c *Config) { c.SpareSize = -1 },
+		func(c *Config) { c.ChannelMBps = 0 },
+		func(c *Config) { c.ReadLatency = 0 },
+	}
+	for i, mut := range bad {
+		cfg := testConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAddressMapping(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	cfg := f.Config()
+	last := PPA(cfg.TotalPages() - 1)
+	if got := f.BlockOf(last); int(got) != cfg.TotalBlocks()-1 {
+		t.Fatalf("BlockOf(last) = %d, want %d", got, cfg.TotalBlocks()-1)
+	}
+	if got := f.PageIndex(last); got != cfg.PagesPerBlock-1 {
+		t.Fatalf("PageIndex(last) = %d", got)
+	}
+	// PPAOf must invert (BlockOf, PageIndex).
+	p := f.PPAOf(3, 17)
+	if f.BlockOf(p) != 3 || f.PageIndex(p) != 17 {
+		t.Fatalf("PPAOf round trip failed: %d -> (%d,%d)", p, f.BlockOf(p), f.PageIndex(p))
+	}
+}
+
+func TestAddressRoundTripProperty(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	cfg := f.Config()
+	fn := func(raw uint32) bool {
+		p := PPA(int64(raw) % cfg.TotalPages())
+		return f.PPAOf(f.BlockOf(p), f.PageIndex(p)) == p
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	clock := sim.NewClock()
+	f := New(testConfig(), clock)
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	spare := []byte{1, 2, 3}
+	done, err := f.Program(0, 0, data, spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("Program completed instantaneously")
+	}
+	got, gotSpare, _, err := f.Read(done, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || !bytes.Equal(gotSpare, spare) {
+		t.Fatal("read back different contents")
+	}
+}
+
+func TestProgramCopiesBuffers(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	data := []byte{1, 2, 3}
+	f.Program(0, 0, data, nil)
+	data[0] = 99
+	got, _, _, err := f.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("Program aliased the caller's buffer")
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	if _, _, _, err := f.Read(0, 5); !errors.Is(err, ErrNotProgrammed) {
+		t.Fatalf("err = %v, want ErrNotProgrammed", err)
+	}
+}
+
+func TestNoOverwrite(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	f.Program(0, 0, []byte{1}, nil)
+	if _, err := f.Program(0, 0, []byte{2}, nil); !errors.Is(err, ErrOverwrite) {
+		t.Fatalf("err = %v, want ErrOverwrite", err)
+	}
+}
+
+func TestProgramOrderEnforced(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	if _, err := f.Program(0, 2, []byte{1}, nil); !errors.Is(err, ErrProgramOrder) {
+		t.Fatalf("err = %v, want ErrProgramOrder", err)
+	}
+	// In-order is fine.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Program(0, PPA(i), []byte{byte(i)}, nil); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	big := make([]byte, f.Config().PageSize+1)
+	if _, err := f.Program(0, 0, big, nil); !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	bigSpare := make([]byte, f.Config().SpareSize+1)
+	if _, err := f.Program(0, 0, nil, bigSpare); !errors.Is(err, ErrOversize) {
+		t.Fatalf("spare err = %v, want ErrOversize", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	beyond := PPA(f.Config().TotalPages())
+	if _, err := f.Program(0, beyond, []byte{1}, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Program err = %v", err)
+	}
+	if _, _, _, err := f.Read(0, beyond); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Read err = %v", err)
+	}
+	if _, err := f.Erase(0, BlockID(f.Config().TotalBlocks())); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Erase err = %v", err)
+	}
+}
+
+func TestEraseResetsBlockAndWear(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	f.Program(0, 0, []byte{1}, nil)
+	if f.ProgrammedPages(0) != 1 {
+		t.Fatalf("ProgrammedPages = %d", f.ProgrammedPages(0))
+	}
+	if _, err := f.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.ProgrammedPages(0) != 0 {
+		t.Fatal("erase did not reset programmed count")
+	}
+	if f.EraseCount(0) != 1 {
+		t.Fatalf("EraseCount = %d", f.EraseCount(0))
+	}
+	if _, _, _, err := f.Read(0, 0); !errors.Is(err, ErrNotProgrammed) {
+		t.Fatal("page readable after erase")
+	}
+	// Page is programmable again after erase.
+	if _, err := f.Program(0, 0, []byte{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	cfg := testConfig()
+	f := New(cfg, sim.NewClock())
+	done, err := f.Program(0, 0, make([]byte, cfg.PageSize), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(cfg.ProgramLatency) + sim.Time(cfg.xferTime(cfg.PageSize))
+	if done != want {
+		t.Fatalf("program done at %d, want %d", done, want)
+	}
+	_, _, rdone, err := f.Read(done, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRead := done.Add(cfg.ReadLatency).Add(cfg.xferTime(cfg.PageSize))
+	if rdone != wantRead {
+		t.Fatalf("read done at %d, want %d", rdone, wantRead)
+	}
+}
+
+func TestDieParallelism(t *testing.T) {
+	// Programs issued at t=0 to blocks on different dies must overlap,
+	// while programs to the same die serialize.
+	cfg := testConfig()
+	f := New(cfg, sim.NewClock())
+	sameDie0 := f.PPAOf(0, 0)
+	sameDie1 := f.PPAOf(1, 0) // block 1 is on die 0 too (BlocksPerDie >= 4)
+	otherDie := f.PPAOf(BlockID(cfg.BlocksPerDie), 0)
+
+	d0, _ := f.Program(0, sameDie0, []byte{1}, nil)
+	d1, _ := f.Program(0, sameDie1, []byte{1}, nil)
+	if d1 <= d0 {
+		t.Fatalf("same-die programs overlapped: %d then %d", d0, d1)
+	}
+	dOther, _ := f.Program(0, otherDie, []byte{1}, nil)
+	if dOther >= d1 {
+		t.Fatalf("cross-die program did not overlap: %d vs %d", dOther, d1)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	f.Program(0, 0, []byte{1, 2}, []byte{3})
+	f.Read(0, 0)
+	f.Erase(0, 1)
+	s := f.Stats()
+	if s.Programs != 1 || s.Reads != 1 || s.Erases != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.WriteBytes != 3 || s.ReadBytes != 3 {
+		t.Fatalf("bytes = %+v", s)
+	}
+}
+
+func TestBusyUntilTracksLatest(t *testing.T) {
+	f := New(testConfig(), sim.NewClock())
+	done, _ := f.Program(0, 0, []byte{1}, nil)
+	if f.BusyUntil() != done {
+		t.Fatalf("BusyUntil = %d, want %d", f.BusyUntil(), done)
+	}
+}
+
+func TestXferTimeZeroBytes(t *testing.T) {
+	cfg := testConfig()
+	if cfg.xferTime(0) != 0 || cfg.xferTime(-1) != 0 {
+		t.Fatal("xferTime of non-positive size should be 0")
+	}
+}

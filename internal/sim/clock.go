@@ -1,0 +1,81 @@
+// Package sim provides the discrete-event time base used by the emulated
+// KVSSD. All device components (NAND dies, the firmware CPU, the channel
+// bus) advance a shared Clock instead of sleeping on the wall clock, so
+// experiments measure simulated device time deterministically and run fast.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in nanoseconds since device power-on.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds reports d as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fµs", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// Clock is the device-wide simulated clock. It only moves forward.
+// The zero value is a clock at time 0, ready to use.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at time 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored; the clock never moves backward.
+func (c *Clock) Advance(d Duration) Time {
+	if d > 0 {
+		c.now += Time(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Only tests and device restarts use this.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,56 @@
+package sim
+
+// Resource models a unit of device hardware that can serve one operation at
+// a time: a NAND die, the firmware CPU, or a channel bus. An operation
+// requested at time t starts at max(t, busyUntil), occupies the resource for
+// its service time, and completes at start+service. Requests issued "in the
+// past" (because the host queued several operations at the same submit time)
+// therefore serialize on the resource while independent resources overlap —
+// this is what makes async queue depth exploit die-level parallelism.
+type Resource struct {
+	name      string
+	busyUntil Time
+	busyTotal Duration // total time spent serving operations
+	ops       int64
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Name reports the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire schedules an operation requested at time t with the given service
+// duration and returns the operation's start and completion times.
+func (r *Resource) Acquire(t Time, service Duration) (start, done Time) {
+	start = t
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	done = start.Add(service)
+	r.busyUntil = done
+	r.busyTotal += service
+	r.ops++
+	return start, done
+}
+
+// BusyUntil reports the time at which the resource next becomes idle.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// Utilization reports the fraction of [0, now] this resource spent busy.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.busyTotal) / float64(now)
+}
+
+// Ops reports how many operations the resource has served.
+func (r *Resource) Ops() int64 { return r.ops }
+
+// Reset returns the resource to idle at time zero, clearing statistics.
+func (r *Resource) Reset() {
+	r.busyUntil = 0
+	r.busyTotal = 0
+	r.ops = 0
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * Microsecond); got != Time(5*Microsecond) {
+		t.Fatalf("Advance returned %d, want %d", got, 5*Microsecond)
+	}
+	c.Advance(3 * Nanosecond)
+	if c.Now() != Time(5*Microsecond+3) {
+		t.Fatalf("Now = %d, want %d", c.Now(), 5*Microsecond+3)
+	}
+}
+
+func TestClockNeverMovesBackward(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(-50)
+	if c.Now() != 100 {
+		t.Fatalf("negative Advance moved clock: %d", c.Now())
+	}
+	c.AdvanceTo(40)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo past moved clock backward: %d", c.Now())
+	}
+	c.AdvanceTo(140)
+	if c.Now() != 140 {
+		t.Fatalf("AdvanceTo future failed: %d", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %d", c.Now())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []int32) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.0000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestResourceIdleStart(t *testing.T) {
+	r := NewResource("die0")
+	start, done := r.Acquire(100, 50)
+	if start != 100 || done != 150 {
+		t.Fatalf("Acquire = (%d,%d), want (100,150)", start, done)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("die0")
+	r.Acquire(0, 100)
+	start, done := r.Acquire(10, 100) // requested while busy
+	if start != 100 || done != 200 {
+		t.Fatalf("second op = (%d,%d), want (100,200)", start, done)
+	}
+	if r.BusyUntil() != 200 {
+		t.Fatalf("BusyUntil = %d, want 200", r.BusyUntil())
+	}
+}
+
+func TestResourceGapLeavesIdleTime(t *testing.T) {
+	r := NewResource("die0")
+	r.Acquire(0, 100)
+	start, done := r.Acquire(500, 100)
+	if start != 500 || done != 600 {
+		t.Fatalf("gapped op = (%d,%d), want (500,600)", start, done)
+	}
+	if got := r.Utilization(600); got != float64(200)/600 {
+		t.Fatalf("Utilization = %v, want %v", got, float64(200)/600)
+	}
+}
+
+func TestResourceOpsAndReset(t *testing.T) {
+	r := NewResource("cpu")
+	r.Acquire(0, 10)
+	r.Acquire(0, 10)
+	if r.Ops() != 2 {
+		t.Fatalf("Ops = %d, want 2", r.Ops())
+	}
+	r.Reset()
+	if r.Ops() != 0 || r.BusyUntil() != 0 {
+		t.Fatalf("Reset failed: ops=%d busy=%d", r.Ops(), r.BusyUntil())
+	}
+}
+
+func TestParallelResourcesOverlap(t *testing.T) {
+	// Two dies serving ops submitted at the same instant overlap; the
+	// completion of the pair is one service time, not two.
+	a, b := NewResource("die0"), NewResource("die1")
+	_, doneA := a.Acquire(0, 100)
+	_, doneB := b.Acquire(0, 100)
+	if doneA != 100 || doneB != 100 {
+		t.Fatalf("parallel dies did not overlap: %d %d", doneA, doneB)
+	}
+}
+
+func TestResourceCompletionMonotoneProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		r := NewResource("x")
+		var prevDone Time
+		var tm Time
+		for _, q := range reqs {
+			tm = tm.Add(Duration(q % 97))
+			_, done := r.Acquire(tm, Duration(q%1009))
+			if done < prevDone {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestClustersMatchFig5Regimes(t *testing.T) {
+	// The experiment's driver: four clusters need far less index than the
+	// 10 MB cache, two sit near it, two far exceed it.
+	const cacheBudget = 10 << 20
+	regimes := map[string]string{
+		"022": "small", "026": "small", "052": "small", "072": "small",
+		"001": "boundary", "081": "boundary",
+		"083": "large", "096": "large",
+	}
+	for _, c := range Clusters() {
+		ratio := float64(c.IndexBytes()) / cacheBudget
+		switch regimes[c.Name] {
+		case "small":
+			if ratio > 0.5 {
+				t.Errorf("cluster %s index/cache ratio %.2f, want < 0.5", c.Name, ratio)
+			}
+		case "boundary":
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("cluster %s ratio %.2f, want ~1", c.Name, ratio)
+			}
+		case "large":
+			if ratio < 2.5 {
+				t.Errorf("cluster %s ratio %.2f, want >> 1", c.Name, ratio)
+			}
+		default:
+			t.Errorf("cluster %s missing from regime table", c.Name)
+		}
+	}
+}
+
+func TestClusterLookup(t *testing.T) {
+	c, err := Cluster("083")
+	if err != nil || c.Name != "083" {
+		t.Fatalf("Cluster(083) = (%+v, %v)", c, err)
+	}
+	if _, err := Cluster("999"); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	spec := ClusterSpec{Name: "t", UniqueKeys: 1000, AccessOps: 5000,
+		ReadFrac: 0.8, Theta: 0.9, ValueSize: 64}
+	recs := Synthesize(spec, 1)
+	if len(recs) != 6000 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Fill phase first: every unique key stored once.
+	seen := map[uint64]bool{}
+	for _, r := range recs[:1000] {
+		if r.Op != workload.OpStore {
+			t.Fatal("fill phase contains non-stores")
+		}
+		if seen[r.KeyID] {
+			t.Fatal("fill phase repeats a key")
+		}
+		seen[r.KeyID] = true
+	}
+	// Access phase: read fraction near spec, all keys within range.
+	reads := 0
+	for _, r := range recs[1000:] {
+		if r.KeyID >= 1000 {
+			t.Fatalf("key %d out of range", r.KeyID)
+		}
+		if r.Op == workload.OpRetrieve {
+			reads++
+		}
+	}
+	frac := float64(reads) / 5000
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("read fraction %.3f, want ~0.8", frac)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec, _ := Cluster("022")
+	spec.UniqueKeys = 500
+	spec.AccessOps = 500
+	a := Synthesize(spec, 7)
+	b := Synthesize(spec, 7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: workload.OpStore, KeyID: 1, ValueSize: 100},
+		{Op: workload.OpRetrieve, KeyID: 2},
+		{Op: workload.OpDelete, KeyID: 3},
+		{Op: workload.OpExist, KeyID: 4},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nPUT 5 10\n  \nGET 5 0\n"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"PUT 5\n",     // missing field
+		"FROB 5 10\n", // unknown op
+		"PUT x 10\n",  // bad key
+		"PUT 5 -1\n",  // negative size
+		"PUT 5 ten\n", // bad size
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ids []uint32, kinds []uint8) bool {
+		n := len(ids)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				Op:        workload.OpKind(kinds[i] % 4),
+				KeyID:     uint64(ids[i]),
+				ValueSize: int(ids[i] % 4096),
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordKeyIs16Bytes(t *testing.T) {
+	if len((Record{KeyID: 9}).Key()) != 16 {
+		t.Fatal("trace keys must be the canonical 16 bytes")
+	}
+}

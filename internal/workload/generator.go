@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies a generated request.
+type OpKind int
+
+// Request kinds.
+const (
+	OpStore OpKind = iota
+	OpRetrieve
+	OpDelete
+	OpExist
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpStore:
+		return "store"
+	case OpRetrieve:
+		return "retrieve"
+	case OpDelete:
+		return "delete"
+	case OpExist:
+		return "exist"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind      OpKind
+	KeyID     uint64
+	KeySize   int
+	ValueSize int
+}
+
+// Key renders the request key bytes.
+func (o Op) Key() []byte {
+	if o.KeySize > 0 && o.KeySize != 16 {
+		return KeyBytesSized(o.KeyID, o.KeySize)
+	}
+	return KeyBytes(o.KeyID)
+}
+
+// Mix sets the operation ratio; fields sum to 1 (normalized otherwise).
+type Mix struct {
+	Store    float64
+	Retrieve float64
+	Delete   float64
+	Exist    float64
+}
+
+// WriteOnly is a pure-ingest mix.
+var WriteOnly = Mix{Store: 1}
+
+// ReadOnly is a pure-lookup mix.
+var ReadOnly = Mix{Retrieve: 1}
+
+// ReadMostly is a KV-store-typical 95/5 read/write mix.
+var ReadMostly = Mix{Retrieve: 0.95, Store: 0.05}
+
+// Generator yields a request stream from a key generator, a value-size
+// distribution, and an operation mix.
+type Generator struct {
+	Keys    KeyGen
+	Sizes   SizeDist
+	KeySize int
+	mix     Mix
+	rng     *rand.Rand
+}
+
+// NewGenerator builds a request generator. KeySize 0 means the canonical
+// 16-byte keys.
+func NewGenerator(keys KeyGen, sizes SizeDist, mix Mix, keySize int, seed int64) *Generator {
+	total := mix.Store + mix.Retrieve + mix.Delete + mix.Exist
+	if total <= 0 {
+		mix = WriteOnly
+		total = 1
+	}
+	mix.Store /= total
+	mix.Retrieve /= total
+	mix.Delete /= total
+	mix.Exist /= total
+	return &Generator{
+		Keys:    keys,
+		Sizes:   sizes,
+		KeySize: keySize,
+		mix:     mix,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next yields the next request.
+func (g *Generator) Next() Op {
+	op := Op{KeyID: g.Keys.NextID(), KeySize: g.KeySize}
+	u := g.rng.Float64()
+	switch {
+	case u < g.mix.Store:
+		op.Kind = OpStore
+		op.ValueSize = g.Sizes.Next()
+	case u < g.mix.Store+g.mix.Retrieve:
+		op.Kind = OpRetrieve
+	case u < g.mix.Store+g.mix.Retrieve+g.mix.Delete:
+		op.Kind = OpDelete
+	default:
+		op.Kind = OpExist
+	}
+	return op
+}
+
+// ValuePayload materializes a deterministic value of the given size for
+// a key ID, so re-generation (for verification) matches the original.
+func ValuePayload(keyID uint64, size int) []byte {
+	v := make([]byte, size)
+	state := keyID*0x9e3779b97f4a7c15 + 1
+	for i := range v {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v[i] = byte(state)
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+// Package workload generates the key streams, value-size distributions,
+// and operation mixes the paper evaluates with: sequential fills and
+// uniform/Zipfian access (KVBench-style, §V-A), the request-size mixes of
+// Table I (Baidu Atlas, Facebook Memcached ETC), and the FAST'20 RocksDB
+// deployment profiles the motivation cites.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hash"
+)
+
+// KeyGen produces a deterministic stream of key IDs.
+type KeyGen interface {
+	// NextID returns the next key identifier.
+	NextID() uint64
+	// Name labels the generator in reports.
+	Name() string
+}
+
+// KeyBytes renders a key ID as the canonical 16-byte key the paper's
+// microbenchmarks use ("Key Size = 16B", Fig. 6).
+func KeyBytes(id uint64) []byte {
+	return []byte(fmt.Sprintf("k%015x", id&0xffffffffffffff))
+}
+
+// KeyBytesSized renders a key ID at an arbitrary length >= 8: an 8-byte
+// big-endian ID followed by deterministic filler (Fig. 8a's 16 B vs
+// 128 B keys).
+func KeyBytesSized(id uint64, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	k := make([]byte, size)
+	binary.BigEndian.PutUint64(k[:8], id)
+	for i := 8; i < size; i++ {
+		k[i] = byte(hash.Mix64(id+uint64(i)) >> 56)
+	}
+	return k
+}
+
+// Sequential counts upward from a start ID: the paper's "multiple
+// sequential workloads" (§V-B).
+type Sequential struct {
+	next uint64
+}
+
+// NewSequential returns a sequential generator starting at start.
+func NewSequential(start uint64) *Sequential { return &Sequential{next: start} }
+
+// NextID implements KeyGen.
+func (s *Sequential) NextID() uint64 {
+	id := s.next
+	s.next++
+	return id
+}
+
+// Name implements KeyGen.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Uniform samples key IDs uniformly from [0, n).
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform generator over n keys.
+func NewUniform(n uint64, seed int64) *Uniform {
+	if n == 0 {
+		n = 1
+	}
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NextID implements KeyGen.
+func (u *Uniform) NextID() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Name implements KeyGen.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Zipfian samples key IDs from [0, n) with YCSB-style Zipfian skew
+// (theta < 1), scrambled so popular keys are spread across the ID space.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	rng   *rand.Rand
+
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+// NewZipfian returns a scrambled Zipfian generator over n keys with the
+// given skew (0 < theta < 1; YCSB default 0.99).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	if n == 0 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact up to a cutoff, then the Euler–Maclaurin integral
+	// approximation; avoids O(n) setup for hundred-million-key spaces.
+	const cutoff = 1 << 20
+	var sum float64
+	limit := n
+	if limit > cutoff {
+		limit = cutoff
+	}
+	for i := uint64(1); i <= limit; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > cutoff {
+		a, b := float64(cutoff), float64(n)
+		sum += (math.Pow(b, 1-theta) - math.Pow(a, 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// NextID implements KeyGen (Gray et al.'s quick Zipfian algorithm, as in
+// YCSB), followed by a hash scramble.
+func (z *Zipfian) NextID() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	return hash.Mix64(rank) % z.n
+}
+
+// Name implements KeyGen.
+func (z *Zipfian) Name() string { return fmt.Sprintf("zipfian(%.2f)", z.theta) }
+
+// Rank returns the unscrambled rank for distribution testing.
+func (z *Zipfian) Rank() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	switch {
+	case uz < 1:
+		return 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		return 1
+	default:
+		rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+		return rank
+	}
+}

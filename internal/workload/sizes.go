@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SizeDist samples value sizes for generated requests.
+type SizeDist interface {
+	// Next samples one value size in bytes.
+	Next() int
+	// Mean reports the expected size.
+	Mean() float64
+	// Name labels the distribution in reports.
+	Name() string
+}
+
+// Fixed always returns the same size (the paper's value-size sweeps).
+type Fixed struct {
+	Size int
+}
+
+// Next implements SizeDist.
+func (f Fixed) Next() int { return f.Size }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f.Size) }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%dB)", f.Size) }
+
+// Bucket is one request-size class with its probability mass.
+type Bucket struct {
+	Lo, Hi int     // inclusive size range in bytes
+	P      float64 // probability mass
+}
+
+// Mean reports the bucket's mean size (uniform within the range).
+func (b Bucket) Mean() float64 { return (float64(b.Lo) + float64(b.Hi)) / 2 }
+
+// Discrete samples from weighted size buckets, uniform within a bucket —
+// how Table I's request-size tables are rendered executable.
+type Discrete struct {
+	Label   string
+	Buckets []Bucket
+	rng     *rand.Rand
+}
+
+// NewDiscrete builds a discrete distribution; probabilities are
+// normalized so the table's percentages can be used directly.
+func NewDiscrete(label string, buckets []Bucket, seed int64) *Discrete {
+	var total float64
+	for _, b := range buckets {
+		total += b.P
+	}
+	norm := make([]Bucket, len(buckets))
+	copy(norm, buckets)
+	if total > 0 {
+		for i := range norm {
+			norm[i].P /= total
+		}
+	}
+	return &Discrete{Label: label, Buckets: norm, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements SizeDist.
+func (d *Discrete) Next() int {
+	u := d.rng.Float64()
+	var cum float64
+	for _, b := range d.Buckets {
+		cum += b.P
+		if u <= cum {
+			if b.Hi <= b.Lo {
+				return b.Lo
+			}
+			return b.Lo + d.rng.Intn(b.Hi-b.Lo+1)
+		}
+	}
+	last := d.Buckets[len(d.Buckets)-1]
+	return last.Hi
+}
+
+// Mean implements SizeDist.
+func (d *Discrete) Mean() float64 {
+	var m float64
+	for _, b := range d.Buckets {
+		m += b.P * b.Mean()
+	}
+	return m
+}
+
+// Name implements SizeDist.
+func (d *Discrete) Name() string { return d.Label }
+
+// MinBucketMean and MaxBucketMean report the smallest and largest bucket
+// means; Table I derives its implied key-count ranges from them.
+func (d *Discrete) MinBucketMean() float64 {
+	m := d.Buckets[0].Mean()
+	for _, b := range d.Buckets[1:] {
+		if bm := b.Mean(); bm < m {
+			m = bm
+		}
+	}
+	return m
+}
+
+// MaxBucketMean reports the largest bucket mean.
+func (d *Discrete) MaxBucketMean() float64 {
+	m := d.Buckets[0].Mean()
+	for _, b := range d.Buckets[1:] {
+		if bm := b.Mean(); bm > m {
+			m = bm
+		}
+	}
+	return m
+}
+
+// BaiduAtlasWrite is Table I's Baidu Atlas write request-size mix [10]:
+// 94.1 % of writes fall between 128 KB and 256 KB.
+func BaiduAtlasWrite(seed int64) *Discrete {
+	return NewDiscrete("baidu-atlas-write", []Bucket{
+		{0, 4 << 10, 1.2},
+		{4 << 10, 16 << 10, 1.0},
+		{16 << 10, 32 << 10, 0.8},
+		{32 << 10, 64 << 10, 1.2},
+		{64 << 10, 128 << 10, 1.7},
+		{128 << 10, 256 << 10, 94.1},
+	}, seed)
+}
+
+// FacebookETC is Table I's Facebook Memcached ETC request-size mix [2]:
+// dominated by sub-kilobyte values.
+func FacebookETC(seed int64) *Discrete {
+	return NewDiscrete("fb-memcached-etc", []Bucket{
+		{1, 11, 40},
+		{12, 100, 10},
+		{101, 1 << 10, 45},
+		{1 << 10, 1 << 20, 5},
+	}, seed)
+}
+
+// RocksDBProfile returns the average-pair-size profiles of the three
+// Facebook RocksDB deployments characterized in FAST'20 [19]; the paper
+// uses their 57–153 B averages to derive the 26–700 billion key demand.
+func RocksDBProfile(name string, seed int64) (*Discrete, error) {
+	switch name {
+	case "UDB":
+		// Average KV pair ~153 B.
+		return NewDiscrete("rocksdb-udb", []Bucket{
+			{16, 64, 25},
+			{64, 192, 55},
+			{192, 512, 20},
+		}, seed), nil
+	case "ZippyDB":
+		// Average KV pair ~90 B.
+		return NewDiscrete("rocksdb-zippydb", []Bucket{
+			{16, 48, 30},
+			{48, 128, 55},
+			{128, 256, 15},
+		}, seed), nil
+	case "UP2X":
+		// Average KV pair ~57 B.
+		return NewDiscrete("rocksdb-up2x", []Bucket{
+			{10, 40, 45},
+			{40, 90, 45},
+			{90, 160, 10},
+		}, seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown RocksDB profile %q", name)
+	}
+}
+
+// DominantBucket returns the bucket carrying the most probability mass.
+func (d *Discrete) DominantBucket() Bucket {
+	best := d.Buckets[0]
+	for _, b := range d.Buckets[1:] {
+		if b.P > best.P {
+			best = b
+		}
+	}
+	return best
+}
+
+// KeyCountRange reports the implied (min, max) number of KV pairs a
+// device of the given capacity would hold under the distribution — the
+// derivation beneath Table I's "34 million–2.7 billion keys" rows. The
+// minimum assumes every pair takes the dominant bucket's lower-bound
+// size (Baidu: 4 TB / 128 KB ≈ 34 M); the maximum assumes the smallest
+// bucket's mean size (ETC: 4 TB / ~6 B ≈ 744 B).
+func KeyCountRange(capacity int64, d *Discrete) (minKeys, maxKeys int64) {
+	lo := d.DominantBucket().Lo
+	if lo < 1 {
+		lo = 1
+	}
+	minKeys = capacity / int64(lo)
+	maxKeys = int64(float64(capacity) / d.MinBucketMean())
+	return minKeys, maxKeys
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyBytesCanonical16(t *testing.T) {
+	k := KeyBytes(42)
+	if len(k) != 16 {
+		t.Fatalf("len = %d, want 16 (paper's key size)", len(k))
+	}
+	if string(KeyBytes(42)) != string(KeyBytes(42)) {
+		t.Fatal("non-deterministic")
+	}
+	if string(KeyBytes(1)) == string(KeyBytes(2)) {
+		t.Fatal("distinct ids collide")
+	}
+}
+
+func TestKeyBytesSized(t *testing.T) {
+	for _, n := range []int{8, 16, 128} {
+		if got := len(KeyBytesSized(7, n)); got != n {
+			t.Fatalf("size %d: got %d", n, got)
+		}
+	}
+	if got := len(KeyBytesSized(7, 2)); got != 8 {
+		t.Fatalf("undersized clamped to %d, want 8", got)
+	}
+	a := KeyBytesSized(1, 128)
+	b := KeyBytesSized(2, 128)
+	if string(a) == string(b) {
+		t.Fatal("distinct ids collide at 128B")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := NewSequential(5)
+	for i := uint64(5); i < 10; i++ {
+		if got := s.NextID(); got != i {
+			t.Fatalf("NextID = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(100, 1)
+	for i := 0; i < 10000; i++ {
+		if id := u.NextID(); id >= 100 {
+			t.Fatalf("id %d out of range", id)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(n, 0.99, 1)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Rank()
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate: YCSB theta=0.99 over 10k items gives the top
+	// item roughly 10% of the mass.
+	top := float64(counts[0]) / draws
+	if top < 0.05 {
+		t.Fatalf("top rank has %.3f of mass, want >= 0.05 (not skewed)", top)
+	}
+	// And the top-100 ranks should hold the majority.
+	var top100 int
+	for r := uint64(0); r < 100; r++ {
+		top100 += counts[r]
+	}
+	if frac := float64(top100) / draws; frac < 0.5 {
+		t.Fatalf("top-100 mass %.3f, want >= 0.5", frac)
+	}
+}
+
+func TestZipfianScrambleSpreads(t *testing.T) {
+	z := NewZipfian(1<<20, 0.99, 2)
+	lowHalf := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if z.NextID() < 1<<19 {
+			lowHalf++
+		}
+	}
+	frac := float64(lowHalf) / draws
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("scrambled ids skewed to one half: %.3f", frac)
+	}
+}
+
+func TestZipfianBadThetaDefaults(t *testing.T) {
+	z := NewZipfian(10, 1.5, 1)
+	if z.theta != 0.99 {
+		t.Fatalf("theta = %v", z.theta)
+	}
+	if NewZipfian(0, 0.99, 1).n != 1 {
+		t.Fatal("zero n not clamped")
+	}
+}
+
+func TestZetaApproximationContinuous(t *testing.T) {
+	// The integral tail approximation must be close to the exact sum just
+	// above the cutoff.
+	exact := zeta(1<<20, 0.99)
+	above := zeta(1<<20+1000, 0.99)
+	if above <= exact {
+		t.Fatal("zeta not increasing")
+	}
+	if (above-exact)/exact > 0.01 {
+		t.Fatal("zeta tail jump too large")
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed{Size: 4096}
+	if f.Next() != 4096 || f.Mean() != 4096 {
+		t.Fatal("fixed distribution broken")
+	}
+}
+
+func TestDiscreteNormalizesAndSamplesInRange(t *testing.T) {
+	d := NewDiscrete("x", []Bucket{{10, 20, 50}, {100, 200, 150}}, 1)
+	var sum float64
+	for _, b := range d.Buckets {
+		sum += b.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	for i := 0; i < 10000; i++ {
+		s := d.Next()
+		if !((s >= 10 && s <= 20) || (s >= 100 && s <= 200)) {
+			t.Fatalf("sample %d outside buckets", s)
+		}
+	}
+}
+
+func TestBaiduAtlasDominatedByLargeWrites(t *testing.T) {
+	d := BaiduAtlasWrite(1)
+	large := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if d.Next() >= 128<<10 {
+			large++
+		}
+	}
+	frac := float64(large) / draws
+	if frac < 0.90 || frac > 0.97 {
+		t.Fatalf("128-256KB fraction %.3f, want ~0.941 (Table I)", frac)
+	}
+}
+
+func TestFacebookETCSmallValues(t *testing.T) {
+	d := FacebookETC(1)
+	small := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if d.Next() <= 1024 {
+			small++
+		}
+	}
+	if frac := float64(small) / draws; frac < 0.90 {
+		t.Fatalf("sub-1KB fraction %.3f, want ~0.95 (Table I)", frac)
+	}
+}
+
+func TestTableIKeyCountRanges(t *testing.T) {
+	// The paper derives 34 M–2.7 B keys for Baidu Atlas and
+	// 24 B–744 B keys for FB ETC on a 4 TB device; our bucket means must
+	// land in those decades.
+	const cap4TB = 4 << 40
+	minK, maxK := KeyCountRange(cap4TB, BaiduAtlasWrite(1))
+	if minK < 15e6 || minK > 60e6 {
+		t.Fatalf("Baidu min keys %d, want ~34M", minK)
+	}
+	if maxK < 1e9 || maxK > 5e9 {
+		t.Fatalf("Baidu max keys %d, want ~2.7B", maxK)
+	}
+	minK, maxK = KeyCountRange(cap4TB, FacebookETC(1))
+	if minK < 10e9 || minK > 100e9 {
+		t.Fatalf("ETC min keys %d, want ~24B (same decade)", minK)
+	}
+	if maxK < 300e9 || maxK > 1100e9 {
+		t.Fatalf("ETC max keys %d, want ~744B", maxK)
+	}
+}
+
+func TestRocksDBProfiles(t *testing.T) {
+	for name, wantMean := range map[string]float64{
+		"UDB":     153,
+		"ZippyDB": 90,
+		"UP2X":    57,
+	} {
+		d, err := RocksDBProfile(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := d.Mean(); math.Abs(m-wantMean)/wantMean > 0.35 {
+			t.Errorf("%s mean %.0f, want ~%.0f", name, m, wantMean)
+		}
+	}
+	if _, err := RocksDBProfile("nope", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestGeneratorMixRatios(t *testing.T) {
+	g := NewGenerator(NewSequential(0), Fixed{Size: 100}, Mix{Retrieve: 0.95, Store: 0.05}, 0, 1)
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if frac := float64(counts[OpRetrieve]) / n; math.Abs(frac-0.95) > 0.02 {
+		t.Fatalf("retrieve fraction %.3f", frac)
+	}
+	if counts[OpDelete] != 0 || counts[OpExist] != 0 {
+		t.Fatal("unexpected op kinds")
+	}
+}
+
+func TestGeneratorZeroMixDefaultsToWrites(t *testing.T) {
+	g := NewGenerator(NewSequential(0), Fixed{Size: 10}, Mix{}, 0, 1)
+	for i := 0; i < 100; i++ {
+		if op := g.Next(); op.Kind != OpStore || op.ValueSize != 10 {
+			t.Fatalf("op = %+v", op)
+		}
+	}
+}
+
+func TestOpKeyRespectsKeySize(t *testing.T) {
+	g := NewGenerator(NewSequential(0), Fixed{Size: 10}, WriteOnly, 128, 1)
+	if op := g.Next(); len(op.Key()) != 128 {
+		t.Fatalf("key len %d", len(op.Key()))
+	}
+	g16 := NewGenerator(NewSequential(0), Fixed{Size: 10}, WriteOnly, 0, 1)
+	if op := g16.Next(); len(op.Key()) != 16 {
+		t.Fatalf("default key len %d", len(op.Key()))
+	}
+}
+
+func TestValuePayloadDeterministic(t *testing.T) {
+	f := func(id uint64, size uint16) bool {
+		n := int(size) % 2048
+		a := ValuePayload(id, n)
+		b := ValuePayload(id, n)
+		return len(a) == n && string(a) == string(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(ValuePayload(1, 64)) == string(ValuePayload(2, 64)) {
+		t.Fatal("different keys same payload")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpStore.String() != "store" || OpKind(99).String() == "" {
+		t.Fatal("OpKind.String broken")
+	}
+}

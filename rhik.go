@@ -1,0 +1,250 @@
+// Package rhik is a reproduction of "RHIK: Re-configurable Hash-based
+// Indexing for KVSSD" (HPDC 2023): a discrete-event emulated Key-Value
+// SSD whose firmware indexes keys with RHIK — a two-level hash index
+// whose directory lives in device DRAM and whose record layer consists
+// of page-sized hopscotch hash tables on flash, guaranteeing at most one
+// flash read per index lookup and re-configuring (doubling) itself as
+// the key population grows.
+//
+// The package exposes the device through a SNIA-KV-API-flavored surface:
+// Store, Retrieve, Delete, Exist, Iterate, plus an asynchronous Batch
+// path. All timing is simulated: Elapsed and the per-op latencies report
+// device time, deterministic across runs, so experiments are both fast
+// and reproducible.
+//
+//	db, err := rhik.Open(rhik.Options{Capacity: 1 << 30})
+//	...
+//	err = db.Store([]byte("user:42"), profile)
+//	value, err := db.Retrieve([]byte("user:42"))
+package rhik
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/index"
+	"repro/internal/sim"
+)
+
+// Errors surfaced by the API.
+var (
+	// ErrNotFound reports a retrieve/delete of an absent key.
+	ErrNotFound = device.ErrNotFound
+	// ErrDeviceFull reports that garbage collection cannot reclaim
+	// enough space for the write.
+	ErrDeviceFull = device.ErrDeviceFull
+	// ErrKeyTooLarge reports an empty or oversized key.
+	ErrKeyTooLarge = device.ErrKeyTooLarge
+	// ErrValueTooLarge reports a value exceeding one erase block.
+	ErrValueTooLarge = device.ErrValueTooLarge
+	// ErrClosed reports use after Close.
+	ErrClosed = device.ErrClosed
+	// ErrCollision reports the paper's uncorrectable signature
+	// collision: the application must retry with a different key.
+	ErrCollision = index.ErrCollision
+	// ErrNoIterator reports Iterate without iterator-mode signatures.
+	ErrNoIterator = device.ErrNoIterator
+)
+
+// IndexScheme selects the in-device index.
+type IndexScheme int
+
+// Index schemes.
+const (
+	// RHIK is the paper's re-configurable two-level hash index.
+	RHIK IndexScheme = iota
+	// MultiLevel is the Samsung-KVSSD-style multi-level hash baseline.
+	MultiLevel
+	// LSM is the LSM-tree-based index (PinK-style) the paper contrasts
+	// hash-based indexing against.
+	LSM
+)
+
+// Options configures an emulated KVSSD.
+type Options struct {
+	// Capacity is the emulated device capacity in bytes (default 1 GiB).
+	Capacity int64
+	// Index selects the indexing scheme (default RHIK).
+	Index IndexScheme
+	// CacheBudget bounds the device DRAM available to the index
+	// (default 10 MB, the paper's Fig. 5 budget).
+	CacheBudget int64
+	// AnticipatedKeys pre-sizes RHIK's directory via Eq. 2; zero starts
+	// minimal and lets re-configuration grow it.
+	AnticipatedKeys int64
+	// OccupancyThreshold is RHIK's resize trigger in (0,1] (default 0.8).
+	OccupancyThreshold float64
+	// HopRange is the record layer's hopscotch neighborhood (default 32).
+	HopRange int
+	// SignatureBits is the key-signature width: 64 (default) or 128.
+	SignatureBits int
+	// IteratorPrefixLen, when non-zero, enables prefix iteration by
+	// deriving signatures from a key prefix of this many bytes (§VI).
+	IteratorPrefixLen int
+	// CheckpointEveryOps takes an automatic durability checkpoint every
+	// N mutations (0 = only on Close/Checkpoint).
+	CheckpointEveryOps int64
+	// IncrementalResize grows the index lazily (bounded per-command
+	// migration work) instead of halting the queue for a full
+	// migration — the paper's "real-time index scaling" extension.
+	IncrementalResize bool
+}
+
+// DB is an open emulated KVSSD. Methods are safe for concurrent use;
+// commands serialize on the device firmware as they would on hardware.
+type DB struct {
+	mu   sync.Mutex
+	dev  *device.Device
+	last sim.Time // completion of the previous synchronous command
+}
+
+// Open creates a fresh device (all flash erased).
+func Open(opts Options) (*DB, error) {
+	cfg := device.Config{
+		Capacity:           opts.Capacity,
+		CacheBudget:        opts.CacheBudget,
+		AnticipatedKeys:    opts.AnticipatedKeys,
+		OccupancyThreshold: opts.OccupancyThreshold,
+		HopRange:           opts.HopRange,
+		CheckpointEveryOps: opts.CheckpointEveryOps,
+		IncrementalResize:  opts.IncrementalResize,
+	}
+	switch opts.Index {
+	case RHIK:
+		cfg.Index = device.IndexRHIK
+	case MultiLevel:
+		cfg.Index = device.IndexMultiLevel
+	case LSM:
+		cfg.Index = device.IndexLSM
+	default:
+		return nil, errors.New("rhik: unknown index scheme")
+	}
+	bits := opts.SignatureBits
+	if bits == 0 {
+		bits = 64
+	}
+	cfg.SigScheme = index.SigScheme{Bits: bits, PrefixLen: opts.IteratorPrefixLen}
+	dev, err := device.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dev: dev}, nil
+}
+
+// Store writes a key-value pair synchronously: the call observes the
+// command's full simulated round trip.
+func (db *DB) Store(key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	done, err := db.dev.Store(db.last, key, value)
+	if err != nil {
+		return err
+	}
+	db.last = done
+	return nil
+}
+
+// Retrieve returns a copy of the value stored under key.
+func (db *DB) Retrieve(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, done, err := db.dev.Retrieve(db.last, key)
+	if err != nil {
+		return nil, err
+	}
+	db.last = done
+	return v, nil
+}
+
+// Delete removes key. ErrNotFound if absent.
+func (db *DB) Delete(key []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	done, err := db.dev.Delete(db.last, key)
+	if err != nil {
+		return err
+	}
+	db.last = done
+	return nil
+}
+
+// Exist reports whether key is stored. The device answers from key
+// signatures and verifies the stored key, so the answer is exact.
+func (db *DB) Exist(key []byte) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ok, done, err := db.dev.Exist(db.last, key)
+	if err != nil {
+		return false, err
+	}
+	db.last = done
+	return ok, nil
+}
+
+// Entry is one key (and value) produced by Iterate.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Iterate enumerates keys sharing prefix, sorted, with values. Requires
+// Options.IteratorPrefixLen > 0 and the RHIK index.
+func (db *DB) Iterate(prefix []byte) ([]Entry, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	entries, done, err := db.dev.Iterate(db.last, prefix, true)
+	if err != nil {
+		return nil, err
+	}
+	db.last = done
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{Key: e.Key, Value: e.Value}
+	}
+	return out, nil
+}
+
+// Checkpoint makes all accepted writes durable and persists the index
+// directory, bounding what a crash can lose.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.dev.Checkpoint()
+}
+
+// Restart simulates a power cycle followed by crash recovery. Writes
+// still in the volatile page buffer are lost; everything programmed to
+// flash — including all checkpointed state — survives.
+func (db *DB) Restart() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.dev.Restart(); err != nil {
+		return err
+	}
+	db.last = db.dev.Now()
+	return nil
+}
+
+// Close checkpoints and shuts the device down.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.dev.Close()
+}
+
+// Elapsed reports the total simulated device time consumed so far.
+func (db *DB) Elapsed() time.Duration {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d := db.dev.Drain()
+	if db.last > d {
+		d = db.last
+	}
+	return time.Duration(int64(d))
+}
+
+// Device exposes the underlying emulated device for experiments and
+// tools that need raw access (benchmark harness, cmd/kvcli).
+func (db *DB) Device() *device.Device { return db.dev }

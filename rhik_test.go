@@ -1,0 +1,224 @@
+package rhik_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	rhik "repro"
+)
+
+func openDB(t *testing.T, opts rhik.Options) *rhik.DB {
+	t.Helper()
+	if opts.Capacity == 0 {
+		opts.Capacity = 64 << 20
+	}
+	db, err := rhik.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	db := openDB(t, rhik.Options{})
+	if err := db.Store([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Retrieve([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Retrieve = (%q,%v)", v, err)
+	}
+	ok, err := db.Exist([]byte("hello"))
+	if err != nil || !ok {
+		t.Fatalf("Exist = (%v,%v)", ok, err)
+	}
+	if err := db.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Retrieve([]byte("hello")); !errors.Is(err, rhik.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Store([]byte("x"), nil); !errors.Is(err, rhik.ErrClosed) {
+		t.Fatalf("after close: %v", err)
+	}
+}
+
+func TestPublicStatsAndElapsed(t *testing.T) {
+	db := openDB(t, rhik.Options{})
+	const n = 5000 // past 80% of one 1927-record table: forces re-configuration
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("key-%08d", i)), make([]byte, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.Stores != n || s.IndexRecords != n {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.IndexScheme != "rhik" {
+		t.Fatalf("scheme = %s", s.IndexScheme)
+	}
+	if db.Elapsed() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if s.StoreP50 <= 0 {
+		t.Fatal("no store latency percentile")
+	}
+	if s.Resizes == 0 || len(db.ResizeEvents()) == 0 {
+		t.Fatal("expected resizes growing from minimal index")
+	}
+}
+
+func TestPublicMultiLevelOption(t *testing.T) {
+	db := openDB(t, rhik.Options{Index: rhik.MultiLevel})
+	if err := db.Store([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().IndexScheme != "mlhash" {
+		t.Fatal("wrong scheme")
+	}
+}
+
+func TestPublicLSMOption(t *testing.T) {
+	db := openDB(t, rhik.Options{Index: rhik.LSM})
+	if err := db.Store([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Retrieve([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("(%q,%v)", v, err)
+	}
+	if db.Stats().IndexScheme != "lsm" {
+		t.Fatal("wrong scheme")
+	}
+}
+
+func TestPublicBatchAsyncFasterThanSync(t *testing.T) {
+	mkKeys := func() [][]byte {
+		keys := make([][]byte, 300)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+		}
+		return keys
+	}
+	val := make([]byte, 4096)
+
+	dbSync := openDB(t, rhik.Options{})
+	for _, k := range mkKeys() {
+		if err := dbSync.Store(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncElapsed := dbSync.Elapsed()
+
+	dbAsync := openDB(t, rhik.Options{})
+	var b rhik.Batch
+	for _, k := range mkKeys() {
+		b.Store(k, val)
+	}
+	res := dbAsync.Apply(&b, 0)
+	if res.Failed() != 0 {
+		t.Fatalf("batch failures: %d", res.Failed())
+	}
+	if res.Elapsed >= syncElapsed {
+		t.Fatalf("async batch (%v) not faster than sync (%v)", res.Elapsed, syncElapsed)
+	}
+}
+
+func TestPublicBatchRetrieve(t *testing.T) {
+	db := openDB(t, rhik.Options{})
+	var w rhik.Batch
+	for i := 0; i < 10; i++ {
+		w.Store([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if res := db.Apply(&w, 0); res.Failed() != 0 {
+		t.Fatal("writes failed")
+	}
+	var r rhik.Batch
+	for i := 0; i < 10; i++ {
+		r.Retrieve([]byte(fmt.Sprintf("k%d", i)))
+	}
+	r.Retrieve([]byte("missing"))
+	res := db.Apply(&r, 0)
+	for i := 0; i < 10; i++ {
+		if string(res.Values[i]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("value %d = %q", i, res.Values[i])
+		}
+	}
+	if !errors.Is(res.Errs[10], rhik.ErrNotFound) || res.Failed() != 1 {
+		t.Fatalf("missing-key result: %v", res.Errs[10])
+	}
+}
+
+func TestPublicIterator(t *testing.T) {
+	db := openDB(t, rhik.Options{IteratorPrefixLen: 4})
+	for i := 0; i < 5; i++ {
+		db.Store([]byte(fmt.Sprintf("usr:%d", i)), []byte{byte(i)})
+		db.Store([]byte(fmt.Sprintf("img:%d", i)), []byte{byte(i)})
+	}
+	entries, err := db.Iterate([]byte("usr:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if !bytes.HasPrefix(e.Key, []byte("usr:")) {
+			t.Fatalf("stray key %q", e.Key)
+		}
+	}
+	// Without iterator mode, Iterate must refuse.
+	plain := openDB(t, rhik.Options{})
+	if _, err := plain.Iterate([]byte("x")); !errors.Is(err, rhik.ErrNoIterator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublicCheckpointRestart(t *testing.T) {
+	db := openDB(t, rhik.Options{})
+	for i := 0; i < 200; i++ {
+		db.Store([]byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		v, err := db.Retrieve([]byte(fmt.Sprintf("key-%08d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d after restart: (%q,%v)", i, v, err)
+		}
+	}
+	if db.Stats().Recoveries != 1 {
+		t.Fatal("recovery not counted")
+	}
+}
+
+func TestPublic128BitSignatures(t *testing.T) {
+	db := openDB(t, rhik.Options{SignatureBits: 128})
+	if err := db.Store([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Retrieve([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("(%q,%v)", v, err)
+	}
+}
+
+func TestPublicBadOptions(t *testing.T) {
+	if _, err := rhik.Open(rhik.Options{Index: IndexSchemeBogus}); err == nil {
+		t.Fatal("bogus index scheme accepted")
+	}
+	if _, err := rhik.Open(rhik.Options{SignatureBits: 17}); err == nil {
+		t.Fatal("bad signature bits accepted")
+	}
+}
+
+// IndexSchemeBogus is an out-of-range scheme for option validation tests.
+const IndexSchemeBogus rhik.IndexScheme = 99

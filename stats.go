@@ -1,0 +1,95 @@
+package rhik
+
+import "time"
+
+// Stats is the public observability snapshot of an open device.
+type Stats struct {
+	// Command counts.
+	Stores, Retrieves, Deletes, Exists int64
+	// Host payload traffic.
+	BytesWritten, BytesRead int64
+
+	// Index state.
+	IndexRecords     int64
+	IndexScheme      string
+	DirectoryEntries int
+	Resizes          int
+	ResizeHaltTotal  time.Duration
+	CollisionAborts  int64
+	CacheHits        int64
+	CacheMisses      int64
+
+	// Flash activity.
+	FlashReads, FlashPrograms, FlashErases int64
+	GCRuns                                 int64
+	Checkpoints                            int64
+	Recoveries                             int64
+
+	// Latency percentiles over simulated time.
+	StoreP50, StoreP99       time.Duration
+	RetrieveP50, RetrieveP99 time.Duration
+}
+
+// ResizeEvent is one RHIK re-configuration, exposed for Fig. 7-style
+// analysis.
+type ResizeEvent struct {
+	KeysBefore  int64
+	NewCapacity int64
+	Took        time.Duration
+}
+
+// Stats returns a snapshot of device counters and percentiles.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ds := db.dev.Stats()
+	is := db.dev.IndexStats()
+	fs := db.dev.FlashStats()
+	return Stats{
+		Stores:    ds.Stores,
+		Retrieves: ds.Retrieves,
+		Deletes:   ds.Deletes,
+		Exists:    ds.Exists,
+
+		BytesWritten: ds.BytesWritten,
+		BytesRead:    ds.BytesRead,
+
+		IndexRecords:     is.Records,
+		IndexScheme:      db.dev.Index().Name(),
+		DirectoryEntries: is.DirEntries,
+		Resizes:          is.Resizes,
+		ResizeHaltTotal:  time.Duration(int64(ds.ResizeHalt)),
+		CollisionAborts:  ds.CollisionAborts,
+		CacheHits:        is.Cache.Hits,
+		CacheMisses:      is.Cache.Misses,
+
+		FlashReads:    fs.Reads,
+		FlashPrograms: fs.Programs,
+		FlashErases:   fs.Erases,
+		GCRuns:        ds.GCRuns,
+		Checkpoints:   ds.Checkpoints,
+		Recoveries:    ds.Recoveries,
+
+		StoreP50:    time.Duration(db.dev.StoreLatency().Percentile(50)),
+		StoreP99:    time.Duration(db.dev.StoreLatency().Percentile(99)),
+		RetrieveP50: time.Duration(db.dev.RetrieveLatency().Percentile(50)),
+		RetrieveP99: time.Duration(db.dev.RetrieveLatency().Percentile(99)),
+	}
+}
+
+// ResizeEvents returns RHIK's re-configuration history (empty for the
+// multi-level index).
+func (db *DB) ResizeEvents() []ResizeEvent {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	evs := db.dev.ResizeEvents()
+	out := make([]ResizeEvent, len(evs))
+	for i, e := range evs {
+		out[i] = ResizeEvent{
+			KeysBefore:  e.KeysBefore,
+			NewCapacity: e.NewCapacity,
+			Took:        time.Duration(int64(e.Took)),
+		}
+	}
+	return out
+}
