@@ -3,6 +3,7 @@ package rhik
 import (
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -10,30 +11,27 @@ import (
 // Batch accumulates commands for asynchronous submission: Apply issues
 // them back-to-back (deep queue) so the device's internal parallelism —
 // die-level overlap and pipelined page programs — is exposed, the way
-// the paper's async experiments drive the KVSSD (Fig. 6a/6b).
+// the paper's async experiments drive the KVSSD (Fig. 6a/6b). On a
+// sharded DB the batch is partitioned by the signature router into
+// per-shard sub-batches that execute concurrently; results are joined
+// in submission order.
 type Batch struct {
-	ops []batchOp
-}
-
-type batchOp struct {
-	kind  workload.OpKind
-	key   []byte
-	value []byte
+	ops []shard.Op
 }
 
 // Store queues a put.
 func (b *Batch) Store(key, value []byte) {
-	b.ops = append(b.ops, batchOp{kind: workload.OpStore, key: key, value: value})
+	b.ops = append(b.ops, shard.Op{Kind: workload.OpStore, Key: key, Value: value})
 }
 
 // Retrieve queues a get; the value is returned in BatchResult.Values.
 func (b *Batch) Retrieve(key []byte) {
-	b.ops = append(b.ops, batchOp{kind: workload.OpRetrieve, key: key})
+	b.ops = append(b.ops, shard.Op{Kind: workload.OpRetrieve, Key: key})
 }
 
 // Delete queues a delete.
 func (b *Batch) Delete(key []byte) {
-	b.ops = append(b.ops, batchOp{kind: workload.OpDelete, key: key})
+	b.ops = append(b.ops, shard.Op{Kind: workload.OpDelete, Key: key})
 }
 
 // Len reports the queued command count.
@@ -47,7 +45,8 @@ type BatchResult struct {
 	// Errs holds the per-command error (nil on success).
 	Errs []error
 	// Elapsed is the simulated wall time from first submission to the
-	// last completion, including drain of in-flight flash work.
+	// last completion, including drain of in-flight flash work. Shards
+	// drain in parallel, so this is the slowest shard's span.
 	Elapsed time.Duration
 }
 
@@ -65,40 +64,10 @@ func (r BatchResult) Failed() int {
 // Apply executes the batch asynchronously with the given submission
 // interval between commands (0 means back-to-back).
 func (db *DB) Apply(b *Batch, gap time.Duration) BatchResult {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-
-	res := BatchResult{
-		Values: make([][]byte, len(b.ops)),
-		Errs:   make([]error, len(b.ops)),
+	res := db.set.Apply(b.ops, sim.Duration(gap.Nanoseconds()))
+	return BatchResult{
+		Values:  res.Values,
+		Errs:    res.Errs,
+		Elapsed: time.Duration(int64(res.Elapsed)),
 	}
-	start := db.dev.Now()
-	submit := start
-	var lastDone sim.Time
-	for i, op := range b.ops {
-		var done sim.Time
-		var err error
-		switch op.kind {
-		case workload.OpStore:
-			done, err = db.dev.Store(submit, op.key, op.value)
-		case workload.OpRetrieve:
-			res.Values[i], done, err = db.dev.Retrieve(submit, op.key)
-		case workload.OpDelete:
-			done, err = db.dev.Delete(submit, op.key)
-		}
-		res.Errs[i] = err
-		if done > lastDone {
-			lastDone = done
-		}
-		submit = submit.Add(sim.Duration(gap.Nanoseconds()))
-	}
-	end := db.dev.Drain()
-	if lastDone > end {
-		end = lastDone
-	}
-	if end > db.last {
-		db.last = end
-	}
-	res.Elapsed = time.Duration(int64(end.Sub(start)))
-	return res
 }

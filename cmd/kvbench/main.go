@@ -3,12 +3,18 @@
 // sizes, operation mix, and sync/async submission against the emulated
 // KVSSD, reporting simulated throughput and latency.
 //
+// The device front-end is sharded (-shards) and the host side is
+// multi-threaded (-threads): each thread drives its own op stream into
+// the shared DB, so on a multi-core machine the bench demonstrates
+// wall-clock throughput scaling as shards remove the global serial
+// bottleneck.
+//
 // Examples:
 //
 //	kvbench -n 100000 -value 4096
 //	kvbench -index mlhash -keys zipfian -theta 0.9 -mix readmostly -n 200000
 //	kvbench -mode sync -value 65536 -n 5000
-//	kvbench -dist etc -n 100000
+//	kvbench -shards 8 -threads 8 -keys uniform -mix readmostly -n 200000
 package main
 
 import (
@@ -16,22 +22,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
-	"repro/internal/device"
-	"repro/internal/index"
-	"repro/internal/metrics"
-	"repro/internal/sim"
+	rhik "repro"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		capacity  = flag.Int64("capacity", 1<<30, "emulated capacity in bytes")
-		indexName = flag.String("index", "rhik", "index scheme: rhik, mlhash")
+		indexName = flag.String("index", "rhik", "index scheme: rhik, mlhash, lsm")
 		keyDist   = flag.String("keys", "sequential", "key distribution: sequential, uniform, zipfian")
 		theta     = flag.Float64("theta", 0.99, "zipfian skew")
-		n         = flag.Int64("n", 100_000, "operation count")
+		n         = flag.Int64("n", 100_000, "operation count (split across threads)")
 		keyspace  = flag.Int64("keyspace", 0, "distinct keys for uniform/zipfian (default n)")
 		valueSize = flag.Int("value", 1024, "fixed value size in bytes")
 		dist      = flag.String("dist", "", "value-size distribution: atlas, etc, udb, zippydb, up2x (overrides -value)")
@@ -41,56 +45,35 @@ func main() {
 		cache     = flag.Int64("cache", 10<<20, "index DRAM cache budget")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		incr      = flag.Bool("incremental", false, "incremental (real-time) index resizing")
+		shards    = flag.Int("shards", 0, "device shards, power of two (0 = GOMAXPROCS)")
+		threads   = flag.Int("threads", 1, "concurrent client goroutines")
+		batchSize = flag.Int("batch", 512, "async submission batch size per thread")
 	)
 	flag.Parse()
 
-	cfg := device.Config{
+	opts := rhik.Options{
 		Capacity:          *capacity,
 		CacheBudget:       *cache,
 		IncrementalResize: *incr,
+		Shards:            *shards,
 	}
 	switch *indexName {
 	case "rhik":
-		cfg.Index = device.IndexRHIK
+		opts.Index = rhik.RHIK
 	case "mlhash":
-		cfg.Index = device.IndexMultiLevel
+		opts.Index = rhik.MultiLevel
+	case "lsm":
+		opts.Index = rhik.LSM
 	default:
 		fatalf("unknown index %q", *indexName)
+	}
+	if *threads < 1 {
+		fatalf("-threads must be >= 1")
 	}
 
 	if *keyspace == 0 {
 		*keyspace = *n
 	}
-	var keys workload.KeyGen
-	switch *keyDist {
-	case "sequential":
-		keys = workload.NewSequential(0)
-	case "uniform":
-		keys = workload.NewUniform(uint64(*keyspace), *seed)
-	case "zipfian":
-		keys = workload.NewZipfian(uint64(*keyspace), *theta, *seed)
-	default:
-		fatalf("unknown key distribution %q", *keyDist)
-	}
-
-	var sizes workload.SizeDist = workload.Fixed{Size: *valueSize}
-	switch *dist {
-	case "":
-	case "atlas":
-		sizes = workload.BaiduAtlasWrite(*seed)
-	case "etc":
-		sizes = workload.FacebookETC(*seed)
-	case "udb", "zippydb", "up2x":
-		var err error
-		names := map[string]string{"udb": "UDB", "zippydb": "ZippyDB", "up2x": "UP2X"}
-		sizes, err = workload.RocksDBProfile(names[*dist], *seed)
-		if err != nil {
-			fatalf("%v", err)
-		}
-	default:
-		fatalf("unknown value distribution %q", *dist)
-	}
-
 	var mix workload.Mix
 	switch *mixName {
 	case "write":
@@ -102,8 +85,49 @@ func main() {
 	default:
 		fatalf("unknown mix %q", *mixName)
 	}
+	if *mode != "sync" && *mode != "async" {
+		fatalf("unknown mode %q", *mode)
+	}
 
-	dev, err := device.Open(cfg)
+	// Per-thread stateful generators: each thread owns an independent
+	// key/size/op stream so no generator lock serializes the clients.
+	perThread := (*n + int64(*threads) - 1) / int64(*threads)
+	newKeys := func(tid int) workload.KeyGen {
+		switch *keyDist {
+		case "sequential":
+			return workload.NewSequential(uint64(int64(tid) * perThread))
+		case "uniform":
+			return workload.NewUniform(uint64(*keyspace), *seed+int64(tid))
+		case "zipfian":
+			return workload.NewZipfian(uint64(*keyspace), *theta, *seed+int64(tid))
+		default:
+			fatalf("unknown key distribution %q", *keyDist)
+			return nil
+		}
+	}
+	newSizes := func(tid int) workload.SizeDist {
+		s := *seed + 7*int64(tid)
+		switch *dist {
+		case "":
+			return workload.Fixed{Size: *valueSize}
+		case "atlas":
+			return workload.BaiduAtlasWrite(s)
+		case "etc":
+			return workload.FacebookETC(s)
+		case "udb", "zippydb", "up2x":
+			names := map[string]string{"udb": "UDB", "zippydb": "ZippyDB", "up2x": "UP2X"}
+			sd, err := workload.RocksDBProfile(names[*dist], s)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			return sd
+		default:
+			fatalf("unknown value distribution %q", *dist)
+			return nil
+		}
+	}
+
+	db, err := rhik.Open(opts)
 	if err != nil {
 		fatalf("open: %v", err)
 	}
@@ -111,95 +135,131 @@ func main() {
 	if ks == 16 {
 		ks = 0 // canonical fast path
 	}
-	gen := workload.NewGenerator(keys, sizes, mix, ks, *seed+1)
 
 	// Pre-fill the keyspace for read-bearing mixes.
 	if mix.Retrieve > 0 || mix.Delete > 0 || mix.Exist > 0 {
 		fmt.Fprintf(os.Stderr, "prefilling %d keys...\n", *keyspace)
-		var submit sim.Time
+		sizes := newSizes(0)
 		for i := int64(0); i < *keyspace; i++ {
 			op := workload.Op{Kind: workload.OpStore, KeyID: uint64(i), KeySize: ks, ValueSize: sizes.Next()}
-			if _, err := dev.Store(submit, op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize)); err != nil {
+			if err := db.Store(op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize)); err != nil {
 				fatalf("prefill %d: %v", i, err)
 			}
 		}
-		dev.ResetOpStats()
 	}
+	simStart := db.Elapsed()
 
+	type tally struct {
+		ops, bytesMoved, notFound, collisions int64
+	}
+	tallies := make([]tally, *threads)
 	start := time.Now()
-	simStart := dev.Drain()
-	var last, maxDone sim.Time
-	var submit sim.Time = simStart
-	var lat metrics.Histogram
-	var bytesMoved int64
-	var notFound, collisions int64
-
-	for i := int64(0); i < *n; i++ {
-		op := gen.Next()
-		at := submit
-		if *mode == "sync" {
-			at = last
-			if at < simStart {
-				at = simStart
+	var wg sync.WaitGroup
+	for tid := 0; tid < *threads; tid++ {
+		nOps := perThread
+		if int64(tid+1)*perThread > *n {
+			nOps = *n - int64(tid)*perThread
+		}
+		if nOps <= 0 {
+			break
+		}
+		wg.Add(1)
+		go func(tid int, nOps int64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(newKeys(tid), newSizes(tid), mix, ks, *seed+1+int64(tid))
+			tl := &tallies[tid]
+			record := func(err error) {
+				switch {
+				case err == nil:
+				case errors.Is(err, rhik.ErrNotFound):
+					tl.notFound++
+				case errors.Is(err, rhik.ErrCollision):
+					tl.collisions++
+				default:
+					fatalf("thread %d: %v", tid, err)
+				}
 			}
-		}
-		opStart := dev.Now()
-		var done sim.Time
-		var err error
-		switch op.Kind {
-		case workload.OpStore:
-			done, err = dev.Store(at, op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize))
-			bytesMoved += int64(op.ValueSize)
-		case workload.OpRetrieve:
-			var v []byte
-			v, done, err = dev.Retrieve(at, op.Key())
-			bytesMoved += int64(len(v))
-		case workload.OpDelete:
-			done, err = dev.Delete(at, op.Key())
-		case workload.OpExist:
-			_, done, err = dev.Exist(at, op.Key())
-		}
-		switch {
-		case err == nil:
-		case errors.Is(err, device.ErrNotFound):
-			notFound++
-		case errors.Is(err, index.ErrCollision):
-			collisions++
-		default:
-			fatalf("op %d (%v): %v", i, op.Kind, err)
-		}
-		if done > last {
-			last = done
-		}
-		if done > maxDone {
-			maxDone = done
-		}
-		lat.Record(int64(dev.Now().Sub(opStart)))
+			if *mode == "sync" {
+				for i := int64(0); i < nOps; i++ {
+					op := gen.Next()
+					switch op.Kind {
+					case workload.OpStore:
+						record(db.Store(op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize)))
+						tl.bytesMoved += int64(op.ValueSize)
+					case workload.OpRetrieve:
+						v, err := db.Retrieve(op.Key())
+						record(err)
+						tl.bytesMoved += int64(len(v))
+					case workload.OpDelete:
+						record(db.Delete(op.Key()))
+					case workload.OpExist:
+						_, err := db.Exist(op.Key())
+						record(err)
+					}
+					tl.ops++
+				}
+				return
+			}
+			// Async: deep per-thread batches expose die-level overlap and
+			// fan out across shards inside Apply.
+			for done := int64(0); done < nOps; {
+				var b rhik.Batch
+				for ; done < nOps && b.Len() < *batchSize; done++ {
+					op := gen.Next()
+					switch op.Kind {
+					case workload.OpStore:
+						b.Store(op.Key(), workload.ValuePayload(op.KeyID, op.ValueSize))
+						tl.bytesMoved += int64(op.ValueSize)
+					case workload.OpRetrieve, workload.OpExist:
+						b.Retrieve(op.Key())
+					case workload.OpDelete:
+						b.Delete(op.Key())
+					}
+					tl.ops++
+				}
+				res := db.Apply(&b, 0)
+				for i, err := range res.Errs {
+					record(err)
+					tl.bytesMoved += int64(len(res.Values[i]))
+				}
+			}
+		}(tid, nOps)
 	}
-	end := dev.Drain()
-	if maxDone > end {
-		end = maxDone
-	}
-	elapsed := end.Sub(simStart)
+	wg.Wait()
+	wall := time.Since(start)
+	simElapsed := db.Elapsed() - simStart
 
-	fmt.Printf("workload: %s keys, %s values, mix=%s, mode=%s, index=%s\n",
-		*keyDist, sizes.Name(), *mixName, *mode, *indexName)
-	fmt.Printf("ops: %d (%d not-found, %d collision aborts)\n", *n, notFound, collisions)
-	fmt.Printf("simulated: %v   wall: %v\n", elapsed, time.Since(start).Round(time.Millisecond))
-	if elapsed > 0 {
-		fmt.Printf("throughput: %.1f kops/s, %.1f MB/s (simulated)\n",
-			float64(*n)/elapsed.Seconds()/1e3, float64(bytesMoved)/elapsed.Seconds()/1e6)
+	var tot tally
+	for _, tl := range tallies {
+		tot.ops += tl.ops
+		tot.bytesMoved += tl.bytesMoved
+		tot.notFound += tl.notFound
+		tot.collisions += tl.collisions
 	}
-	fmt.Printf("firmware occupancy per op: p50=%v p99=%v max=%v\n",
-		sim.Duration(lat.Percentile(50)), sim.Duration(lat.Percentile(99)), sim.Duration(lat.Max()))
 
-	is := dev.IndexStats()
-	fs := dev.FlashStats()
-	ds := dev.Stats()
+	fmt.Printf("workload: %s keys, mix=%s, mode=%s, index=%s, shards=%d, threads=%d\n",
+		*keyDist, *mixName, *mode, *indexName, db.Shards(), *threads)
+	fmt.Printf("ops: %d (%d not-found, %d collision aborts)\n", tot.ops, tot.notFound, tot.collisions)
+	fmt.Printf("simulated: %v   wall: %v\n", simElapsed, wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Printf("wall throughput: %.1f kops/s\n", float64(tot.ops)/wall.Seconds()/1e3)
+	}
+	if simElapsed > 0 {
+		fmt.Printf("simulated throughput: %.1f kops/s, %.1f MB/s\n",
+			float64(tot.ops)/simElapsed.Seconds()/1e3, float64(tot.bytesMoved)/simElapsed.Seconds()/1e6)
+	}
+
+	s := db.Stats()
+	fmt.Printf("latency: store p50=%v p99=%v, retrieve p50=%v p99=%v (simulated)\n",
+		s.StoreP50, s.StoreP99, s.RetrieveP50, s.RetrieveP99)
+	missRatio := 0.0
+	if s.CacheHits+s.CacheMisses > 0 {
+		missRatio = float64(s.CacheMisses) / float64(s.CacheHits+s.CacheMisses)
+	}
 	fmt.Printf("index: records=%d dirEntries=%d resizes=%d cacheMiss=%.3f\n",
-		is.Records, is.DirEntries, is.Resizes, is.Cache.MissRatio())
+		s.IndexRecords, s.DirectoryEntries, s.Resizes, missRatio)
 	fmt.Printf("flash: reads=%d programs=%d erases=%d gcRuns=%d resizeHalt=%v\n",
-		fs.Reads, fs.Programs, fs.Erases, ds.GCRuns, ds.ResizeHalt)
+		s.FlashReads, s.FlashPrograms, s.FlashErases, s.GCRuns, s.ResizeHaltTotal)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,95 @@
+package rhik_test
+
+import (
+	"fmt"
+	"testing"
+
+	rhik "repro"
+)
+
+// deterministicTrace drives a fixed mixed workload and returns a
+// fingerprint of everything timing-related the public API exposes. The
+// trace exercises stores (with resizes), retrieves, deletes, exists, and
+// an async batch, so any drift in the firmware timing model or the
+// front-end's submission bookkeeping changes the fingerprint.
+func deterministicTrace(t *testing.T, opts rhik.Options) string {
+	t.Helper()
+	opts.Capacity = 64 << 20
+	db, err := rhik.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+	val := func(i int) []byte {
+		v := make([]byte, 64+(i*37)%512)
+		for j := range v {
+			v[j] = byte(i + j)
+		}
+		return v
+	}
+
+	for i := 0; i < 2500; i++ {
+		if err := db.Store(key(i), val(i)); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := db.Retrieve(key((i * 7) % 2500)); err != nil {
+			t.Fatalf("retrieve %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Delete(key(i * 3)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exist(key(i * 11)); err != nil {
+			t.Fatalf("exist %d: %v", i, err)
+		}
+	}
+
+	var b rhik.Batch
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			b.Store(key(3000+i), val(i))
+		case 1:
+			b.Retrieve(key(i * 2 % 2500))
+		case 2:
+			b.Delete(key(1000 + i))
+		}
+	}
+	res := db.Apply(&b, 0)
+
+	s := db.Stats()
+	return fmt.Sprintf(
+		"elapsed=%d batch=%d failed=%d stores=%d retrieves=%d deletes=%d exists=%d "+
+			"bw=%d br=%d resizes=%d flash=%d/%d/%d "+
+			"storeLat{%s} getLat{%s}",
+		db.Elapsed().Nanoseconds(), res.Elapsed.Nanoseconds(), res.Failed(),
+		s.Stores, s.Retrieves, s.Deletes, s.Exists,
+		s.BytesWritten, s.BytesRead, s.Resizes,
+		s.FlashReads, s.FlashPrograms, s.FlashErases,
+		db.Device().StoreLatency().Summary(), db.Device().RetrieveLatency().Summary(),
+	)
+}
+
+// TestSingleShardTimingUnchanged pins the single-shard timing behavior to
+// the pre-sharding seed: with Shards: 1 the sharded front-end must be a
+// pass-through, so the fingerprint of a fixed trace — total elapsed
+// simulated time, batch elapsed, and the full latency histogram digests —
+// is byte-identical to the value recorded on the seed tree.
+func TestSingleShardTimingUnchanged(t *testing.T) {
+	const golden = "elapsed=137845354 batch=21274604 failed=0 stores=2600 retrieves=600 deletes=300 exists=100 " +
+		"bw=855384 br=188622 resizes=1 flash=975/28/0 " +
+		"storeLat{n=2600 mean=417037.4 p50=12031 p90=12031 p99=15466495 max=21066272} " +
+		"getLat{n=600 mean=1866122.5 p50=112639 p90=8650751 p99=19398655 max=21170238}"
+	got := deterministicTrace(t, rhik.Options{Shards: 1})
+	t.Logf("fingerprint: %s", got)
+	if got != golden {
+		t.Fatalf("single-shard timing drifted from seed:\n got: %s\nwant: %s", got, golden)
+	}
+}

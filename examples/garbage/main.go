@@ -16,7 +16,8 @@ import (
 )
 
 func main() {
-	db, err := rhik.Open(rhik.Options{Capacity: 64 << 20})
+	// One shard so the whole 64 MiB budget backs a single device's GC.
+	db, err := rhik.Open(rhik.Options{Capacity: 64 << 20, Shards: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -42,6 +42,7 @@ func main() {
 			Capacity:    256 << 20,
 			Index:       scheme.s,
 			CacheBudget: cache,
+			Shards:      1, // Device() op-stats cover a single device
 		})
 		if err != nil {
 			log.Fatal(err)

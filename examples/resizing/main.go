@@ -15,7 +15,8 @@ import (
 )
 
 func main() {
-	db, err := rhik.Open(rhik.Options{Capacity: 512 << 20})
+	// One shard: a single directory makes the doubling cascade visible.
+	db, err := rhik.Open(rhik.Options{Capacity: 512 << 20, Shards: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

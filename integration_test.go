@@ -16,7 +16,9 @@ import (
 // writes, resizes, GC, tombstones, checkpointing, crash recovery —
 // against an in-memory oracle.
 func TestIntegrationMixedWorkloadWithRecovery(t *testing.T) {
-	db := openDB(t, rhik.Options{Capacity: 64 << 20, CheckpointEveryOps: 2500})
+	// Shards: 1 — the mid-run resize assertion needs the whole key
+	// population in one device's directory.
+	db := openDB(t, rhik.Options{Capacity: 64 << 20, CheckpointEveryOps: 2500, Shards: 1})
 	oracle := map[string][]byte{}
 	rng := rand.New(rand.NewSource(99))
 

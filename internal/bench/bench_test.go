@@ -30,7 +30,17 @@ func TestTable1RangesMatchPaperDecades(t *testing.T) {
 	}
 }
 
+// skipIfShort gates the full experiment suites: each replays a paper
+// figure end to end, which is far too slow under the race detector.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment suite; skipped with -short")
+	}
+}
+
 func TestFig2BandwidthCollapsesWithKeyCount(t *testing.T) {
+	skipIfShort(t)
 	results, err := Fig2(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +65,7 @@ func TestFig2BandwidthCollapsesWithKeyCount(t *testing.T) {
 }
 
 func TestFig5RHIKBeatsMultiLevel(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig5(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +112,7 @@ func TestFig5RHIKBeatsMultiLevel(t *testing.T) {
 }
 
 func TestFig6RHIKWinsAndAsyncBeatsSync(t *testing.T) {
+	skipIfShort(t)
 	cells, err := Fig6(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +149,7 @@ func TestFig6RHIKWinsAndAsyncBeatsSync(t *testing.T) {
 }
 
 func TestFig7RateNearOne(t *testing.T) {
+	skipIfShort(t)
 	rows, err := Fig7(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +174,7 @@ func TestFig7RateNearOne(t *testing.T) {
 }
 
 func TestFig8aKeySizeInsensitive(t *testing.T) {
+	skipIfShort(t)
 	results, err := Fig8a(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +200,7 @@ func TestFig8aKeySizeInsensitive(t *testing.T) {
 }
 
 func TestFig8bDegradesAboveEighty(t *testing.T) {
+	skipIfShort(t)
 	results, err := Fig8b(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -219,6 +234,7 @@ func TestScaleHelpers(t *testing.T) {
 }
 
 func TestAblationResizeModeTailLatency(t *testing.T) {
+	skipIfShort(t)
 	rows, err := AblationResizeMode(io.Discard, Quick())
 	if err != nil {
 		t.Fatal(err)

@@ -195,8 +195,11 @@ type Stats struct {
 	CollisionAborts int64
 }
 
-// Device is the emulated KVSSD. It is safe for single-goroutine use; the
-// public facade adds locking.
+// Device is the emulated KVSSD. It is NOT safe for concurrent use: all
+// methods must be externally serialized. The sharded front-end
+// (internal/shard) gives each Device its own mutex and routes commands
+// by key signature, so one Device only ever sees one goroutine at a
+// time while different shards run in parallel.
 type Device struct {
 	cfg    Config
 	clock  *sim.Clock

@@ -1,0 +1,94 @@
+package hopscotch
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// FuzzHopscotchTable differentially fuzzes a table against a
+// map[uint64]uint64 model. The input bytes choose the geometry and an
+// op stream; keys are drawn from a pool deliberately seeded with
+// signatures sharing one home bucket (adversarial collisions that force
+// hopscotch displacement chains), plus a spread of ordinary signatures.
+// After the op stream the table is serialized and decoded into a fresh
+// table, which must reproduce the model exactly.
+func FuzzHopscotchTable(f *testing.F) {
+	f.Add([]byte{8, 2, 0, 1, 0, 2, 0, 3, 1, 1, 2, 1})       // puts then gets/deletes
+	f.Add([]byte{3, 1, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5}) // overfill a tiny table
+	f.Add([]byte{31, 8, 0, 9, 0, 9, 2, 9, 1, 9})            // update + delete same key
+	f.Add([]byte{60, 1})                                     // no ops, empty roundtrip
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		capacity := 1 + int(data[0])%61
+		hopRange := 1 + int(data[1])%MaxHopRange
+		tb := New(capacity, hopRange)
+		model := map[uint64]uint64{}
+
+		// Key pool: half adversarial (same home bucket), half spread.
+		pool := make([]uint64, 0, 16)
+		for s := uint64(1); len(pool) < 8 && s < 1<<20; s++ {
+			if int(hash.Mix64(s)%uint64(capacity)) == 0 {
+				pool = append(pool, s)
+			}
+		}
+		for s := uint64(1 << 32); len(pool) < 16; s += 0x9e3779b9 {
+			pool = append(pool, s)
+		}
+
+		ops := data[2:]
+		for i := 0; i+1 < len(ops); i += 2 {
+			sig := pool[int(ops[i+1])%len(pool)]
+			ppa := uint64(i/2) + 1
+			switch ops[i] % 3 {
+			case 0: // put
+				replaced, err := tb.Put(sig, ppa)
+				_, has := model[sig]
+				if err != nil {
+					if has {
+						t.Fatalf("op %d: update of present sig %#x failed: %v", i, sig, err)
+					}
+					break // full neighborhood: model unchanged
+				}
+				if replaced != has {
+					t.Fatalf("op %d: Put replaced=%v, model has=%v", i, replaced, has)
+				}
+				model[sig] = ppa
+			case 1: // get
+				got, ok := tb.Get(sig)
+				want, has := model[sig]
+				if ok != has || (has && got != want) {
+					t.Fatalf("op %d: Get(%#x) = (%d,%v), model (%d,%v)", i, sig, got, ok, want, has)
+				}
+			case 2: // delete
+				got, ok := tb.Delete(sig)
+				want, has := model[sig]
+				if ok != has || (has && got != want) {
+					t.Fatalf("op %d: Delete(%#x) = (%d,%v), model (%d,%v)", i, sig, got, ok, want, has)
+				}
+				delete(model, sig)
+			}
+			if tb.Len() != len(model) {
+				t.Fatalf("op %d: Len=%d, model %d", i, tb.Len(), len(model))
+			}
+		}
+
+		// Serialize → decode → everything must survive byte-exactly.
+		buf := make([]byte, tb.EncodedBytes())
+		tb.EncodeTo(buf)
+		fresh := New(capacity, hopRange)
+		if err := fresh.DecodeFrom(buf); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if fresh.Len() != len(model) {
+			t.Fatalf("decoded Len=%d, model %d", fresh.Len(), len(model))
+		}
+		for sig, want := range model {
+			if got, ok := fresh.Get(sig); !ok || got != want {
+				t.Fatalf("decoded Get(%#x) = (%d,%v), want %d", sig, got, ok, want)
+			}
+		}
+	})
+}

@@ -158,6 +158,33 @@ func (h *Histogram) CountAtMost(v int64) uint64 {
 	return cum
 }
 
+// Merge folds every observation of o into h. Bucket counts add
+// exactly, so percentile estimates over the merged histogram are
+// identical to recording both observation streams into one histogram.
+// The sharded front-end uses this to aggregate per-shard latency
+// distributions into one device-wide view.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64, len(o.counts))
+		h.min = o.min
+		h.max = o.max
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Reset discards all observations.
 func (h *Histogram) Reset() {
 	h.counts = nil

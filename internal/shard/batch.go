@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Op is one queued asynchronous command.
+type Op struct {
+	Kind  workload.OpKind
+	Key   []byte
+	Value []byte
+}
+
+// BatchResult reports the outcome of an asynchronous batch, joined back
+// into submission order.
+type BatchResult struct {
+	// Values holds retrieved values, indexed like the submitted ops
+	// (nil for non-retrieves and failed retrieves).
+	Values [][]byte
+	// Errs holds the per-op error (nil on success).
+	Errs []error
+	// Elapsed is the simulated wall time from first submission to last
+	// completion. Shards drain in parallel, so this is the maximum of
+	// the per-shard batch spans.
+	Elapsed sim.Duration
+}
+
+// Apply executes ops asynchronously: the batch is partitioned by the
+// signature router into per-shard sub-batches that the shards execute
+// concurrently, and results are joined in submission order. Within a
+// shard, op i is submitted at that shard's batch start plus i×gap —
+// the host's global submission cadence — so a single-shard Set times
+// batches exactly like the pre-sharding device.
+func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
+	res := BatchResult{
+		Values: make([][]byte, len(ops)),
+		Errs:   make([]error, len(ops)),
+	}
+
+	// Partition into per-shard sub-batches, remembering each op's
+	// global position for both the submission offset and the join.
+	sub := make([][]int, len(s.shards))
+	for i, op := range ops {
+		si := s.route(s.scheme.Compute(op.Key))
+		sub[si] = append(sub[si], i)
+	}
+
+	spans := make([]sim.Duration, len(s.shards))
+	var wg sync.WaitGroup
+	for si, idxs := range sub {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			sh := s.shards[si]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+
+			start := sh.dev.Now()
+			var lastDone sim.Time
+			for _, i := range idxs {
+				submit := start.Add(sim.Duration(i) * gap)
+				op := ops[i]
+				var done sim.Time
+				var err error
+				switch op.Kind {
+				case workload.OpStore:
+					done, err = sh.dev.Store(submit, op.Key, op.Value)
+				case workload.OpRetrieve:
+					res.Values[i], done, err = sh.dev.Retrieve(submit, op.Key)
+				case workload.OpDelete:
+					done, err = sh.dev.Delete(submit, op.Key)
+				case workload.OpExist:
+					_, done, err = sh.dev.Exist(submit, op.Key)
+				}
+				res.Errs[i] = err
+				if done > lastDone {
+					lastDone = done
+				}
+			}
+			end := sh.dev.Drain()
+			if lastDone > end {
+				end = lastDone
+			}
+			if end > sh.last {
+				sh.last = end
+			}
+			spans[si] = end.Sub(start)
+		}(si, idxs)
+	}
+	wg.Wait()
+
+	for _, sp := range spans {
+		if sp > res.Elapsed {
+			res.Elapsed = sp
+		}
+	}
+	return res
+}

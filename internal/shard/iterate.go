@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// Iterate enumerates keys sharing prefix across every shard and merges
+// the per-shard sorted streams into one sorted result. Routing uses the
+// high signature bits while iterator-mode signatures reserve the low 32
+// bits for the prefix, so a prefix's keys are spread over all shards but
+// stay clustered within each: the fan-out costs one bounded bucket scan
+// per shard, executed concurrently.
+func (s *Set) Iterate(prefix []byte) ([]device.IterEntry, error) {
+	per := make([][]device.IterEntry, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			entries, done, err := sh.dev.Iterate(sh.last, prefix, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh.last = done
+			per[i] = entries
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeSorted(per), nil
+}
+
+// mergeSorted merges per-shard key-sorted entry lists. Shards own
+// disjoint signature ranges, so keys never repeat across lists.
+func mergeSorted(lists [][]device.IterEntry) []device.IterEntry {
+	live := lists[:0:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]device.IterEntry, 0, total)
+	heads := make([]int, len(live))
+	for len(out) < total {
+		best := -1
+		for i, l := range live {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || bytes.Compare(l[heads[i]].Key, live[best][heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		out = append(out, live[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

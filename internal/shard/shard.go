@@ -1,0 +1,201 @@
+// Package shard implements the sharded front-end of the emulated KVSSD:
+// N independent device instances — each with its own lock, simulated
+// clock, and index — behind a signature-based router. Real KVSSDs spread
+// work across channels; here each shard models one such channel-group,
+// so N shards execute commands with true host-side parallelism while
+// every shard individually preserves the paper's per-device semantics
+// (resize, GC, and collision accounting stay per-shard).
+//
+// Routing uses the TOP log2(N) bits of the key signature. The RHIK
+// directory consumes the LOW signature bits (sig.Lo & (dirSize-1)), and
+// iterator-mode signatures dedicate the low 32 bits to the key prefix,
+// so routing on high bits keeps per-shard directories dense and leaves
+// prefix locality intact. Prefix iteration therefore fans out to every
+// shard and merges the per-shard sorted results.
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/index"
+	"repro/internal/sim"
+)
+
+// Shard is one emulated device plus the host-side submission state for
+// its command stream. The mutex serializes commands on this shard only;
+// commands on different shards run concurrently.
+type Shard struct {
+	mu   sync.Mutex
+	dev  *device.Device
+	last sim.Time // completion of the previous synchronous command
+}
+
+// Device exposes the shard's device. Callers must not issue commands
+// concurrently with Set operations; tools use this between phases.
+func (s *Shard) Device() *device.Device { return s.dev }
+
+// Set is a group of 2^k shards behind a signature router.
+type Set struct {
+	shards []*Shard
+	scheme index.SigScheme
+	shift  uint // 64 - log2(len(shards)); Lo >> shift selects the shard
+}
+
+// New opens n fresh shards, each configured with cfg. n must be a power
+// of two; the caller is responsible for dividing device-wide budgets
+// (capacity, cache, anticipated keys) across the per-shard cfg.
+func New(n int, cfg device.Config) (*Set, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, errors.New("shard: shard count must be a power of two >= 1")
+	}
+	s := &Set{shards: make([]*Shard, n)}
+	k := uint(0)
+	for 1<<k < n {
+		k++
+	}
+	s.shift = 64 - k
+	for i := range s.shards {
+		dev, err := device.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = &Shard{dev: dev}
+	}
+	s.scheme = s.shards[0].dev.Scheme()
+	return s, nil
+}
+
+// N reports the shard count.
+func (s *Set) N() int { return len(s.shards) }
+
+// Shard returns shard i.
+func (s *Set) Shard(i int) *Shard { return s.shards[i] }
+
+// RouteKey reports which shard owns key.
+func (s *Set) RouteKey(key []byte) int {
+	return s.route(s.scheme.Compute(key))
+}
+
+func (s *Set) route(sig index.Sig) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(sig.Lo >> s.shift)
+}
+
+func (s *Set) shardOf(key []byte) *Shard {
+	return s.shards[s.route(s.scheme.Compute(key))]
+}
+
+// Store routes a synchronous put to the owning shard. The call observes
+// the command's full simulated round trip on that shard's timeline.
+func (s *Set) Store(key, value []byte) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	done, err := sh.dev.Store(sh.last, key, value)
+	if err != nil {
+		return err
+	}
+	sh.last = done
+	return nil
+}
+
+// Retrieve routes a synchronous get to the owning shard.
+func (s *Set) Retrieve(key []byte) ([]byte, error) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, done, err := sh.dev.Retrieve(sh.last, key)
+	if err != nil {
+		return nil, err
+	}
+	sh.last = done
+	return v, nil
+}
+
+// Delete routes a synchronous delete to the owning shard.
+func (s *Set) Delete(key []byte) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	done, err := sh.dev.Delete(sh.last, key)
+	if err != nil {
+		return err
+	}
+	sh.last = done
+	return nil
+}
+
+// Exist routes a synchronous membership check to the owning shard.
+func (s *Set) Exist(key []byte) (bool, error) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ok, done, err := sh.dev.Exist(sh.last, key)
+	if err != nil {
+		return false, err
+	}
+	sh.last = done
+	return ok, nil
+}
+
+// Checkpoint makes accepted writes durable on every shard.
+func (s *Set) Checkpoint() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		errs = append(errs, sh.dev.Checkpoint())
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Restart power-cycles every shard: one device-wide crash takes all
+// channels down together, and each shard recovers independently.
+func (s *Set) Restart() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if err := sh.dev.Restart(); err != nil {
+			errs = append(errs, err)
+		} else {
+			sh.last = sh.dev.Now()
+		}
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Close checkpoints and shuts down every shard.
+func (s *Set) Close() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		errs = append(errs, sh.dev.Close())
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Elapsed merges the per-shard clocks into device-wide elapsed time.
+// Shards execute in parallel — they model independent channel groups —
+// so the merged value is the maximum over shards of that shard's drain
+// time and last synchronous completion, not the sum.
+func (s *Set) Elapsed() sim.Duration {
+	var m sim.Time
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		t := sh.dev.Drain()
+		if sh.last > t {
+			t = sh.last
+		}
+		sh.mu.Unlock()
+		if t > m {
+			m = t
+		}
+	}
+	return sim.Duration(m)
+}

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newSet(t *testing.T, n int) *Set {
+	t.Helper()
+	set, err := New(n, device.Config{Capacity: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestRouterCoversAllShards checks the high-bit router actually spreads
+// a uniform key population over every shard, with no shard starved.
+func TestRouterCoversAllShards(t *testing.T) {
+	set := newSet(t, 8)
+	hits := make([]int, 8)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		hits[set.RouteKey(workload.KeyBytes(uint64(i)))]++
+	}
+	for i, h := range hits {
+		// Uniform expectation is n/8 = 500; allow wide slack.
+		if h < n/8/2 || h > n/8*2 {
+			t.Fatalf("shard %d got %d of %d keys: router skewed (%v)", i, h, n, hits)
+		}
+	}
+}
+
+// TestRouteIsStable: the same key always routes to the same shard, and
+// the route matches where Store actually placed it.
+func TestRouteIsStable(t *testing.T) {
+	set := newSet(t, 4)
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("stable-%d", i))
+		want := set.RouteKey(key)
+		if err := set.Store(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if got := set.RouteKey(key); got != want {
+			t.Fatalf("route of %q moved: %d -> %d", key, want, got)
+		}
+		// The owning shard's device must hold the record.
+		if set.Shard(want).Device().Stats().Stores == 0 {
+			t.Fatalf("shard %d has no stores after owning %q", want, key)
+		}
+	}
+}
+
+// TestRejectsBadShardCounts rejects zero, negative, and non-power-of-two.
+func TestRejectsBadShardCounts(t *testing.T) {
+	for _, n := range []int{0, -2, 3, 5, 12} {
+		if _, err := New(n, device.Config{Capacity: 16 << 20}); err == nil {
+			t.Fatalf("New(%d) accepted", n)
+		}
+	}
+}
+
+// TestElapsedIsMaxOfShardClocks: loading one shard hard must not inflate
+// the merged clock by the idle shards, and the merged clock equals the
+// busiest shard's.
+func TestElapsedIsMaxOfShardClocks(t *testing.T) {
+	set := newSet(t, 2)
+	// Drive keys until both shards have seen at least one op.
+	var perShard [2]int
+	for i := 0; perShard[0] == 0 || perShard[1] == 0; i++ {
+		key := workload.KeyBytes(uint64(i))
+		if err := set.Store(key, make([]byte, 512)); err != nil {
+			t.Fatal(err)
+		}
+		perShard[set.RouteKey(key)]++
+	}
+	var want sim.Time
+	for i := 0; i < 2; i++ {
+		sh := set.Shard(i)
+		tl := sh.dev.Drain()
+		if sh.last > tl {
+			tl = sh.last
+		}
+		if tl > want {
+			want = tl
+		}
+	}
+	if got := set.Elapsed(); got != sim.Duration(want) {
+		t.Fatalf("Elapsed=%v, want max shard clock %v", got, sim.Duration(want))
+	}
+}
+
+// TestApplyJoinsSubmissionOrder: a batch spanning all shards returns
+// values and errors indexed exactly like the submitted ops.
+func TestApplyJoinsSubmissionOrder(t *testing.T) {
+	set := newSet(t, 4)
+	var ops []Op
+	const n = 64
+	for i := 0; i < n; i++ {
+		ops = append(ops, Op{Kind: workload.OpStore,
+			Key:   []byte(fmt.Sprintf("bk-%03d", i)),
+			Value: []byte(fmt.Sprintf("bv-%03d", i))})
+	}
+	if res := set.Apply(ops, 0); res.Elapsed <= 0 {
+		t.Fatalf("store batch elapsed %v", res.Elapsed)
+	}
+	ops = ops[:0]
+	for i := n - 1; i >= 0; i-- { // reversed order to catch index mixups
+		ops = append(ops, Op{Kind: workload.OpRetrieve, Key: []byte(fmt.Sprintf("bk-%03d", i))})
+	}
+	res := set.Apply(ops, 0)
+	for j := 0; j < n; j++ {
+		want := fmt.Sprintf("bv-%03d", n-1-j)
+		if res.Errs[j] != nil || string(res.Values[j]) != want {
+			t.Fatalf("slot %d = (%q, %v), want %q", j, res.Values[j], res.Errs[j], want)
+		}
+	}
+}
+
+// TestMergeSortedInterleaves exercises the iterator merge directly.
+func TestMergeSortedInterleaves(t *testing.T) {
+	mk := func(keys ...string) []device.IterEntry {
+		out := make([]device.IterEntry, len(keys))
+		for i, k := range keys {
+			out[i] = device.IterEntry{Key: []byte(k)}
+		}
+		return out
+	}
+	got := mergeSorted([][]device.IterEntry{
+		mk("a", "d", "g"),
+		nil,
+		mk("b", "e"),
+		mk("c", "f", "h", "i"),
+	})
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if string(got[i].Key) != w {
+			t.Fatalf("merged[%d] = %q, want %q", i, got[i].Key, w)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"repro/internal/device"
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/nand"
+)
+
+// Stats is the aggregated observability snapshot of a shard set.
+// Counters sum across shards; Recoveries is the maximum instead, because
+// a Restart power-cycles every shard as one device-wide event. Latency
+// histograms are exact merges of the per-shard distributions.
+type Stats struct {
+	Dev    device.Stats
+	Index  index.Stats
+	Flash  nand.Stats
+	Scheme string
+
+	StoreLat    metrics.Histogram
+	RetrieveLat metrics.Histogram
+	MetaPerOp   metrics.Histogram
+}
+
+// Stats locks each shard in turn and merges its counters and histograms.
+func (s *Set) Stats() Stats {
+	var out Stats
+	out.Scheme = s.shards[0].dev.Index().Name()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ds := sh.dev.Stats()
+		is := sh.dev.IndexStats()
+		fs := sh.dev.FlashStats()
+
+		out.Dev.Stores += ds.Stores
+		out.Dev.Retrieves += ds.Retrieves
+		out.Dev.Deletes += ds.Deletes
+		out.Dev.Exists += ds.Exists
+		out.Dev.Iterates += ds.Iterates
+		out.Dev.BytesWritten += ds.BytesWritten
+		out.Dev.BytesRead += ds.BytesRead
+		out.Dev.GCRuns += ds.GCRuns
+		out.Dev.GCPagesMoved += ds.GCPagesMoved
+		out.Dev.GCBytesMoved += ds.GCBytesMoved
+		out.Dev.Checkpoints += ds.Checkpoints
+		out.Dev.ResizeHalt += ds.ResizeHalt
+		out.Dev.CollisionAborts += ds.CollisionAborts
+		if ds.Recoveries > out.Dev.Recoveries {
+			out.Dev.Recoveries = ds.Recoveries
+		}
+
+		out.Index.Records += is.Records
+		out.Index.Collisions += is.Collisions
+		out.Index.Resizes += is.Resizes
+		out.Index.DirEntries += is.DirEntries
+		out.Index.DRAMBytes += is.DRAMBytes
+		out.Index.Cache.Hits += is.Cache.Hits
+		out.Index.Cache.Misses += is.Cache.Misses
+
+		out.Flash.Reads += fs.Reads
+		out.Flash.Programs += fs.Programs
+		out.Flash.Erases += fs.Erases
+		out.Flash.ReadBytes += fs.ReadBytes
+		out.Flash.WriteBytes += fs.WriteBytes
+
+		out.StoreLat.Merge(sh.dev.StoreLatency())
+		out.RetrieveLat.Merge(sh.dev.RetrieveLatency())
+		out.MetaPerOp.Merge(sh.dev.MetaReadsPerOp())
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ResizeEvents concatenates each shard's re-configuration history in
+// shard order.
+func (s *Set) ResizeEvents() []index.ResizeEvent {
+	var out []index.ResizeEvent
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.dev.ResizeEvents()...)
+		sh.mu.Unlock()
+	}
+	return out
+}

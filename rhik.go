@@ -12,6 +12,13 @@
 // device time, deterministic across runs, so experiments are both fast
 // and reproducible.
 //
+// The front-end is sharded: Options.Shards partitions the key space by
+// signature bits across independent emulated devices, each with its own
+// lock and simulated clock, so concurrent callers on different shards
+// proceed in parallel (internal/shard). With Shards: 1 the behavior —
+// including every simulated timestamp — is identical to a single
+// unsharded device.
+//
 //	db, err := rhik.Open(rhik.Options{Capacity: 1 << 30})
 //	...
 //	err = db.Store([]byte("user:42"), profile)
@@ -20,12 +27,12 @@ package rhik
 
 import (
 	"errors"
-	"sync"
+	"runtime"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/index"
-	"repro/internal/sim"
+	"repro/internal/shard"
 )
 
 // Errors surfaced by the API.
@@ -64,15 +71,23 @@ const (
 
 // Options configures an emulated KVSSD.
 type Options struct {
-	// Capacity is the emulated device capacity in bytes (default 1 GiB).
+	// Capacity is the emulated device capacity in bytes (default 1 GiB),
+	// divided evenly across shards.
 	Capacity int64
 	// Index selects the indexing scheme (default RHIK).
 	Index IndexScheme
+	// Shards is the number of independently locked and clocked device
+	// shards the key space is partitioned across by signature bits. It
+	// must be a power of two; the default is the largest power of two
+	// not exceeding runtime.GOMAXPROCS(0). Shards: 1 reproduces the
+	// unsharded device exactly.
+	Shards int
 	// CacheBudget bounds the device DRAM available to the index
-	// (default 10 MB, the paper's Fig. 5 budget).
+	// (default 10 MB, the paper's Fig. 5 budget), divided across shards.
 	CacheBudget int64
-	// AnticipatedKeys pre-sizes RHIK's directory via Eq. 2; zero starts
-	// minimal and lets re-configuration grow it.
+	// AnticipatedKeys pre-sizes RHIK's directory via Eq. 2 (divided
+	// across shards); zero starts minimal and lets re-configuration
+	// grow it.
 	AnticipatedKeys int64
 	// OccupancyThreshold is RHIK's resize trigger in (0,1] (default 0.8).
 	OccupancyThreshold float64
@@ -84,7 +99,8 @@ type Options struct {
 	// deriving signatures from a key prefix of this many bytes (§VI).
 	IteratorPrefixLen int
 	// CheckpointEveryOps takes an automatic durability checkpoint every
-	// N mutations (0 = only on Close/Checkpoint).
+	// N mutations device-wide (0 = only on Close/Checkpoint); each
+	// shard checkpoints every N/Shards of its own mutations.
 	CheckpointEveryOps int64
 	// IncrementalResize grows the index lazily (bounded per-command
 	// migration work) instead of halting the queue for a full
@@ -92,23 +108,54 @@ type Options struct {
 	IncrementalResize bool
 }
 
-// DB is an open emulated KVSSD. Methods are safe for concurrent use;
-// commands serialize on the device firmware as they would on hardware.
+// DB is an open emulated KVSSD. Methods are safe for concurrent use:
+// commands serialize per shard, as they would on one hardware channel
+// group, and commands on different shards run in parallel.
 type DB struct {
-	mu   sync.Mutex
-	dev  *device.Device
-	last sim.Time // completion of the previous synchronous command
+	set *shard.Set
+}
+
+// defaultShards is the largest power of two ≤ runtime.GOMAXPROCS(0).
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // Open creates a fresh device (all flash erased).
 func Open(opts Options) (*DB, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = defaultShards()
+	}
+	if n < 1 || n&(n-1) != 0 {
+		return nil, errors.New("rhik: Shards must be a power of two")
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = 1 << 30
+	}
+	cache := opts.CacheBudget
+	if cache == 0 {
+		cache = 10 << 20
+	}
+	ckpt := opts.CheckpointEveryOps
+	if ckpt > 0 {
+		ckpt = (ckpt + int64(n) - 1) / int64(n)
+	}
 	cfg := device.Config{
-		Capacity:           opts.Capacity,
-		CacheBudget:        opts.CacheBudget,
-		AnticipatedKeys:    opts.AnticipatedKeys,
+		Capacity:           capacity / int64(n),
+		CacheBudget:        cache / int64(n),
+		AnticipatedKeys:    opts.AnticipatedKeys / int64(n),
 		OccupancyThreshold: opts.OccupancyThreshold,
 		HopRange:           opts.HopRange,
-		CheckpointEveryOps: opts.CheckpointEveryOps,
+		CheckpointEveryOps: ckpt,
 		IncrementalResize:  opts.IncrementalResize,
 	}
 	switch opts.Index {
@@ -126,61 +173,39 @@ func Open(opts Options) (*DB, error) {
 		bits = 64
 	}
 	cfg.SigScheme = index.SigScheme{Bits: bits, PrefixLen: opts.IteratorPrefixLen}
-	dev, err := device.Open(cfg)
+	if err := cfg.SigScheme.Validate(); err != nil {
+		return nil, err
+	}
+	set, err := shard.New(n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dev: dev}, nil
+	return &DB{set: set}, nil
 }
 
+// Shards reports the shard count the key space is partitioned across.
+func (db *DB) Shards() int { return db.set.N() }
+
 // Store writes a key-value pair synchronously: the call observes the
-// command's full simulated round trip.
+// command's full simulated round trip on the owning shard.
 func (db *DB) Store(key, value []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	done, err := db.dev.Store(db.last, key, value)
-	if err != nil {
-		return err
-	}
-	db.last = done
-	return nil
+	return db.set.Store(key, value)
 }
 
 // Retrieve returns a copy of the value stored under key.
 func (db *DB) Retrieve(key []byte) ([]byte, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	v, done, err := db.dev.Retrieve(db.last, key)
-	if err != nil {
-		return nil, err
-	}
-	db.last = done
-	return v, nil
+	return db.set.Retrieve(key)
 }
 
 // Delete removes key. ErrNotFound if absent.
 func (db *DB) Delete(key []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	done, err := db.dev.Delete(db.last, key)
-	if err != nil {
-		return err
-	}
-	db.last = done
-	return nil
+	return db.set.Delete(key)
 }
 
 // Exist reports whether key is stored. The device answers from key
 // signatures and verifies the stored key, so the answer is exact.
 func (db *DB) Exist(key []byte) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	ok, done, err := db.dev.Exist(db.last, key)
-	if err != nil {
-		return false, err
-	}
-	db.last = done
-	return ok, nil
+	return db.set.Exist(key)
 }
 
 // Entry is one key (and value) produced by Iterate.
@@ -190,15 +215,13 @@ type Entry struct {
 }
 
 // Iterate enumerates keys sharing prefix, sorted, with values. Requires
-// Options.IteratorPrefixLen > 0 and the RHIK index.
+// Options.IteratorPrefixLen > 0 and the RHIK index. The scan fans out to
+// every shard and merges the per-shard sorted streams.
 func (db *DB) Iterate(prefix []byte) ([]Entry, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	entries, done, err := db.dev.Iterate(db.last, prefix, true)
+	entries, err := db.set.Iterate(prefix)
 	if err != nil {
 		return nil, err
 	}
-	db.last = done
 	out := make([]Entry, len(entries))
 	for i, e := range entries {
 		out[i] = Entry{Key: e.Key, Value: e.Value}
@@ -207,44 +230,26 @@ func (db *DB) Iterate(prefix []byte) ([]Entry, error) {
 }
 
 // Checkpoint makes all accepted writes durable and persists the index
-// directory, bounding what a crash can lose.
-func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.dev.Checkpoint()
-}
+// directory on every shard, bounding what a crash can lose.
+func (db *DB) Checkpoint() error { return db.set.Checkpoint() }
 
 // Restart simulates a power cycle followed by crash recovery. Writes
-// still in the volatile page buffer are lost; everything programmed to
-// flash — including all checkpointed state — survives.
-func (db *DB) Restart() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.dev.Restart(); err != nil {
-		return err
-	}
-	db.last = db.dev.Now()
-	return nil
-}
+// still in a shard's volatile page buffer are lost; everything
+// programmed to flash — including all checkpointed state — survives.
+func (db *DB) Restart() error { return db.set.Restart() }
 
 // Close checkpoints and shuts the device down.
-func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.dev.Close()
-}
+func (db *DB) Close() error { return db.set.Close() }
 
-// Elapsed reports the total simulated device time consumed so far.
+// Elapsed reports the total simulated device time consumed so far:
+// shards run in parallel, so this is the slowest shard's timeline, not
+// the sum.
 func (db *DB) Elapsed() time.Duration {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	d := db.dev.Drain()
-	if db.last > d {
-		d = db.last
-	}
-	return time.Duration(int64(d))
+	return time.Duration(int64(db.set.Elapsed()))
 }
 
-// Device exposes the underlying emulated device for experiments and
-// tools that need raw access (benchmark harness, cmd/kvcli).
-func (db *DB) Device() *device.Device { return db.dev }
+// Device exposes the first shard's emulated device for experiments and
+// tools that need raw access (benchmark harness, cmd/kvcli). With
+// Shards > 1 it covers only that shard; per-device experiments should
+// open the DB with Shards: 1.
+func (db *DB) Device() *device.Device { return db.set.Shard(0).Device() }

@@ -49,7 +49,9 @@ func TestPublicRoundTrip(t *testing.T) {
 }
 
 func TestPublicStatsAndElapsed(t *testing.T) {
-	db := openDB(t, rhik.Options{})
+	// Shards: 1 — the resize expectation below depends on all keys
+	// landing in one device's directory.
+	db := openDB(t, rhik.Options{Shards: 1})
 	const n = 5000 // past 80% of one 1927-record table: forces re-configuration
 	for i := 0; i < n; i++ {
 		if err := db.Store([]byte(fmt.Sprintf("key-%08d", i)), make([]byte, 128)); err != nil {
@@ -222,3 +224,61 @@ func TestPublicBadOptions(t *testing.T) {
 
 // IndexSchemeBogus is an out-of-range scheme for option validation tests.
 const IndexSchemeBogus rhik.IndexScheme = 99
+
+// FuzzStoreRetrieve checks the store→retrieve→delete lifecycle for
+// arbitrary keys and values on a sharded DB: anything the device
+// accepts must come back byte-identical, and anything it rejects must
+// be rejected for a defensible size reason. Seed corpus (f.Add plus
+// testdata/fuzz/FuzzStoreRetrieve) covers empty and max-size keys and
+// values and keys crafted to collide in the low signature bits.
+func FuzzStoreRetrieve(f *testing.F) {
+	f.Add([]byte("hello"), []byte("world"))
+	f.Add([]byte(""), []byte("empty key must be rejected"))
+	f.Add([]byte("k"), []byte{})
+	f.Add(bytes.Repeat([]byte{0xab}, 64<<10), []byte("oversized key"))
+	f.Add([]byte("big-value"), bytes.Repeat([]byte{7}, 128<<10))
+	f.Add([]byte{0x00, 0xff, 0x00}, []byte{0xff, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, key, value []byte) {
+		db, err := rhik.Open(rhik.Options{Capacity: 64 << 20, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+
+		err = db.Store(key, value)
+		switch {
+		case errors.Is(err, rhik.ErrKeyTooLarge):
+			if len(key) != 0 && len(key) <= 1024 {
+				t.Fatalf("key of %d bytes rejected as too large", len(key))
+			}
+			return
+		case errors.Is(err, rhik.ErrValueTooLarge):
+			if len(value) <= 1<<20 {
+				t.Fatalf("value of %d bytes rejected as too large", len(value))
+			}
+			return
+		case err != nil:
+			t.Fatalf("store (%d-byte key, %d-byte value): %v", len(key), len(value), err)
+		}
+
+		got, err := db.Retrieve(key)
+		if err != nil {
+			t.Fatalf("retrieve after store: %v", err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("retrieve returned %d bytes, stored %d", len(got), len(value))
+		}
+		if ok, err := db.Exist(key); err != nil || !ok {
+			t.Fatalf("exist after store = (%v, %v)", ok, err)
+		}
+		if err := db.Delete(key); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if _, err := db.Retrieve(key); !errors.Is(err, rhik.ErrNotFound) {
+			t.Fatalf("retrieve after delete: %v", err)
+		}
+		if ok, err := db.Exist(key); err != nil || ok {
+			t.Fatalf("exist after delete = (%v, %v)", ok, err)
+		}
+	})
+}

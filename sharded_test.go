@@ -1,0 +1,272 @@
+package rhik_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	rhik "repro"
+	"repro/internal/workload"
+)
+
+// TestShardedRoundTrip drives every public op against a multi-shard DB
+// and checks that routing is transparent: values come back from whatever
+// shard owns them and aggregated stats count every command.
+func TestShardedRoundTrip(t *testing.T) {
+	db := openDB(t, rhik.Options{Shards: 4})
+	if db.Shards() != 4 {
+		t.Fatalf("Shards() = %d", db.Shards())
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := db.Retrieve([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("retrieve %d: (%q, %v)", i, v, err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := db.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ok, err := db.Exist([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatalf("exist %d: %v", i, err)
+		}
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("exist %d = %v, want %v", i, ok, want)
+		}
+	}
+	s := db.Stats()
+	if s.Stores != n || s.Retrieves != n || s.Deletes != n/2 || s.Exists != n {
+		t.Fatalf("aggregated stats = %+v", s)
+	}
+	if s.IndexRecords != n/2 {
+		t.Fatalf("records = %d, want %d", s.IndexRecords, n/2)
+	}
+	if db.Elapsed() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+// TestShardedIterateMerges checks the cross-shard iterator merge:
+// prefix-sharing keys scatter over shards (routing uses high signature
+// bits, the prefix only pins the low 32), and Iterate must return the
+// union, sorted, with no duplicates.
+func TestShardedIterateMerges(t *testing.T) {
+	db := openDB(t, rhik.Options{Shards: 4, IteratorPrefixLen: 4})
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("usr:%04d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Store([]byte(fmt.Sprintf("img:%04d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := db.Iterate([]byte("usr:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("got %d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		if want := fmt.Sprintf("usr:%04d", i); string(e.Key) != want {
+			t.Fatalf("entry %d = %q, want %q (merge not sorted?)", i, e.Key, want)
+		}
+	}
+}
+
+// TestShardedBatchJoinsInOrder checks that Apply fans sub-batches out to
+// shards and stitches results back in submission order.
+func TestShardedBatchJoinsInOrder(t *testing.T) {
+	db := openDB(t, rhik.Options{Shards: 4})
+	var w rhik.Batch
+	const n = 200
+	for i := 0; i < n; i++ {
+		w.Store([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	if res := db.Apply(&w, 0); res.Failed() != 0 {
+		t.Fatalf("writes failed: %d", res.Failed())
+	}
+	var r rhik.Batch
+	for i := 0; i < n; i++ {
+		r.Retrieve([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	r.Delete([]byte("missing"))
+	res := db.Apply(&r, 0)
+	if res.Elapsed <= 0 {
+		t.Fatal("batch elapsed not positive")
+	}
+	for i := 0; i < n; i++ {
+		if string(res.Values[i]) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("value %d = %q: results joined out of order", i, res.Values[i])
+		}
+	}
+	if !errors.Is(res.Errs[n], rhik.ErrNotFound) || res.Failed() != 1 {
+		t.Fatalf("missing-key result: %v", res.Errs[n])
+	}
+}
+
+// TestShardedBadShardCount rejects non-power-of-two shard counts.
+func TestShardedBadShardCount(t *testing.T) {
+	for _, n := range []int{-1, 3, 6, 12} {
+		if _, err := rhik.Open(rhik.Options{Capacity: 64 << 20, Shards: n}); err == nil {
+			t.Fatalf("Shards=%d accepted", n)
+		}
+	}
+}
+
+// TestShardedRestartRecoversAllShards power-cycles a multi-shard DB and
+// verifies every shard recovers its keys; Recoveries counts the
+// device-wide event once, not once per shard.
+func TestShardedRestartRecoversAllShards(t *testing.T) {
+	db := openDB(t, rhik.Options{Shards: 4})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := db.Store([]byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, err := db.Retrieve([]byte(fmt.Sprintf("key-%08d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d after restart: (%q, %v)", i, v, err)
+		}
+	}
+	if got := db.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1 device-wide power cycle", got)
+	}
+}
+
+// TestStressConcurrentMixedOps is the -race stress harness: 8 goroutines
+// hammer one shared DB with mixed Store/Retrieve/Delete/Exist over
+// disjoint key ranges, each tracking a private oracle. It asserts no
+// lost updates (every readback matches the goroutine's last write) and
+// that aggregated Stats() totals equal the sum of per-goroutine
+// successful ops — a command executed on a shard is counted exactly
+// once, never dropped or double-counted under concurrency.
+func TestStressConcurrentMixedOps(t *testing.T) {
+	db := openDB(t, rhik.Options{Shards: 4})
+	const (
+		goroutines = 8
+		steps      = 600
+		keyspace   = 150
+	)
+	type counts struct{ stores, retrieves, deletes, exists int64 }
+	perG := make([]counts, goroutines)
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			base := uint64(g) << 40 // disjoint key range per goroutine
+			model := make(map[uint64][]byte)
+			c := &perG[g]
+			for i := 0; i < steps; i++ {
+				id := base + uint64(rng.Intn(keyspace))
+				key := workload.KeyBytes(id)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // store / update
+					val := workload.ValuePayload(uint64(i)|base, 16+rng.Intn(200))
+					err := db.Store(key, val)
+					if errors.Is(err, rhik.ErrCollision) {
+						continue
+					}
+					if err != nil {
+						errc <- fmt.Errorf("g%d store: %w", g, err)
+						return
+					}
+					model[id] = val
+					c.stores++
+				case 4, 5, 6: // retrieve + lost-update check
+					want, present := model[id]
+					got, err := db.Retrieve(key)
+					if present {
+						if err != nil || !bytes.Equal(got, want) {
+							errc <- fmt.Errorf("g%d lost update on %d: %v", g, id, err)
+							return
+						}
+						c.retrieves++
+					} else if !errors.Is(err, rhik.ErrNotFound) {
+						errc <- fmt.Errorf("g%d phantom key %d: %v", g, id, err)
+						return
+					}
+				case 7, 8: // exist
+					ok, err := db.Exist(key)
+					if err != nil {
+						errc <- fmt.Errorf("g%d exist: %w", g, err)
+						return
+					}
+					if _, present := model[id]; ok != present {
+						errc <- fmt.Errorf("g%d exist=%v model=%v for %d", g, ok, present, id)
+						return
+					}
+					c.exists++
+				case 9: // delete
+					err := db.Delete(key)
+					if _, present := model[id]; present {
+						if err != nil {
+							errc <- fmt.Errorf("g%d delete: %w", g, err)
+							return
+						}
+						delete(model, id)
+						c.deletes++
+					} else if !errors.Is(err, rhik.ErrNotFound) {
+						errc <- fmt.Errorf("g%d delete of absent key: %v", g, err)
+						return
+					}
+				}
+			}
+			// Final sweep: every surviving key must hold its last value.
+			for id, want := range model {
+				got, err := db.Retrieve(workload.KeyBytes(id))
+				if err != nil || !bytes.Equal(got, want) {
+					errc <- fmt.Errorf("g%d final sweep lost %d: %v", g, id, err)
+					return
+				}
+				c.retrieves++
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	var want counts
+	for _, c := range perG {
+		want.stores += c.stores
+		want.retrieves += c.retrieves
+		want.deletes += c.deletes
+		want.exists += c.exists
+	}
+	s := db.Stats()
+	if s.Stores != want.stores || s.Retrieves != want.retrieves ||
+		s.Deletes != want.deletes || s.Exists != want.exists {
+		t.Fatalf("stats totals diverge from per-goroutine sums:\n got: stores=%d retrieves=%d deletes=%d exists=%d\nwant: %+v",
+			s.Stores, s.Retrieves, s.Deletes, s.Exists, want)
+	}
+	if s.IndexRecords < 0 || s.IndexRecords > goroutines*keyspace {
+		t.Fatalf("records = %d out of range", s.IndexRecords)
+	}
+}

@@ -2,7 +2,11 @@ package rhik
 
 import "time"
 
-// Stats is the public observability snapshot of an open device.
+// Stats is the public observability snapshot of an open device,
+// aggregated across shards: command counts, traffic, index state, and
+// flash activity sum over shards; Recoveries counts device-wide power
+// cycles (every shard restarts together); latency percentiles come from
+// exact merges of the per-shard histograms.
 type Stats struct {
 	// Command counts.
 	Stores, Retrieves, Deletes, Exists int64
@@ -38,51 +42,46 @@ type ResizeEvent struct {
 	Took        time.Duration
 }
 
-// Stats returns a snapshot of device counters and percentiles.
+// Stats returns a snapshot of device counters and percentiles merged
+// across every shard.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	ds := db.dev.Stats()
-	is := db.dev.IndexStats()
-	fs := db.dev.FlashStats()
+	agg := db.set.Stats()
 	return Stats{
-		Stores:    ds.Stores,
-		Retrieves: ds.Retrieves,
-		Deletes:   ds.Deletes,
-		Exists:    ds.Exists,
+		Stores:    agg.Dev.Stores,
+		Retrieves: agg.Dev.Retrieves,
+		Deletes:   agg.Dev.Deletes,
+		Exists:    agg.Dev.Exists,
 
-		BytesWritten: ds.BytesWritten,
-		BytesRead:    ds.BytesRead,
+		BytesWritten: agg.Dev.BytesWritten,
+		BytesRead:    agg.Dev.BytesRead,
 
-		IndexRecords:     is.Records,
-		IndexScheme:      db.dev.Index().Name(),
-		DirectoryEntries: is.DirEntries,
-		Resizes:          is.Resizes,
-		ResizeHaltTotal:  time.Duration(int64(ds.ResizeHalt)),
-		CollisionAborts:  ds.CollisionAborts,
-		CacheHits:        is.Cache.Hits,
-		CacheMisses:      is.Cache.Misses,
+		IndexRecords:     agg.Index.Records,
+		IndexScheme:      agg.Scheme,
+		DirectoryEntries: agg.Index.DirEntries,
+		Resizes:          agg.Index.Resizes,
+		ResizeHaltTotal:  time.Duration(int64(agg.Dev.ResizeHalt)),
+		CollisionAborts:  agg.Dev.CollisionAborts,
+		CacheHits:        agg.Index.Cache.Hits,
+		CacheMisses:      agg.Index.Cache.Misses,
 
-		FlashReads:    fs.Reads,
-		FlashPrograms: fs.Programs,
-		FlashErases:   fs.Erases,
-		GCRuns:        ds.GCRuns,
-		Checkpoints:   ds.Checkpoints,
-		Recoveries:    ds.Recoveries,
+		FlashReads:    agg.Flash.Reads,
+		FlashPrograms: agg.Flash.Programs,
+		FlashErases:   agg.Flash.Erases,
+		GCRuns:        agg.Dev.GCRuns,
+		Checkpoints:   agg.Dev.Checkpoints,
+		Recoveries:    agg.Dev.Recoveries,
 
-		StoreP50:    time.Duration(db.dev.StoreLatency().Percentile(50)),
-		StoreP99:    time.Duration(db.dev.StoreLatency().Percentile(99)),
-		RetrieveP50: time.Duration(db.dev.RetrieveLatency().Percentile(50)),
-		RetrieveP99: time.Duration(db.dev.RetrieveLatency().Percentile(99)),
+		StoreP50:    time.Duration(agg.StoreLat.Percentile(50)),
+		StoreP99:    time.Duration(agg.StoreLat.Percentile(99)),
+		RetrieveP50: time.Duration(agg.RetrieveLat.Percentile(50)),
+		RetrieveP99: time.Duration(agg.RetrieveLat.Percentile(99)),
 	}
 }
 
-// ResizeEvents returns RHIK's re-configuration history (empty for the
-// multi-level index).
+// ResizeEvents returns RHIK's re-configuration history, concatenated in
+// shard order (empty for the multi-level index).
 func (db *DB) ResizeEvents() []ResizeEvent {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	evs := db.dev.ResizeEvents()
+	evs := db.set.ResizeEvents()
 	out := make([]ResizeEvent, len(evs))
 	for i, e := range evs {
 		out[i] = ResizeEvent{
