@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kvcli [-capacity BYTES] [-index rhik|mlhash] [-prefixlen N] [< script]
+//	kvcli [-capacity BYTES] [-index rhik|mlhash] [-shards N] [-prefixlen N] [< script]
 //
 // Commands:
 //
@@ -12,6 +12,7 @@
 //	get <key>              retrieve a value
 //	del <key>              delete a key
 //	exist <key>            membership check
+//	batch <op> <args> ...  async batch, e.g. batch put a 1 get a del b
 //	iter <prefix>          enumerate keys by prefix (needs -prefixlen)
 //	fill <n> <valueBytes>  bulk-load n synthetic pairs
 //	stats                  device/index counters
@@ -19,6 +20,10 @@
 //	restart                simulate power loss + recovery
 //	help                   this text
 //	quit                   exit
+//
+// With -shards > 1 every command routes through the sharded front-end:
+// single-key commands go to the owning shard, and batch fans its ops
+// out across shards concurrently, joining results in submission order.
 package main
 
 import (
@@ -36,10 +41,11 @@ import (
 func main() {
 	capacity := flag.Int64("capacity", 256<<20, "emulated capacity in bytes")
 	indexName := flag.String("index", "rhik", "index scheme: rhik or mlhash")
+	shards := flag.Int("shards", 1, "device shards, power of two (0 = GOMAXPROCS)")
 	prefixLen := flag.Int("prefixlen", 0, "iterator-mode signature prefix length")
 	flag.Parse()
 
-	opts := rhik.Options{Capacity: *capacity, IteratorPrefixLen: *prefixLen}
+	opts := rhik.Options{Capacity: *capacity, Shards: *shards, IteratorPrefixLen: *prefixLen}
 	switch *indexName {
 	case "rhik":
 		opts.Index = rhik.RHIK
@@ -58,7 +64,8 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	interactive := isTTY()
 	if interactive {
-		fmt.Printf("emulated %s KVSSD, %d MiB. 'help' for commands.\n", *indexName, *capacity>>20)
+		fmt.Printf("emulated %s KVSSD, %d MiB, %d shard(s). 'help' for commands.\n",
+			*indexName, *capacity>>20, db.Shards())
 	}
 	for {
 		if interactive {
@@ -121,6 +128,23 @@ func execute(db *rhik.DB, line string) error {
 			return err
 		}
 		fmt.Println(ok)
+	case "batch":
+		b, err := parseBatch(args)
+		if err != nil {
+			return err
+		}
+		res := db.Apply(b, 0)
+		for i, e := range res.Errs {
+			switch {
+			case e != nil:
+				fmt.Printf("[%d] error: %v\n", i, e)
+			case res.Values[i] != nil:
+				fmt.Printf("[%d] %q\n", i, res.Values[i])
+			default:
+				fmt.Printf("[%d] ok\n", i)
+			}
+		}
+		fmt.Printf("(%d ops, %d failed, %v simulated)\n", b.Len(), res.Failed(), res.Elapsed)
 	case "iter":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: iter <prefix>")
@@ -150,8 +174,8 @@ func execute(db *rhik.DB, line string) error {
 		fmt.Printf("stored %d pairs (%d failed) in %v simulated\n", n-res.Failed(), res.Failed(), res.Elapsed)
 	case "stats":
 		s := db.Stats()
-		fmt.Printf("index=%s records=%d dirEntries=%d resizes=%d halt=%v collisions=%d\n",
-			s.IndexScheme, s.IndexRecords, s.DirectoryEntries, s.Resizes, s.ResizeHaltTotal, s.CollisionAborts)
+		fmt.Printf("index=%s shards=%d records=%d dirEntries=%d resizes=%d halt=%v collisions=%d\n",
+			s.IndexScheme, db.Shards(), s.IndexRecords, s.DirectoryEntries, s.Resizes, s.ResizeHaltTotal, s.CollisionAborts)
 		fmt.Printf("ops: store=%d get=%d del=%d exist=%d  bytes: w=%d r=%d\n",
 			s.Stores, s.Retrieves, s.Deletes, s.Exists, s.BytesWritten, s.BytesRead)
 		fmt.Printf("flash: reads=%d programs=%d erases=%d gcRuns=%d ckpts=%d recoveries=%d\n",
@@ -170,11 +194,48 @@ func execute(db *rhik.DB, line string) error {
 		}
 		fmt.Println("recovered")
 	case "help":
-		fmt.Println("put get del exist iter fill stats checkpoint restart quit")
+		fmt.Println("put get del exist batch iter fill stats checkpoint restart quit")
+		fmt.Println("batch syntax: batch put <k> <v> [get <k>] [del <k>] ... (fans out across shards)")
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
 	return nil
+}
+
+// parseBatch greedily parses "put <k> <v> get <k> del <k> ..." into an
+// async batch; each sub-op has fixed arity so the grammar needs no
+// separators.
+func parseBatch(args []string) (*rhik.Batch, error) {
+	usage := fmt.Errorf("usage: batch {put <k> <v> | get <k> | del <k>} ...")
+	if len(args) == 0 {
+		return nil, usage
+	}
+	var b rhik.Batch
+	for i := 0; i < len(args); {
+		switch args[i] {
+		case "put":
+			if i+2 >= len(args) {
+				return nil, usage
+			}
+			b.Store([]byte(args[i+1]), []byte(args[i+2]))
+			i += 3
+		case "get":
+			if i+1 >= len(args) {
+				return nil, usage
+			}
+			b.Retrieve([]byte(args[i+1]))
+			i += 2
+		case "del":
+			if i+1 >= len(args) {
+				return nil, usage
+			}
+			b.Delete([]byte(args[i+1]))
+			i += 2
+		default:
+			return nil, fmt.Errorf("batch: unknown sub-op %q (want put/get/del)", args[i])
+		}
+	}
+	return &b, nil
 }
 
 func isTTY() bool {

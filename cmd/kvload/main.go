@@ -1,0 +1,198 @@
+// Command kvload is a closed-loop load generator for kvserver: N worker
+// goroutines each keep exactly one request outstanding (optionally a
+// BATCH frame of many ops), spread across a pooled pipelined client
+// connection set, and report wall-clock throughput plus request-latency
+// percentiles from the shared metrics histogram.
+//
+// Closed-loop means offered load adapts to service rate — workers wait
+// for each response before issuing the next request — so the reported
+// latency is uninflated by client-side queueing and the throughput is
+// the sustainable rate at that concurrency.
+//
+// Examples:
+//
+//	kvload -addr 127.0.0.1:7700 -duration 5s -concurrency 32 -batch 64
+//	kvload -addr 127.0.0.1:7700 -n 100000 -mix mixed -value 1024
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/kvwire"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7700", "kvserver TCP address")
+		conns       = flag.Int("conns", 4, "pooled connections")
+		concurrency = flag.Int("concurrency", 16, "closed-loop worker goroutines")
+		duration    = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+		nops        = flag.Int64("n", 0, "total operation budget (0 = run for -duration)")
+		valueSize   = flag.Int("value", 128, "value size in bytes")
+		keyspace    = flag.Int64("keys", 100_000, "distinct keys")
+		mixName     = flag.String("mix", "mixed", "operation mix: write, read, mixed")
+		batchSize   = flag.Int("batch", 64, "ops per BATCH frame (1 = single-op frames)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		retries     = flag.Int("retries", 16, "client retry budget for BUSY")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *batchSize < 1 || *keyspace < 1 {
+		fatalf("-concurrency, -batch, and -keys must be >= 1")
+	}
+	var putFrac float64
+	switch *mixName {
+	case "write":
+		putFrac = 1.0
+	case "read":
+		putFrac = 0.0
+	case "mixed":
+		putFrac = 0.5
+	default:
+		fatalf("unknown mix %q", *mixName)
+	}
+
+	c, err := client.Dial(client.Options{Addr: *addr, Conns: *conns, MaxRetries: *retries})
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	type tally struct {
+		ops, requests, notFound, failed int64
+		lat                             metrics.Histogram
+		err                             error
+	}
+	tallies := make([]tally, *concurrency)
+	var opsBudget atomic.Int64
+	opsBudget.Store(*nops)
+	deadline := time.Now().Add(*duration)
+
+	value := make([]byte, *valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			key := make([]byte, 0, 24)
+			nextKey := func() []byte {
+				key = key[:0]
+				return fmt.Appendf(key, "key%016d", rng.Int63n(*keyspace))
+			}
+			for {
+				if *nops > 0 {
+					if opsBudget.Add(-int64(*batchSize)) < 0 {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				var reqStart time.Time
+				if *batchSize == 1 {
+					k := nextKey()
+					reqStart = time.Now()
+					var err error
+					if rng.Float64() < putFrac {
+						err = c.Put(k, value)
+					} else {
+						_, err = c.Get(k)
+					}
+					if errors.Is(err, kvwire.ErrNotFound) {
+						tl.notFound++
+						err = nil
+					}
+					if err != nil {
+						tl.err = err
+						return
+					}
+					tl.ops++
+				} else {
+					var b client.Batch
+					for i := 0; i < *batchSize; i++ {
+						if rng.Float64() < putFrac {
+							// Keys must outlive the loop iteration; the
+							// batch aliases them until Do encodes.
+							b.Put(fmt.Appendf(nil, "key%016d", rng.Int63n(*keyspace)), value)
+						} else {
+							b.Get(fmt.Appendf(nil, "key%016d", rng.Int63n(*keyspace)))
+						}
+					}
+					reqStart = time.Now()
+					res, err := c.Do(&b)
+					if err != nil {
+						tl.err = err
+						return
+					}
+					for _, e := range res.Errs {
+						switch {
+						case e == nil:
+						case errors.Is(e, kvwire.ErrNotFound):
+							tl.notFound++
+						default:
+							tl.failed++
+						}
+					}
+					tl.ops += int64(b.Len())
+				}
+				tl.lat.Record(time.Since(reqStart).Nanoseconds())
+				tl.requests++
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var tot tally
+	for i := range tallies {
+		tl := &tallies[i]
+		if tl.err != nil {
+			fatalf("worker %d: %v", i, tl.err)
+		}
+		tot.ops += tl.ops
+		tot.requests += tl.requests
+		tot.notFound += tl.notFound
+		tot.failed += tl.failed
+		tot.lat.Merge(&tl.lat)
+	}
+
+	fmt.Printf("kvload: addr=%s conns=%d concurrency=%d batch=%d mix=%s value=%dB keys=%d\n",
+		*addr, *conns, *concurrency, *batchSize, *mixName, *valueSize, *keyspace)
+	fmt.Printf("ops: %d in %d requests over %v (%d not-found, %d failed)\n",
+		tot.ops, tot.requests, wall.Round(time.Millisecond), tot.notFound, tot.failed)
+	if wall > 0 {
+		fmt.Printf("throughput: %.1f kops/s (%.1f req/s)\n",
+			float64(tot.ops)/wall.Seconds()/1e3, float64(tot.requests)/wall.Seconds())
+	}
+	us := func(p float64) float64 { return float64(tot.lat.Percentile(p)) / 1e3 }
+	fmt.Printf("request latency: p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
+		us(50), us(90), us(99), float64(tot.lat.Max())/1e3)
+
+	if st, err := c.Stats(); err == nil {
+		fmt.Printf("server: shards=%d stores=%d retrieves=%d records=%d resizes=%d storeP99=%v\n",
+			st.Shards, st.Stores, st.Retrieves, st.IndexRecords, st.Resizes,
+			time.Duration(st.StoreP99ns))
+	}
+	if tot.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kvload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command kvserver serves an emulated KVSSD over TCP with the kvwire
+// protocol, turning the in-process sharded device into a network
+// service that cmd/kvload (or any kvwire client) can drive.
+//
+// Flags mirror kvbench where they overlap, so serving-path numbers can
+// be compared against library-boundary numbers on the same device
+// configuration:
+//
+//	kvserver -addr 127.0.0.1:7700 -shards 8 -capacity 1073741824 -index rhik
+//
+// On SIGTERM or SIGINT the server drains gracefully: it stops
+// accepting, finishes every admitted request, flushes responses,
+// checkpoints the device, and exits 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	rhik "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7700", "TCP listen address (use :0 for an ephemeral port)")
+		shards    = flag.Int("shards", 0, "device shards, power of two (0 = GOMAXPROCS)")
+		capacity  = flag.Int64("capacity", 1<<30, "emulated capacity in bytes")
+		cache     = flag.Int64("cache", 10<<20, "index DRAM cache budget")
+		indexName = flag.String("index", "rhik", "index scheme: rhik, mlhash, lsm")
+		incr      = flag.Bool("incremental", false, "incremental (real-time) index resizing")
+		inflight  = flag.Int("inflight", 4096, "max admitted-but-unanswered requests before BUSY")
+		queue     = flag.Int("queue", 256, "per-shard worker queue depth before BUSY")
+		timeout   = flag.Duration("timeout", 0, "per-request queue deadline (0 = none)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("kvserver: ")
+
+	opts := rhik.Options{
+		Capacity:          *capacity,
+		CacheBudget:       *cache,
+		Shards:            *shards,
+		IncrementalResize: *incr,
+	}
+	switch *indexName {
+	case "rhik":
+		opts.Index = rhik.RHIK
+	case "mlhash":
+		opts.Index = rhik.MultiLevel
+	case "lsm":
+		opts.Index = rhik.LSM
+	default:
+		fatalf("unknown index %q", *indexName)
+	}
+
+	set, err := rhik.OpenSet(opts)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	srv := server.New(set, server.Options{
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Logf:           log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	log.Printf("listening on %s (shards=%d index=%s capacity=%d MiB)",
+		ln.Addr(), set.N(), *indexName, *capacity>>20)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		log.Printf("%v: beginning graceful drain", s)
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+	// Serve returns as soon as the listener closes; wait for the drain
+	// (idempotent — blocks until the signal handler's Shutdown is done).
+	srv.Shutdown()
+	log.Printf("shutdown complete")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kvserver: "+format+"\n", args...)
+	os.Exit(1)
+}

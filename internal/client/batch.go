@@ -1,0 +1,80 @@
+package client
+
+import "repro/internal/kvwire"
+
+// Batch accumulates operations for fan-in: Do ships the whole batch as
+// one BATCH frame, the server fans it out across shards in parallel,
+// and the per-op results fan back out into a BatchResult. Mirroring the
+// library Batch, sub-ops are Put/Get/Del; use Get where Exist is
+// wanted. Key and value slices are aliased until Do encodes the frame.
+type Batch struct {
+	ops []kvwire.BatchOp
+}
+
+// Put queues a store.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, kvwire.BatchOp{Op: kvwire.OpPut, Key: key, Value: value})
+}
+
+// Get queues a retrieve; the value lands at the same index of
+// BatchResult.Values.
+func (b *Batch) Get(key []byte) {
+	b.ops = append(b.ops, kvwire.BatchOp{Op: kvwire.OpGet, Key: key})
+}
+
+// Del queues a delete.
+func (b *Batch) Del(key []byte) {
+	b.ops = append(b.ops, kvwire.BatchOp{Op: kvwire.OpDel, Key: key})
+}
+
+// Len reports the queued op count.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// BatchResult reports per-op outcomes, indexed like the submitted ops.
+type BatchResult struct {
+	// Errs holds the per-op error (nil on success).
+	Errs []error
+	// Values holds retrieved values (nil for non-gets and failures).
+	Values [][]byte
+}
+
+// Failed reports how many ops errored.
+func (r BatchResult) Failed() int {
+	n := 0
+	for _, e := range r.Errs {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Do submits the batch and waits for the joined results. The returned
+// error reflects request-level failure (transport, BUSY retries
+// exhausted); per-op failures land in BatchResult.Errs.
+func (c *Client) Do(b *Batch) (BatchResult, error) {
+	if b.Len() == 0 {
+		return BatchResult{}, nil
+	}
+	cl, err := c.do(kvwire.OpBatch, func(id uint64, buf []byte) []byte {
+		return kvwire.AppendBatch(buf, id, b.ops)
+	})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if err := statusErr(cl); err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{
+		Errs:   make([]error, len(cl.items)),
+		Values: make([][]byte, len(cl.items)),
+	}
+	for i, it := range cl.items {
+		res.Errs[i] = it.Status.Err()
+		res.Values[i] = it.Value
+	}
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"sync"
+
+	"net"
+
+	"repro/internal/kvwire"
+)
+
+// reqPool recycles encoded request frames between callers and the
+// connection writer.
+var reqPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+// call is one in-flight request slot, completed by the reader.
+type call struct {
+	op    kvwire.Op
+	ready chan struct{}
+
+	status kvwire.Status
+	msg    string
+	value  []byte // Get result, copied out of the frame buffer
+	ok     bool   // Exist result
+	items  []kvwire.BatchItem
+	stats  kvwire.Stats
+	err    error // transport-level failure
+}
+
+// conn is one pooled connection: callers enqueue frames, the writer
+// flushes them (batching consecutive frames into one syscall), and the
+// reader matches responses back to pending calls by request ID.
+type conn struct {
+	nc  net.Conn
+	out chan *[]byte
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	failed  error
+
+	done     chan struct{}
+	failOnce sync.Once
+}
+
+func newClientConn(nc net.Conn) *conn {
+	return &conn{
+		nc:      nc,
+		out:     make(chan *[]byte, 256),
+		pending: make(map[uint64]*call),
+		done:    make(chan struct{}),
+	}
+}
+
+func (cn *conn) isFailed() bool {
+	cn.pmu.Lock()
+	defer cn.pmu.Unlock()
+	return cn.failed != nil
+}
+
+// fail marks the connection dead and completes every pending call with
+// err. Idempotent; the first cause wins.
+func (cn *conn) fail(err error) {
+	cn.failOnce.Do(func() {
+		cn.pmu.Lock()
+		cn.failed = err
+		pending := cn.pending
+		cn.pending = map[uint64]*call{}
+		cn.pmu.Unlock()
+		close(cn.done)
+		cn.nc.Close()
+		for _, cl := range pending {
+			cl.err = err
+			close(cl.ready)
+		}
+	})
+}
+
+// roundtrip registers a call, enqueues its frame, and waits for the
+// response. sent=false means the frame never reached the writer, so the
+// caller may safely retry elsewhere.
+func (cn *conn) roundtrip(op kvwire.Op, enc func(id uint64, b []byte) []byte) (cl *call, sent bool, err error) {
+	cl = &call{op: op, ready: make(chan struct{})}
+	cn.pmu.Lock()
+	if cn.failed != nil {
+		err := cn.failed
+		cn.pmu.Unlock()
+		return nil, false, err
+	}
+	cn.nextID++
+	id := cn.nextID
+	cn.pending[id] = cl
+	cn.pmu.Unlock()
+
+	pb := reqPool.Get().(*[]byte)
+	*pb = enc(id, (*pb)[:0])
+	select {
+	case cn.out <- pb:
+	case <-cn.done:
+		reqPool.Put(pb)
+		cn.pmu.Lock()
+		delete(cn.pending, id)
+		err := cn.failed
+		cn.pmu.Unlock()
+		return nil, false, err
+	}
+
+	<-cl.ready
+	if cl.err != nil {
+		return nil, true, cl.err
+	}
+	return cl, true, nil
+}
+
+func (cn *conn) writeLoop() {
+	bw := bufio.NewWriterSize(cn.nc, 64<<10)
+	for {
+		select {
+		case pb := <-cn.out:
+			if _, err := bw.Write(*pb); err != nil {
+				reqPool.Put(pb)
+				cn.fail(fmt.Errorf("client: write: %w", err))
+				return
+			}
+			reqPool.Put(pb)
+			if len(cn.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					cn.fail(fmt.Errorf("client: flush: %w", err))
+					return
+				}
+			}
+		case <-cn.done:
+			return
+		}
+	}
+}
+
+func (cn *conn) readLoop() {
+	fr := kvwire.NewFrameReader(cn.nc)
+	var resp kvwire.Response
+	for {
+		body, err := fr.Next()
+		if err != nil {
+			cn.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		if err := resp.Parse(body); err != nil {
+			cn.fail(fmt.Errorf("client: response: %w", err))
+			return
+		}
+		cn.pmu.Lock()
+		cl := cn.pending[resp.ID]
+		delete(cn.pending, resp.ID)
+		cn.pmu.Unlock()
+		if cl == nil {
+			cn.fail(fmt.Errorf("client: response for unknown request id %d", resp.ID))
+			return
+		}
+		cl.status = resp.Status
+		if resp.Status != kvwire.StatusOK {
+			cl.msg = kvwire.ParseErrorPayload(resp.Payload)
+			close(cl.ready)
+			continue
+		}
+		if err := cl.decode(resp.Payload); err != nil {
+			cl.err = err
+			close(cl.ready)
+			cn.fail(fmt.Errorf("client: payload: %w", err))
+			return
+		}
+		close(cl.ready)
+	}
+}
+
+// decode interprets an OK payload for the call's opcode, copying any
+// value bytes out of the connection's reused frame buffer.
+func (cl *call) decode(p []byte) error {
+	switch cl.op {
+	case kvwire.OpGet:
+		v, err := kvwire.ParseValuePayload(p)
+		if err != nil {
+			return err
+		}
+		cl.value = append([]byte(nil), v...)
+	case kvwire.OpExist:
+		ok, err := kvwire.ParseBoolPayload(p)
+		if err != nil {
+			return err
+		}
+		cl.ok = ok
+	case kvwire.OpBatch:
+		items, err := kvwire.ParseBatchPayload(p, nil)
+		if err != nil {
+			return err
+		}
+		for i := range items {
+			items[i].Value = append([]byte(nil), items[i].Value...)
+		}
+		cl.items = items
+	case kvwire.OpStats:
+		st, err := kvwire.ParseStatsPayload(p)
+		if err != nil {
+			return err
+		}
+		cl.stats = st
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package kvwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzWireCodec feeds arbitrary byte streams through the full decode
+// path — frame reader, request parse, response parse, payload helpers —
+// asserting it never panics, never over-reads, and that anything that
+// decodes as a request re-encodes to a frame that decodes identically.
+func FuzzWireCodec(f *testing.F) {
+	// Well-formed frames of every shape.
+	f.Add(AppendPut(nil, 1, []byte("key"), []byte("value")))
+	f.Add(AppendGet(nil, 2, []byte("key")))
+	f.Add(AppendDel(nil, 3, []byte("key")))
+	f.Add(AppendExist(nil, 4, []byte("key")))
+	f.Add(AppendStats(nil, 5))
+	f.Add(AppendBatch(nil, 6, []BatchOp{
+		{Op: OpPut, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpGet, Key: []byte("b")},
+		{Op: OpDel, Key: []byte("c")},
+	}))
+	f.Add(AppendOK(nil, 7))
+	f.Add(AppendError(nil, 8, StatusBusy, "backpressure"))
+	f.Add(AppendValueResponse(nil, 9, []byte("v")))
+	f.Add(AppendBoolResponse(nil, 10, true))
+	f.Add(AppendBatchResponse(nil, 11, []BatchItem{{Status: StatusOK, Value: []byte("v")}, {Status: StatusNotFound}}))
+	f.Add(AppendStatsResponse(nil, 12, &Stats{Shards: 8, Stores: 100}))
+
+	// Truncated frames: header cut mid-length, body cut mid-payload.
+	whole := AppendPut(nil, 13, []byte("kk"), []byte("vv"))
+	f.Add(whole[:2])
+	f.Add(whole[:len(whole)-3])
+
+	// Oversized declared lengths: frame length beyond MaxFrameLen, and
+	// an inner key length far beyond the actual body.
+	var huge [8]byte
+	binary.LittleEndian.PutUint32(huge[:4], MaxFrameLen+1)
+	f.Add(huge[:])
+	hostile := []byte{9, 0, 0, 0, byte(OpPut), 1}
+	hostile = binary.AppendUvarint(hostile, 1<<60)
+	f.Add(hostile)
+
+	// Unknown opcodes and statuses.
+	f.Add([]byte{3, 0, 0, 0, 0xEE, 0x01, 0x00})
+	f.Add([]byte{2, 0, 0, 0, 0xEE, 0x01})
+
+	// Multiple frames back to back.
+	f.Add(append(AppendGet(nil, 14, []byte("x")), AppendDel(nil, 15, []byte("y"))...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		var req Request
+		var resp Response
+		for frames := 0; frames < 64; frames++ {
+			body, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					err != ErrFrameTooLarge && err != ErrTruncated {
+					t.Fatalf("Next: unexpected error type %v", err)
+				}
+				break
+			}
+			if len(body) > MaxFrameLen {
+				t.Fatalf("frame body %d exceeds MaxFrameLen", len(body))
+			}
+			if err := req.Parse(body); err == nil {
+				reencoded := reencode(&req)
+				var again Request
+				if err := again.Parse(reencoded[4:]); err != nil {
+					t.Fatalf("re-encoded request failed to parse: %v", err)
+				}
+				if !requestsEqual(&req, &again) {
+					t.Fatalf("request round-trip mismatch:\n got %+v\nwant %+v", again, req)
+				}
+			}
+			// Response-side decode of the same bytes must not panic.
+			if err := resp.Parse(body); err == nil {
+				ParseValuePayload(resp.Payload)
+				ParseBoolPayload(resp.Payload)
+				ParseErrorPayload(resp.Payload)
+				ParseBatchPayload(resp.Payload, nil)
+				ParseStatsPayload(resp.Payload)
+			}
+		}
+	})
+}
+
+func reencode(r *Request) []byte {
+	switch r.Op {
+	case OpPut:
+		return AppendPut(nil, r.ID, r.Key, r.Value)
+	case OpGet:
+		return AppendGet(nil, r.ID, r.Key)
+	case OpDel:
+		return AppendDel(nil, r.ID, r.Key)
+	case OpExist:
+		return AppendExist(nil, r.ID, r.Key)
+	case OpBatch:
+		return AppendBatch(nil, r.ID, r.Ops)
+	case OpStats:
+		return AppendStats(nil, r.ID)
+	}
+	panic("unreachable: parsed request with unknown op")
+}
+
+func requestsEqual(a, b *Request) bool {
+	if a.Op != b.Op || a.ID != b.ID ||
+		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
+		len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Op != b.Ops[i].Op ||
+			!bytes.Equal(a.Ops[i].Key, b.Ops[i].Key) ||
+			!bytes.Equal(a.Ops[i].Value, b.Ops[i].Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,616 @@
+// Package kvwire defines the binary wire protocol spoken between the
+// emulated KVSSD's network server (internal/server) and its clients
+// (internal/client): a connection preamble carrying magic and version,
+// then a stream of length-prefixed frames in each direction. Every
+// frame carries a request ID so responses may complete out of order —
+// the server executes cross-shard requests in parallel — and a
+// pipelined client matches them back up.
+//
+// Layout (all multi-byte integers little-endian, lengths as uvarints):
+//
+//	preamble (client → server, once):  'R' 'K' 'V' version
+//
+//	frame:     u32 bodyLen | body            (bodyLen ≤ MaxFrameLen)
+//	request:   op u8   | reqID uvarint | payload
+//	response:  status u8 | reqID uvarint | payload
+//
+//	PUT payload:        keyLen key valueLen value
+//	GET/DEL/EXIST:      keyLen key
+//	BATCH:              n, then n × (op u8, keyLen key [valueLen value])
+//	STATS:              empty
+//
+//	OK response:        empty (PUT/DEL), value (GET), u8 (EXIST),
+//	                    n × (status u8, valueLen value) (BATCH),
+//	                    fieldCount + uvarint fields (STATS)
+//	error response:     msgLen msg (optional human-readable detail)
+//
+// The codec is allocation-free on the hot path: Append* functions grow
+// a caller-owned buffer, and FrameReader.Next returns a slice into a
+// reused internal buffer that is valid until the next call. Parse
+// results alias the frame buffer; callers that retain key or value
+// bytes across frames must copy them.
+package kvwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol identity. The preamble is the four bytes 'R' 'K' 'V'
+// Version, sent by the client immediately after connecting; the server
+// rejects connections whose preamble does not match.
+const (
+	Magic0      = 'R'
+	Magic1      = 'K'
+	Magic2      = 'V'
+	Version     = 1
+	PreambleLen = 4
+)
+
+// Size limits. Frames whose declared length exceeds MaxFrameLen are
+// rejected before any buffer is grown, so a malicious or corrupt length
+// prefix cannot force an allocation.
+const (
+	// MaxKeyLen matches the device's encodable key width.
+	MaxKeyLen = 1<<16 - 1
+	// MaxValueLen bounds a single wire value; the device's own limit
+	// (one erase block) is tighter and surfaces as StatusValueTooLarge.
+	MaxValueLen = 8 << 20
+	// MaxFrameLen bounds one frame body.
+	MaxFrameLen = 16 << 20
+	// MaxBatchOps bounds the sub-ops in one BATCH frame.
+	MaxBatchOps = 1 << 16
+)
+
+// Op identifies a request opcode.
+type Op uint8
+
+// Request opcodes. Zero is invalid so that all-zero frames fail parsing.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpDel
+	OpExist
+	OpBatch
+	OpStats
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDel:
+		return "DEL"
+	case OpExist:
+		return "EXIST"
+	case OpBatch:
+		return "BATCH"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is a response outcome code.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	// StatusNotFound: retrieve/delete of an absent key.
+	StatusNotFound
+	// StatusBusy: the server's inflight or queue limit is exceeded;
+	// the request was NOT executed and is safe to retry after backoff.
+	StatusBusy
+	// StatusCollision: uncorrectable signature collision; retry with a
+	// different key.
+	StatusCollision
+	// StatusKeyTooLarge / StatusValueTooLarge / StatusDeviceFull /
+	// StatusClosed mirror the device errors of the same names.
+	StatusKeyTooLarge
+	StatusValueTooLarge
+	StatusDeviceFull
+	StatusClosed
+	// StatusDeadline: the request sat in queue past its deadline and
+	// was dropped without executing.
+	StatusDeadline
+	// StatusBadRequest: the frame parsed but was semantically invalid
+	// (unknown opcode, exist inside a batch, oversized field).
+	StatusBadRequest
+	// StatusInternal: unexpected server-side failure.
+	StatusInternal
+)
+
+// Errors surfaced by the codec and mapped from response statuses.
+var (
+	ErrBadMagic      = errors.New("kvwire: bad connection preamble")
+	ErrFrameTooLarge = errors.New("kvwire: frame exceeds maximum length")
+	ErrTruncated     = errors.New("kvwire: truncated frame")
+	ErrUnknownOp     = errors.New("kvwire: unknown opcode")
+
+	ErrNotFound      = errors.New("kvwire: key not found")
+	ErrBusy          = errors.New("kvwire: server busy")
+	ErrCollision     = errors.New("kvwire: signature collision")
+	ErrKeyTooLarge   = errors.New("kvwire: key too large")
+	ErrValueTooLarge = errors.New("kvwire: value too large")
+	ErrDeviceFull    = errors.New("kvwire: device full")
+	ErrClosed        = errors.New("kvwire: server closed")
+	ErrDeadline      = errors.New("kvwire: request deadline exceeded")
+	ErrBadRequest    = errors.New("kvwire: bad request")
+	ErrInternal      = errors.New("kvwire: internal server error")
+)
+
+var statusErrs = [...]error{
+	StatusOK:            nil,
+	StatusNotFound:      ErrNotFound,
+	StatusBusy:          ErrBusy,
+	StatusCollision:     ErrCollision,
+	StatusKeyTooLarge:   ErrKeyTooLarge,
+	StatusValueTooLarge: ErrValueTooLarge,
+	StatusDeviceFull:    ErrDeviceFull,
+	StatusClosed:        ErrClosed,
+	StatusDeadline:      ErrDeadline,
+	StatusBadRequest:    ErrBadRequest,
+	StatusInternal:      ErrInternal,
+}
+
+// Err maps a status to its sentinel error; StatusOK maps to nil and
+// unknown statuses to ErrInternal.
+func (s Status) Err() error {
+	if int(s) < len(statusErrs) {
+		return statusErrs[s]
+	}
+	return ErrInternal
+}
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusBusy:
+		return "BUSY"
+	case StatusCollision:
+		return "COLLISION"
+	case StatusKeyTooLarge:
+		return "KEY_TOO_LARGE"
+	case StatusValueTooLarge:
+		return "VALUE_TOO_LARGE"
+	case StatusDeviceFull:
+		return "DEVICE_FULL"
+	case StatusClosed:
+		return "CLOSED"
+	case StatusDeadline:
+		return "DEADLINE"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Retryable reports whether a request that got this status may safely
+// be resubmitted: the server guarantees it did not execute the request.
+func (s Status) Retryable() bool { return s == StatusBusy || s == StatusDeadline }
+
+// AppendPreamble appends the connection preamble.
+func AppendPreamble(dst []byte) []byte {
+	return append(dst, Magic0, Magic1, Magic2, Version)
+}
+
+// ReadPreamble consumes and validates the connection preamble.
+func ReadPreamble(r io.Reader) error {
+	var b [PreambleLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	if b[0] != Magic0 || b[1] != Magic1 || b[2] != Magic2 {
+		return ErrBadMagic
+	}
+	if b[3] != Version {
+		return fmt.Errorf("kvwire: protocol version %d, want %d", b[3], Version)
+	}
+	return nil
+}
+
+// beginFrame reserves the length prefix; endFrame patches it.
+func beginFrame(dst []byte) (int, []byte) {
+	return len(dst), append(dst, 0, 0, 0, 0)
+}
+
+func endFrame(dst []byte, mark int) []byte {
+	binary.LittleEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	return dst
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendPut appends a complete PUT request frame.
+func AppendPut(dst []byte, id uint64, key, value []byte) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpPut))
+	dst = binary.AppendUvarint(dst, id)
+	dst = appendBlob(dst, key)
+	dst = appendBlob(dst, value)
+	return endFrame(dst, mark)
+}
+
+func appendKeyOnly(dst []byte, op Op, id uint64, key []byte) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(op))
+	dst = binary.AppendUvarint(dst, id)
+	dst = appendBlob(dst, key)
+	return endFrame(dst, mark)
+}
+
+// AppendGet appends a complete GET request frame.
+func AppendGet(dst []byte, id uint64, key []byte) []byte {
+	return appendKeyOnly(dst, OpGet, id, key)
+}
+
+// AppendDel appends a complete DEL request frame.
+func AppendDel(dst []byte, id uint64, key []byte) []byte {
+	return appendKeyOnly(dst, OpDel, id, key)
+}
+
+// AppendExist appends a complete EXIST request frame.
+func AppendExist(dst []byte, id uint64, key []byte) []byte {
+	return appendKeyOnly(dst, OpExist, id, key)
+}
+
+// AppendStats appends a complete STATS request frame.
+func AppendStats(dst []byte, id uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpStats))
+	dst = binary.AppendUvarint(dst, id)
+	return endFrame(dst, mark)
+}
+
+// BatchOp is one sub-operation of a BATCH frame. Op must be OpPut,
+// OpGet, or OpDel — mirroring the library Batch, membership checks are
+// not batched (use OpGet).
+type BatchOp struct {
+	Op    Op
+	Key   []byte
+	Value []byte // puts only
+}
+
+// AppendBatch appends a complete BATCH request frame.
+func AppendBatch(dst []byte, id uint64, ops []BatchOp) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpBatch))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
+		dst = append(dst, byte(op.Op))
+		dst = appendBlob(dst, op.Key)
+		if op.Op == OpPut {
+			dst = appendBlob(dst, op.Value)
+		}
+	}
+	return endFrame(dst, mark)
+}
+
+// AppendOK appends a payload-free OK response (PUT/DEL acks).
+func AppendOK(dst []byte, id uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	return endFrame(dst, mark)
+}
+
+// AppendError appends a non-OK response with an optional detail string.
+func AppendError(dst []byte, id uint64, st Status, msg string) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(st))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(msg)))
+	dst = append(dst, msg...)
+	return endFrame(dst, mark)
+}
+
+// AppendValueResponse appends a GET success carrying the value.
+func AppendValueResponse(dst []byte, id uint64, value []byte) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	dst = appendBlob(dst, value)
+	return endFrame(dst, mark)
+}
+
+// AppendBoolResponse appends an EXIST success carrying the result.
+func AppendBoolResponse(dst []byte, id uint64, ok bool) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	dst = append(dst, b)
+	return endFrame(dst, mark)
+}
+
+// BatchItem is one sub-result of a BATCH response.
+type BatchItem struct {
+	Status Status
+	Value  []byte // get results; aliases the frame buffer when parsed
+}
+
+// AppendBatchResponse appends a BATCH success carrying one status (and,
+// for gets, the value) per submitted op. The encoding is
+// self-describing — every item carries a value length, zero for
+// valueless ops — so it parses without knowledge of the request.
+func AppendBatchResponse(dst []byte, id uint64, items []BatchItem) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = append(dst, byte(it.Status))
+		dst = appendBlob(dst, it.Value)
+	}
+	return endFrame(dst, mark)
+}
+
+// uvarint decodes with an explicit error instead of Uvarint's n<=0.
+func uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, ErrTruncated
+	}
+	return v, n, nil
+}
+
+// parseBlob decodes a length-prefixed byte field bounded by limit,
+// checking the declared length before any slicing so hostile lengths
+// cannot panic or allocate.
+func parseBlob(b []byte, limit int) ([]byte, int, error) {
+	l, n, err := uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l > uint64(limit) {
+		return nil, 0, ErrFrameTooLarge
+	}
+	if uint64(len(b)-n) < l {
+		return nil, 0, ErrTruncated
+	}
+	return b[n : n+int(l) : n+int(l)], n + int(l), nil
+}
+
+// Request is a parsed request frame. Key, Value, and the Ops entries
+// alias the frame buffer and are valid only until the next
+// FrameReader.Next call.
+type Request struct {
+	Op    Op
+	ID    uint64
+	Key   []byte
+	Value []byte
+	Ops   []BatchOp // batch sub-ops; backing array is reused across Parse calls
+}
+
+// Parse decodes a request body. On error the Request contents are
+// unspecified. The Ops slice is reused, so a Request should be reused
+// across frames to stay allocation-free.
+func (r *Request) Parse(body []byte) error {
+	if len(body) < 1 {
+		return ErrTruncated
+	}
+	r.Op = Op(body[0])
+	body = body[1:]
+	id, n, err := uvarint(body)
+	if err != nil {
+		return err
+	}
+	r.ID = id
+	body = body[n:]
+	r.Key, r.Value, r.Ops = nil, nil, r.Ops[:0]
+
+	switch r.Op {
+	case OpPut:
+		if r.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
+			return err
+		}
+		body = body[n:]
+		if r.Value, n, err = parseBlob(body, MaxValueLen); err != nil {
+			return err
+		}
+		body = body[n:]
+	case OpGet, OpDel, OpExist:
+		if r.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
+			return err
+		}
+		body = body[n:]
+	case OpBatch:
+		count, n, err := uvarint(body)
+		if err != nil {
+			return err
+		}
+		if count > MaxBatchOps {
+			return ErrFrameTooLarge
+		}
+		body = body[n:]
+		for i := uint64(0); i < count; i++ {
+			if len(body) < 1 {
+				return ErrTruncated
+			}
+			op := Op(body[0])
+			body = body[1:]
+			if op != OpPut && op != OpGet && op != OpDel {
+				return ErrUnknownOp
+			}
+			var bop BatchOp
+			bop.Op = op
+			if bop.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
+				return err
+			}
+			body = body[n:]
+			if op == OpPut {
+				if bop.Value, n, err = parseBlob(body, MaxValueLen); err != nil {
+					return err
+				}
+				body = body[n:]
+			}
+			r.Ops = append(r.Ops, bop)
+		}
+	case OpStats:
+		// no payload
+	default:
+		return ErrUnknownOp
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("kvwire: %d trailing bytes after %s payload", len(body), r.Op)
+	}
+	return nil
+}
+
+// Response is a parsed response frame. Payload aliases the frame
+// buffer; its interpretation depends on the opcode of the request the
+// ID matches (ParseValuePayload, ParseBoolPayload, ParseBatchPayload,
+// ParseStatsPayload, ParseErrorPayload).
+type Response struct {
+	Status  Status
+	ID      uint64
+	Payload []byte
+}
+
+// Parse decodes a response body.
+func (r *Response) Parse(body []byte) error {
+	if len(body) < 1 {
+		return ErrTruncated
+	}
+	r.Status = Status(body[0])
+	id, n, err := uvarint(body[1:])
+	if err != nil {
+		return err
+	}
+	r.ID = id
+	r.Payload = body[1+n:]
+	return nil
+}
+
+// ParseValuePayload decodes a GET success payload.
+func ParseValuePayload(p []byte) ([]byte, error) {
+	v, n, err := parseBlob(p, MaxValueLen)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(p) {
+		return nil, ErrTruncated
+	}
+	return v, nil
+}
+
+// ParseBoolPayload decodes an EXIST success payload.
+func ParseBoolPayload(p []byte) (bool, error) {
+	if len(p) != 1 || p[0] > 1 {
+		return false, ErrTruncated
+	}
+	return p[0] == 1, nil
+}
+
+// ParseErrorPayload decodes the optional detail of a non-OK response;
+// it returns "" if the payload is absent or malformed.
+func ParseErrorPayload(p []byte) string {
+	msg, n, err := parseBlob(p, MaxFrameLen)
+	if err != nil || n != len(p) {
+		return ""
+	}
+	return string(msg)
+}
+
+// ParseBatchPayload decodes a BATCH success payload, appending items to
+// dst (pass dst[:0] to reuse). Item values alias p.
+func ParseBatchPayload(p []byte, dst []BatchItem) ([]BatchItem, error) {
+	count, n, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if count > MaxBatchOps {
+		return dst, ErrFrameTooLarge
+	}
+	p = p[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 1 {
+			return dst, ErrTruncated
+		}
+		var it BatchItem
+		it.Status = Status(p[0])
+		p = p[1:]
+		if it.Value, n, err = parseBlob(p, MaxValueLen); err != nil {
+			return dst, err
+		}
+		if len(it.Value) == 0 {
+			it.Value = nil
+		}
+		p = p[n:]
+		dst = append(dst, it)
+	}
+	if len(p) != 0 {
+		return dst, ErrTruncated
+	}
+	return dst, nil
+}
+
+// FrameReader reads length-prefixed frames from a stream into a reused
+// buffer. It is not safe for concurrent use.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r. Frames longer than MaxFrameLen are rejected
+// without buffering.
+func NewFrameReader(r io.Reader) *FrameReader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &FrameReader{r: br}
+	}
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next frame body. The returned slice is valid only
+// until the following Next call. A clean EOF at a frame boundary
+// returns io.EOF; EOF inside a frame returns io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return nil, err // io.EOF at a frame boundary is clean
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, ErrFrameTooLarge
+	}
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

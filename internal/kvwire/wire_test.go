@@ -1,0 +1,258 @@
+package kvwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// readOne frames-up an encoded buffer and reads one body back.
+func readOne(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	fr := NewFrameReader(bytes.NewReader(frame))
+	body, err := fr.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("trailing data: err=%v", err)
+	}
+	return body
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	key, val := []byte("user:42"), bytes.Repeat([]byte("v"), 1000)
+	var req Request
+
+	if err := req.Parse(readOne(t, AppendPut(nil, 7, key, val))); err != nil {
+		t.Fatalf("put parse: %v", err)
+	}
+	if req.Op != OpPut || req.ID != 7 || !bytes.Equal(req.Key, key) || !bytes.Equal(req.Value, val) {
+		t.Fatalf("put mismatch: %+v", req)
+	}
+
+	for _, tc := range []struct {
+		op     Op
+		append func([]byte, uint64, []byte) []byte
+	}{{OpGet, AppendGet}, {OpDel, AppendDel}, {OpExist, AppendExist}} {
+		if err := req.Parse(readOne(t, tc.append(nil, 9, key))); err != nil {
+			t.Fatalf("%v parse: %v", tc.op, err)
+		}
+		if req.Op != tc.op || req.ID != 9 || !bytes.Equal(req.Key, key) {
+			t.Fatalf("%v mismatch: %+v", tc.op, req)
+		}
+	}
+
+	if err := req.Parse(readOne(t, AppendStats(nil, 1<<40))); err != nil {
+		t.Fatalf("stats parse: %v", err)
+	}
+	if req.Op != OpStats || req.ID != 1<<40 {
+		t.Fatalf("stats mismatch: %+v", req)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ops := []BatchOp{
+		{Op: OpPut, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpGet, Key: []byte("b")},
+		{Op: OpDel, Key: []byte("c")},
+		{Op: OpPut, Key: []byte("d"), Value: nil}, // empty value is legal
+	}
+	var req Request
+	if err := req.Parse(readOne(t, AppendBatch(nil, 3, ops))); err != nil {
+		t.Fatalf("batch parse: %v", err)
+	}
+	if req.Op != OpBatch || req.ID != 3 || len(req.Ops) != len(ops) {
+		t.Fatalf("batch mismatch: %+v", req)
+	}
+	for i, op := range ops {
+		got := req.Ops[i]
+		if got.Op != op.Op || !bytes.Equal(got.Key, op.Key) || !bytes.Equal(got.Value, op.Value) {
+			t.Fatalf("batch op %d: got %+v want %+v", i, got, op)
+		}
+	}
+
+	// EXIST is not a legal batch sub-op.
+	bad := AppendBatch(nil, 4, []BatchOp{{Op: OpExist, Key: []byte("x")}})
+	if err := req.Parse(readOne(t, bad)); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("exist in batch: err=%v, want ErrUnknownOp", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var resp Response
+
+	if err := resp.Parse(readOne(t, AppendOK(nil, 11))); err != nil {
+		t.Fatalf("ok parse: %v", err)
+	}
+	if resp.Status != StatusOK || resp.ID != 11 || len(resp.Payload) != 0 {
+		t.Fatalf("ok mismatch: %+v", resp)
+	}
+
+	if err := resp.Parse(readOne(t, AppendError(nil, 12, StatusBusy, "queue full"))); err != nil {
+		t.Fatalf("error parse: %v", err)
+	}
+	if resp.Status != StatusBusy || resp.ID != 12 || ParseErrorPayload(resp.Payload) != "queue full" {
+		t.Fatalf("error mismatch: %+v", resp)
+	}
+	if !resp.Status.Retryable() || !errors.Is(resp.Status.Err(), ErrBusy) {
+		t.Fatalf("busy semantics: retryable=%v err=%v", resp.Status.Retryable(), resp.Status.Err())
+	}
+
+	val := []byte("the value")
+	if err := resp.Parse(readOne(t, AppendValueResponse(nil, 13, val))); err != nil {
+		t.Fatalf("value parse: %v", err)
+	}
+	got, err := ParseValuePayload(resp.Payload)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("value mismatch: %q %v", got, err)
+	}
+
+	for _, want := range []bool{true, false} {
+		if err := resp.Parse(readOne(t, AppendBoolResponse(nil, 14, want))); err != nil {
+			t.Fatalf("bool parse: %v", err)
+		}
+		got, err := ParseBoolPayload(resp.Payload)
+		if err != nil || got != want {
+			t.Fatalf("bool mismatch: %v %v", got, err)
+		}
+	}
+
+	items := []BatchItem{
+		{Status: StatusOK},
+		{Status: StatusOK, Value: []byte("v")},
+		{Status: StatusNotFound},
+	}
+	if err := resp.Parse(readOne(t, AppendBatchResponse(nil, 15, items))); err != nil {
+		t.Fatalf("batch resp parse: %v", err)
+	}
+	gotItems, err := ParseBatchPayload(resp.Payload, nil)
+	if err != nil || len(gotItems) != len(items) {
+		t.Fatalf("batch items: %v %v", gotItems, err)
+	}
+	for i, it := range items {
+		if gotItems[i].Status != it.Status || !bytes.Equal(gotItems[i].Value, it.Value) {
+			t.Fatalf("batch item %d: got %+v want %+v", i, gotItems[i], it)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{
+		Shards: 8, Stores: 1 << 33, Retrieves: 12, Deletes: 3, Exists: 4,
+		BytesWritten: 1 << 40, BytesRead: 9, IndexRecords: 1e6, Resizes: 5,
+		CollisionAborts: 1, FlashReads: 2, FlashPrograms: 3, FlashErases: 4,
+		GCRuns: 5, Checkpoints: 6,
+		StoreP50ns: 1500, StoreP99ns: 9000, RetrieveP50ns: 800, RetrieveP99ns: 4000,
+	}
+	var resp Response
+	if err := resp.Parse(readOne(t, AppendStatsResponse(nil, 16, &in))); err != nil {
+		t.Fatalf("stats resp parse: %v", err)
+	}
+	out, err := ParseStatsPayload(resp.Payload)
+	if err != nil {
+		t.Fatalf("stats payload: %v", err)
+	}
+	if out != in {
+		t.Fatalf("stats mismatch:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	if err := ReadPreamble(bytes.NewReader(AppendPreamble(nil))); err != nil {
+		t.Fatalf("good preamble: %v", err)
+	}
+	if err := ReadPreamble(bytes.NewReader([]byte{'N', 'O', 'P', 'E'})); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if err := ReadPreamble(bytes.NewReader([]byte{Magic0, Magic1, Magic2, 99})); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	if err := ReadPreamble(bytes.NewReader([]byte{Magic0})); err == nil {
+		t.Fatal("short preamble accepted")
+	}
+}
+
+func TestFrameReaderBounds(t *testing.T) {
+	// Oversized declared length is rejected before buffering.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrameLen+1)
+	if _, err := NewFrameReader(bytes.NewReader(hdr[:])).Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+
+	// Zero-length frames are invalid (a body is at least op+id).
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, err := NewFrameReader(bytes.NewReader(hdr[:])).Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("zero frame: %v", err)
+	}
+
+	// Truncated body surfaces io.ErrUnexpectedEOF, not a clean EOF.
+	frame := AppendPut(nil, 1, []byte("k"), []byte("v"))
+	if _, err := NewFrameReader(bytes.NewReader(frame[:len(frame)-1])).Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body: %v", err)
+	}
+	if _, err := NewFrameReader(bytes.NewReader(frame[:2])).Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: %v", err)
+	}
+}
+
+func TestParseRejectsHostileLengths(t *testing.T) {
+	// A PUT whose declared key length far exceeds the body must fail
+	// with a bounds error, not panic or over-slice.
+	body := []byte{byte(OpPut), 1}
+	body = binary.AppendUvarint(body, 1<<50)
+	var req Request
+	if err := req.Parse(body); err == nil {
+		t.Fatal("hostile key length accepted")
+	}
+
+	// Trailing garbage after a well-formed payload is rejected.
+	frame := AppendGet(nil, 1, []byte("k"))
+	tail := append(append([]byte{}, readOne(t, frame)...), 0xFF)
+	if err := req.Parse(tail); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestPipelinedStream(t *testing.T) {
+	// Several frames back-to-back in one buffer — the shape the
+	// pipelined client and server actually exchange.
+	var buf []byte
+	buf = AppendPut(buf, 1, []byte("a"), []byte("1"))
+	buf = AppendGet(buf, 2, []byte("a"))
+	buf = AppendDel(buf, 3, []byte("a"))
+	fr := NewFrameReader(bytes.NewReader(buf))
+	var req Request
+	for want := uint64(1); want <= 3; want++ {
+		body, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", want, err)
+		}
+		if err := req.Parse(body); err != nil {
+			t.Fatalf("frame %d parse: %v", want, err)
+		}
+		if req.ID != want {
+			t.Fatalf("frame order: got id %d want %d", req.ID, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func BenchmarkAppendParsePut(b *testing.B) {
+	key := []byte("user:123456789")
+	val := bytes.Repeat([]byte("x"), 1024)
+	var buf []byte
+	var req Request
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendPut(buf[:0], uint64(i), key, val)
+		if err := req.Parse(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

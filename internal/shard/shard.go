@@ -16,6 +16,7 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/device"
@@ -142,12 +143,16 @@ func (s *Set) Exist(key []byte) (bool, error) {
 	return ok, nil
 }
 
-// Checkpoint makes accepted writes durable on every shard.
+// Checkpoint makes accepted writes durable on every shard. Per-shard
+// failures are annotated with the shard index and joined, so callers
+// can unwrap which shard failed (errors.Is still matches the cause).
 func (s *Set) Checkpoint() error {
 	var errs []error
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.mu.Lock()
-		errs = append(errs, sh.dev.Checkpoint())
+		if err := sh.dev.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
 		sh.mu.Unlock()
 	}
 	return errors.Join(errs...)
@@ -155,12 +160,13 @@ func (s *Set) Checkpoint() error {
 
 // Restart power-cycles every shard: one device-wide crash takes all
 // channels down together, and each shard recovers independently.
+// Per-shard failures are annotated with the shard index and joined.
 func (s *Set) Restart() error {
 	var errs []error
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.mu.Lock()
 		if err := sh.dev.Restart(); err != nil {
-			errs = append(errs, err)
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		} else {
 			sh.last = sh.dev.Now()
 		}
@@ -169,12 +175,16 @@ func (s *Set) Restart() error {
 	return errors.Join(errs...)
 }
 
-// Close checkpoints and shuts down every shard.
+// Close checkpoints and shuts down every shard. Per-shard failures are
+// annotated with the shard index and joined; a partial failure still
+// closes the remaining shards.
 func (s *Set) Close() error {
 	var errs []error
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.mu.Lock()
-		errs = append(errs, sh.dev.Close())
+		if err := sh.dev.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
 		sh.mu.Unlock()
 	}
 	return errors.Join(errs...)

@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/device"
@@ -143,6 +145,40 @@ func TestMergeSortedInterleaves(t *testing.T) {
 	for i, w := range want {
 		if string(got[i].Key) != w {
 			t.Fatalf("merged[%d] = %q, want %q", i, got[i].Key, w)
+		}
+	}
+}
+
+// TestCloseErrorsIdentifyShards verifies that per-shard lifecycle
+// failures stay individually unwrappable: each joined error names its
+// shard and still matches the underlying cause with errors.Is.
+func TestCloseErrorsIdentifyShards(t *testing.T) {
+	set := newSet(t, 4)
+	if err := set.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	// Every shard is now closed, so a second Close fails on all four.
+	err := set.Close()
+	if err == nil {
+		t.Fatal("second close succeeded")
+	}
+	if !errors.Is(err, device.ErrClosed) {
+		t.Fatalf("joined error does not match device.ErrClosed: %v", err)
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("close error is not an errors.Join aggregate: %T", err)
+	}
+	parts := joined.Unwrap()
+	if len(parts) != set.N() {
+		t.Fatalf("got %d per-shard errors, want %d: %v", len(parts), set.N(), err)
+	}
+	for i, pe := range parts {
+		if !errors.Is(pe, device.ErrClosed) {
+			t.Errorf("shard %d error lost its cause: %v", i, pe)
+		}
+		if want := fmt.Sprintf("shard %d:", i); !strings.Contains(pe.Error(), want) {
+			t.Errorf("shard %d error does not name its shard: %v", i, pe)
 		}
 	}
 }

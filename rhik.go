@@ -130,6 +130,18 @@ func defaultShards() int {
 
 // Open creates a fresh device (all flash erased).
 func Open(opts Options) (*DB, error) {
+	set, err := OpenSet(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{set: set}, nil
+}
+
+// OpenSet creates a fresh device and returns the raw sharded front-end
+// instead of the DB wrapper. In-module tools that dispatch work by
+// shard — the network server keys its worker pool on Set.RouteKey —
+// use this; applications should use Open.
+func OpenSet(opts Options) (*shard.Set, error) {
 	n := opts.Shards
 	if n == 0 {
 		n = defaultShards()
@@ -176,11 +188,7 @@ func Open(opts Options) (*DB, error) {
 	if err := cfg.SigScheme.Validate(); err != nil {
 		return nil, err
 	}
-	set, err := shard.New(n, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{set: set}, nil
+	return shard.New(n, cfg)
 }
 
 // Shards reports the shard count the key space is partitioned across.
