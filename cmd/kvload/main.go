@@ -43,10 +43,15 @@ func main() {
 		batchSize   = flag.Int("batch", 64, "ops per BATCH frame (1 = single-op frames)")
 		seed        = flag.Int64("seed", 42, "generator seed")
 		retries     = flag.Int("retries", 16, "client retry budget for BUSY")
+		readers     = flag.Int("readers", 0, "dedicated GET-only workers (with -writers, replaces -concurrency/-mix)")
+		writers     = flag.Int("writers", 0, "dedicated PUT-only workers (with -readers, replaces -concurrency/-mix)")
 	)
 	flag.Parse()
-	if *concurrency < 1 || *batchSize < 1 || *keyspace < 1 {
-		fatalf("-concurrency, -batch, and -keys must be >= 1")
+	if *batchSize < 1 || *keyspace < 1 {
+		fatalf("-batch and -keys must be >= 1")
+	}
+	if *readers < 0 || *writers < 0 {
+		fatalf("-readers and -writers must be >= 0")
 	}
 	var putFrac float64
 	switch *mixName {
@@ -59,6 +64,27 @@ func main() {
 	default:
 		fatalf("unknown mix %q", *mixName)
 	}
+	// Role split: when -readers/-writers are set, each worker is pinned to
+	// one op type instead of sampling the -mix. This is how the sharded
+	// read-pool server is meant to be exercised: readers saturate the
+	// shared lock path while writers churn the exclusive one.
+	roleSplit := *readers > 0 || *writers > 0
+	if roleSplit {
+		*concurrency = *readers + *writers
+	}
+	if *concurrency < 1 {
+		fatalf("need at least one worker (-concurrency, or -readers/-writers)")
+	}
+	// workerPutFrac reports the put probability for worker w.
+	workerPutFrac := func(w int) float64 {
+		if !roleSplit {
+			return putFrac
+		}
+		if w < *writers {
+			return 1.0
+		}
+		return 0.0
+	}
 
 	c, err := client.Dial(client.Options{Addr: *addr, Conns: *conns, MaxRetries: *retries})
 	if err != nil {
@@ -68,7 +94,8 @@ func main() {
 
 	type tally struct {
 		ops, requests, notFound, failed int64
-		lat                             metrics.Histogram
+		gets, puts                      int64
+		lat, getLat, putLat             metrics.Histogram
 		err                             error
 	}
 	tallies := make([]tally, *concurrency)
@@ -88,6 +115,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			tl := &tallies[w]
+			putFrac := workerPutFrac(w)
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			key := make([]byte, 0, 24)
 			nextKey := func() []byte {
@@ -105,13 +133,15 @@ func main() {
 				var reqStart time.Time
 				if *batchSize == 1 {
 					k := nextKey()
+					isPut := rng.Float64() < putFrac
 					reqStart = time.Now()
 					var err error
-					if rng.Float64() < putFrac {
+					if isPut {
 						err = c.Put(k, value)
 					} else {
 						_, err = c.Get(k)
 					}
+					opLat := time.Since(reqStart).Nanoseconds()
 					if errors.Is(err, kvwire.ErrNotFound) {
 						tl.notFound++
 						err = nil
@@ -121,14 +151,23 @@ func main() {
 						return
 					}
 					tl.ops++
+					if isPut {
+						tl.puts++
+						tl.putLat.Record(opLat)
+					} else {
+						tl.gets++
+						tl.getLat.Record(opLat)
+					}
 				} else {
 					var b client.Batch
 					for i := 0; i < *batchSize; i++ {
 						if rng.Float64() < putFrac {
+							tl.puts++
 							// Keys must outlive the loop iteration; the
 							// batch aliases them until Do encodes.
 							b.Put(fmt.Appendf(nil, "key%016d", rng.Int63n(*keyspace)), value)
 						} else {
+							tl.gets++
 							b.Get(fmt.Appendf(nil, "key%016d", rng.Int63n(*keyspace)))
 						}
 					}
@@ -167,20 +206,43 @@ func main() {
 		tot.requests += tl.requests
 		tot.notFound += tl.notFound
 		tot.failed += tl.failed
+		tot.gets += tl.gets
+		tot.puts += tl.puts
 		tot.lat.Merge(&tl.lat)
+		tot.getLat.Merge(&tl.getLat)
+		tot.putLat.Merge(&tl.putLat)
 	}
 
+	mixDesc := *mixName
+	if roleSplit {
+		mixDesc = fmt.Sprintf("readers=%d writers=%d", *readers, *writers)
+	}
 	fmt.Printf("kvload: addr=%s conns=%d concurrency=%d batch=%d mix=%s value=%dB keys=%d\n",
-		*addr, *conns, *concurrency, *batchSize, *mixName, *valueSize, *keyspace)
+		*addr, *conns, *concurrency, *batchSize, mixDesc, *valueSize, *keyspace)
 	fmt.Printf("ops: %d in %d requests over %v (%d not-found, %d failed)\n",
 		tot.ops, tot.requests, wall.Round(time.Millisecond), tot.notFound, tot.failed)
 	if wall > 0 {
 		fmt.Printf("throughput: %.1f kops/s (%.1f req/s)\n",
 			float64(tot.ops)/wall.Seconds()/1e3, float64(tot.requests)/wall.Seconds())
+		fmt.Printf("split: %d gets (%.1f kops/s), %d puts (%.1f kops/s)\n",
+			tot.gets, float64(tot.gets)/wall.Seconds()/1e3,
+			tot.puts, float64(tot.puts)/wall.Seconds()/1e3)
 	}
-	us := func(p float64) float64 { return float64(tot.lat.Percentile(p)) / 1e3 }
+	us := func(h *metrics.Histogram, p float64) float64 { return float64(h.Percentile(p)) / 1e3 }
 	fmt.Printf("request latency: p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
-		us(50), us(90), us(99), float64(tot.lat.Max())/1e3)
+		us(&tot.lat, 50), us(&tot.lat, 90), us(&tot.lat, 99), float64(tot.lat.Max())/1e3)
+	// Per-op-type latency exists only in single-op mode; batch frames mix
+	// op types inside one request round trip.
+	if *batchSize == 1 {
+		if tot.gets > 0 {
+			fmt.Printf("GET latency:     p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
+				us(&tot.getLat, 50), us(&tot.getLat, 90), us(&tot.getLat, 99), float64(tot.getLat.Max())/1e3)
+		}
+		if tot.puts > 0 {
+			fmt.Printf("PUT latency:     p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
+				us(&tot.putLat, 50), us(&tot.putLat, 90), us(&tot.putLat, 99), float64(tot.putLat.Max())/1e3)
+		}
+	}
 
 	if st, err := c.Stats(); err == nil {
 		fmt.Printf("server: shards=%d stores=%d retrieves=%d records=%d resizes=%d storeP99=%v\n",

@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	rhik "repro"
@@ -38,10 +41,28 @@ func main() {
 		inflight  = flag.Int("inflight", 4096, "max admitted-but-unanswered requests before BUSY")
 		queue     = flag.Int("queue", 256, "per-shard worker queue depth before BUSY")
 		timeout   = flag.Duration("timeout", 0, "per-request queue deadline (0 = none)")
+		pprofAddr = flag.String("pprof", "", "HTTP listen address for net/http/pprof (empty = disabled)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("kvserver: ")
+
+	if *pprofAddr != "" {
+		// Mutex profiling is what the read-path lock split is tuned with:
+		// /debug/pprof/mutex shows contention on the per-shard RWMutexes.
+		// Sampling 1-in-5 keeps the hot shared path cheap.
+		runtime.SetMutexProfileFraction(5)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	opts := rhik.Options{
 		Capacity:          *capacity,

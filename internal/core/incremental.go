@@ -17,7 +17,7 @@ import (
 // per-command cost is bounded and tail latency stays flat.
 type migration struct {
 	oldDirs   []dirEntry
-	oldCache  *dram.Cache
+	oldCache  *dram.Cache[*tableEntry]
 	migrated  []bool
 	cursor    uint64
 	oldD      int
@@ -90,8 +90,8 @@ func (r *RHIK) prepare(sig index.Sig) error {
 func (r *RHIK) migrateBucket(b uint64) error {
 	mig := r.mig
 	var src *tableEntry
-	if v, ok := mig.oldCache.Remove(b); ok {
-		src = v.(*tableEntry)
+	if e, ok := mig.oldCache.Remove(b); ok {
+		src = e
 	} else if mig.oldDirs[b].has {
 		data, err := r.env.ReadPage(mig.oldDirs[b].ppa)
 		if err != nil {
@@ -102,11 +102,13 @@ func (r *RHIK) migrateBucket(b uint64) error {
 			r.recycle(t)
 			return fmt.Errorf("core: incremental decode bucket %d: %w", b, err)
 		}
-		src = &tableEntry{table: t}
+		src = r.takeEntry(t)
 	}
 
-	lowT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
-	highT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
+	lowT := r.takeEntry(r.takeEmptyTable())
+	lowT.dirty = true
+	highT := r.takeEntry(r.takeEmptyTable())
+	highT.dirty = true
 	lowBit := uint64(mig.oldD)
 	if src != nil {
 		var migErr error
@@ -125,17 +127,17 @@ func (r *RHIK) migrateBucket(b uint64) error {
 		if migErr != nil {
 			return migErr
 		}
-		r.recycle(src.table)
+		r.recycleEntry(src)
 	}
 	if lowT.table.Len() > 0 {
 		r.cache.Put(b, lowT, int64(lowT.table.EncodedBytes()))
 	} else {
-		r.recycle(lowT.table)
+		r.recycleEntry(lowT)
 	}
 	if highT.table.Len() > 0 {
 		r.cache.Put(b+uint64(mig.oldD), highT, int64(highT.table.EncodedBytes()))
 	} else {
-		r.recycle(highT.table)
+		r.recycleEntry(highT)
 	}
 	if mig.oldDirs[b].has {
 		r.env.Invalidate(mig.oldDirs[b].ppa)

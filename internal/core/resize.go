@@ -42,8 +42,8 @@ func (r *RHIK) Resize() error {
 	// b and b+oldD, decided by bit d of each record's signature.
 	for b := uint64(0); b < uint64(oldD); b++ {
 		var src *tableEntry
-		if v, ok := r.cache.Remove(b); ok {
-			src = v.(*tableEntry)
+		if e, ok := r.cache.Remove(b); ok {
+			src = e
 		} else if r.dirs[b].has {
 			data, err := r.env.ReadPage(r.dirs[b].ppa)
 			if err != nil {
@@ -54,11 +54,13 @@ func (r *RHIK) Resize() error {
 				r.recycle(t)
 				return fmt.Errorf("core: resize decode bucket %d: %w", b, err)
 			}
-			src = &tableEntry{table: t}
+			src = r.takeEntry(t)
 		}
 
-		lowT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
-		highT := &tableEntry{table: r.takeEmptyTable(), dirty: true}
+		lowT := r.takeEntry(r.takeEmptyTable())
+		lowT.dirty = true
+		highT := r.takeEntry(r.takeEmptyTable())
+		highT.dirty = true
 		if src != nil {
 			var migErr error
 			r.env.ChargeCPU(sim.Duration(src.table.Len()) * r.cfg.MigrateCPUPerRecord)
@@ -78,19 +80,19 @@ func (r *RHIK) Resize() error {
 			}
 		}
 		if src != nil {
-			r.recycle(src.table)
+			r.recycleEntry(src)
 		}
 		// Empty tables need no flash presence: leave their directory
 		// entries unpersisted and skip caching.
 		if lowT.table.Len() > 0 {
 			newCache.Put(b, lowT, int64(lowT.table.EncodedBytes()))
 		} else {
-			r.recycle(lowT.table)
+			r.recycleEntry(lowT)
 		}
 		if highT.table.Len() > 0 {
 			newCache.Put(b+uint64(oldD), highT, int64(highT.table.EncodedBytes()))
 		} else {
-			r.recycle(highT.table)
+			r.recycleEntry(highT)
 		}
 		// The old persisted page is superseded.
 		if r.dirs[b].has {

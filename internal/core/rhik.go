@@ -156,9 +156,10 @@ type RHIK struct {
 	r     int // records per table (Eq. 1)
 	dBits int // log2(D)
 	dirs  []dirEntry
-	cache *dram.Cache
+	cache *dram.Cache[*tableEntry]
 	live  map[nand.PPA]uint64 // persisted page -> bucket, for index-zone GC
 	pool  []*hopscotch.Table  // recycled tables; avoids per-miss allocation
+	epool []*tableEntry       // recycled cache entries; keeps misses alloc-free
 	mig   *migration          // in-flight incremental re-configuration
 
 	n          int64 // total records
@@ -168,6 +169,7 @@ type RHIK struct {
 }
 
 var _ index.Index = (*RHIK)(nil)
+var _ index.SharedReader = (*RHIK)(nil)
 var _ index.Resizer = (*RHIK)(nil)
 var _ index.Relocator = (*RHIK)(nil)
 var _ index.Checkpointer = (*RHIK)(nil)
@@ -213,15 +215,14 @@ func (r *RHIK) Occupancy() float64 { return float64(r.n) / float64(r.Capacity())
 // newCache builds a record-table cache whose write-back path targets the
 // given directory slice. The closure binds dirs so that evictions during
 // a resize write through to the directory generation that owns them.
-func (r *RHIK) newCache(dirs []dirEntry) *dram.Cache {
-	return dram.New(r.cfg.CacheBudget, func(key uint64, v any, _ int64) {
-		e := v.(*tableEntry)
+func (r *RHIK) newCache(dirs []dirEntry) *dram.Cache[*tableEntry] {
+	return dram.New(r.cfg.CacheBudget, func(key uint64, e *tableEntry, _ int64) {
 		if e.dirty {
 			if err := r.writeTable(dirs, key, e); err != nil && r.ioErr == nil {
 				r.ioErr = err
 			}
 		}
-		r.recycle(e.table)
+		r.recycleEntry(e)
 	})
 }
 
@@ -250,6 +251,28 @@ func (r *RHIK) takeEmptyTable() *hopscotch.Table {
 	t := r.takeTable()
 	t.Reset()
 	return t
+}
+
+// takeEntry wraps t in a pooled cache entry (dirty cleared), so cache
+// misses on the lookup path allocate nothing in steady state.
+func (r *RHIK) takeEntry(t *hopscotch.Table) *tableEntry {
+	if n := len(r.epool); n > 0 {
+		e := r.epool[n-1]
+		r.epool = r.epool[:n-1]
+		e.table = t
+		e.dirty = false
+		return e
+	}
+	return &tableEntry{table: t}
+}
+
+// recycleEntry returns an entry and its table to their pools.
+func (r *RHIK) recycleEntry(e *tableEntry) {
+	r.recycle(e.table)
+	e.table = nil
+	if len(r.epool) < 64 {
+		r.epool = append(r.epool, e)
+	}
 }
 
 // writeTable persists a record table and repoints its directory entry.
@@ -284,8 +307,8 @@ func (r *RHIK) newTable() *hopscotch.Table {
 // loadTable returns the record table for bucket, fetching it from flash
 // (at most one read — the paper's guarantee) when not DRAM-resident.
 func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
-	if v, ok := r.cache.Get(bucket); ok {
-		return v.(*tableEntry), nil
+	if e, ok := r.cache.Get(bucket); ok {
+		return e, nil
 	}
 	t := r.takeTable()
 	if r.dirs[bucket].has {
@@ -301,7 +324,7 @@ func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
 	} else {
 		t.Reset()
 	}
-	e := &tableEntry{table: t}
+	e := r.takeEntry(t)
 	r.cache.Put(bucket, e, int64(t.EncodedBytes()))
 	return e, nil
 }
@@ -385,6 +408,18 @@ func (r *RHIK) Exist(sig index.Sig) (bool, error) {
 	return ok, err
 }
 
+// SharedLookupReady implements index.SharedReader: a lookup for sig can
+// run under the shard read lock when no migration is in flight, no
+// deferred write-back error is pending, and the bucket's record table is
+// DRAM-resident. The check is pure — it charges no simulated time and
+// touches no counters — so a false answer costs nothing before the shard
+// falls back to the exclusive path. Once true, Lookup's only mutations
+// are atomics: the cache hit counter and the entry's CLOCK reference bit
+// (eviction cannot intervene, because only exclusive writers evict).
+func (r *RHIK) SharedLookupReady(sig index.Sig) bool {
+	return r.mig == nil && r.ioErr == nil && r.cache.Contains(r.bucketOf(sig))
+}
+
 // Flush writes every dirty cached table to flash. Entries stay cached.
 // An in-flight incremental migration is drained first so the persisted
 // state is single-generation.
@@ -393,8 +428,7 @@ func (r *RHIK) Flush() error {
 		return err
 	}
 	var firstErr error
-	r.cache.Range(func(key uint64, v any, _ int64) bool {
-		e := v.(*tableEntry)
+	r.cache.Range(func(key uint64, e *tableEntry, _ int64) bool {
 		if e.dirty {
 			if err := r.writeTable(r.dirs, key, e); err != nil && firstErr == nil {
 				firstErr = err

@@ -30,7 +30,7 @@ func (d *Device) Checkpoint() error {
 	ck, ok := d.idx.(index.Checkpointer)
 	if !ok {
 		d.mutsSince = 0
-		d.stats.Checkpoints++
+		d.stats.checkpoints.Add(1)
 		return nil
 	}
 
@@ -65,7 +65,7 @@ func (d *Device) Checkpoint() error {
 	d.ckptID++
 	d.ckptSeq = d.seq
 	d.mutsSince = 0
-	d.stats.Checkpoints++
+	d.stats.checkpoints.Add(1)
 
 	// Re-pin the pages the new checkpoint references, then release the
 	// invalidations deferred while the previous generation needed them.
@@ -92,11 +92,11 @@ func (d *Device) writeCheckpointPage(chunk []byte, gen uint64, seg int) (nand.PP
 		return 0, err
 	}
 	spare := layout.EncodeSpare(layout.KindCheckpoint, layout.RP(gen), seg)
-	done, err := d.flash.Program(d.env.now, ppa, chunk, spare)
+	done, err := d.flash.Program(d.env.now.Load(), ppa, chunk, spare)
 	if err != nil {
 		return 0, err
 	}
-	d.env.now = done
+	d.env.now.AdvanceTo(done)
 	d.mgr.OnWrite(d.flash.BlockOf(ppa), int64(len(chunk)))
 	d.idxPageSize[ppa] = int32(len(chunk))
 	return ppa, nil
@@ -115,11 +115,11 @@ func (d *Device) relocateCheckpointPage(old nand.PPA) error {
 	if live < 0 {
 		return nil // stale generation; nothing to move
 	}
-	data, spare, done, err := d.flash.Read(d.env.now, old)
+	data, spare, done, err := d.flash.Read(d.env.now.Load(), old)
 	if err != nil {
 		return err
 	}
-	d.env.now = done
+	d.env.now.AdvanceTo(done)
 	_, gen, seg, err := layout.DecodeSpare(spare)
 	if err != nil {
 		return err
@@ -130,7 +130,7 @@ func (d *Device) relocateCheckpointPage(old nand.PPA) error {
 	}
 	d.ckptPages[live] = ppa
 	d.env.Invalidate(old)
-	d.stats.GCPagesMoved++
+	d.stats.gcPagesMoved.Add(1)
 	return nil
 }
 

@@ -19,6 +19,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ftl"
@@ -195,11 +196,56 @@ type Stats struct {
 	CollisionAborts int64
 }
 
-// Device is the emulated KVSSD. It is NOT safe for concurrent use: all
-// methods must be externally serialized. The sharded front-end
-// (internal/shard) gives each Device its own mutex and routes commands
-// by key signature, so one Device only ever sees one goroutine at a
-// time while different shards run in parallel.
+// devStats is the live counter set. Retrieve/Exist bump their counters
+// under the shard read lock, concurrently with each other, so every
+// field is atomic; Stats() snapshots them into the exported plain struct.
+type devStats struct {
+	stores    atomic.Int64
+	retrieves atomic.Int64
+	deletes   atomic.Int64
+	exists    atomic.Int64
+	iterates  atomic.Int64
+
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+
+	gcRuns          atomic.Int64
+	gcPagesMoved    atomic.Int64
+	gcBytesMoved    atomic.Int64
+	checkpoints     atomic.Int64
+	recoveries      atomic.Int64
+	resizeHalt      atomic.Int64 // sim.Duration ns
+	collisionAborts atomic.Int64
+}
+
+func (s *devStats) snapshot() Stats {
+	return Stats{
+		Stores:          s.stores.Load(),
+		Retrieves:       s.retrieves.Load(),
+		Deletes:         s.deletes.Load(),
+		Exists:          s.exists.Load(),
+		Iterates:        s.iterates.Load(),
+		BytesWritten:    s.bytesWritten.Load(),
+		BytesRead:       s.bytesRead.Load(),
+		GCRuns:          s.gcRuns.Load(),
+		GCPagesMoved:    s.gcPagesMoved.Load(),
+		GCBytesMoved:    s.gcBytesMoved.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		Recoveries:      s.recoveries.Load(),
+		ResizeHalt:      sim.Duration(s.resizeHalt.Load()),
+		CollisionAborts: s.collisionAborts.Load(),
+	}
+}
+
+// Device is the emulated KVSSD. Mutating commands (Store, Delete,
+// Checkpoint, Restart, Close, Iterate) must be externally serialized —
+// the sharded front-end (internal/shard) runs them under a per-shard
+// write lock. Read commands may run concurrently with each other via
+// TryRetrieveShared/TryExistShared, which refuse (ErrNeedExclusive,
+// before charging any simulated time) whenever the operation would have
+// to mutate index structure; the shard then retries under the write
+// lock. Observability accessors (Stats, FlashStats, latency histograms)
+// snapshot atomics and are safe alongside concurrent readers.
 type Device struct {
 	cfg    Config
 	clock  *sim.Clock
@@ -238,10 +284,10 @@ type Device struct {
 	mutsSince     int64 // mutating ops since last checkpoint
 	closed        bool
 
-	stats     Stats
-	latStore  metrics.Histogram // per-op simulated latency (ns)
-	latGet    metrics.Histogram
-	metaPerOp metrics.Histogram // flash reads per index operation
+	stats     devStats
+	latStore  metrics.ConcurrentHistogram // per-op simulated latency (ns)
+	latGet    metrics.ConcurrentHistogram
+	metaPerOp metrics.ConcurrentHistogram // flash reads per index operation
 	maxValue  int
 }
 
@@ -341,12 +387,12 @@ func (d *Device) Index() index.Index { return d.idx }
 func (d *Device) Scheme() index.SigScheme { return d.scheme }
 
 // Now reports the firmware timeline position.
-func (d *Device) Now() sim.Time { return d.env.now }
+func (d *Device) Now() sim.Time { return d.env.now.Load() }
 
 // Drain returns the time at which every in-flight operation (including
 // scheduled die work) has completed.
 func (d *Device) Drain() sim.Time {
-	t := d.env.now
+	t := d.env.now.Load()
 	if bt := d.flash.BusyUntil(); bt > t {
 		t = bt
 	}
@@ -354,7 +400,7 @@ func (d *Device) Drain() sim.Time {
 }
 
 // Stats returns a snapshot of device counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats { return d.stats.snapshot() }
 
 // FlashStats returns NAND operation counters.
 func (d *Device) FlashStats() nand.Stats { return d.flash.Stats() }
@@ -379,15 +425,24 @@ func (d *Device) ResizeEvents() []index.ResizeEvent {
 	return nil
 }
 
-// StoreLatency exposes the per-store latency histogram (simulated ns).
-func (d *Device) StoreLatency() *metrics.Histogram { return &d.latStore }
+// StoreLatency snapshots the per-store latency histogram (simulated ns).
+func (d *Device) StoreLatency() *metrics.Histogram {
+	h := d.latStore.Snapshot()
+	return &h
+}
 
-// RetrieveLatency exposes the per-retrieve latency histogram.
-func (d *Device) RetrieveLatency() *metrics.Histogram { return &d.latGet }
+// RetrieveLatency snapshots the per-retrieve latency histogram.
+func (d *Device) RetrieveLatency() *metrics.Histogram {
+	h := d.latGet.Snapshot()
+	return &h
+}
 
-// MetaReadsPerOp exposes the flash-reads-per-index-operation histogram
+// MetaReadsPerOp snapshots the flash-reads-per-index-operation histogram
 // (Fig. 5b).
-func (d *Device) MetaReadsPerOp() *metrics.Histogram { return &d.metaPerOp }
+func (d *Device) MetaReadsPerOp() *metrics.Histogram {
+	h := d.metaPerOp.Snapshot()
+	return &h
+}
 
 // ResetOpStats clears per-op histograms and cache counters between
 // experiment phases without touching stored data.

@@ -1,6 +1,8 @@
 package device
 
 import (
+	"sync/atomic"
+
 	"repro/internal/ftl"
 	"repro/internal/index"
 	"repro/internal/layout"
@@ -12,21 +14,28 @@ import (
 // firmware cursor (`now`): the mapping must resolve before the command
 // can proceed, so metadata misses directly throttle the device — the
 // effect Figs. 2 and 5 quantify.
+//
+// The cursor and the metadata-read counter are atomic because concurrent
+// readers (shard read lock) advance the same firmware timeline: every
+// assignment in the device is a monotone advance, so CAS-max (AdvanceTo)
+// and atomic add preserve the exact single-threaded arithmetic while
+// staying race-clean under contention. ReadPage/AppendPage/Invalidate
+// restructure device state and only run under the exclusive lock.
 type idxEnv struct {
 	d         *Device
-	now       sim.Time
-	metaReads int64
+	now       sim.AtomicTime
+	metaReads atomic.Int64
 }
 
 var _ index.Env = (*idxEnv)(nil)
 
 func (e *idxEnv) ReadPage(p nand.PPA) ([]byte, error) {
-	data, _, done, err := e.d.flash.Read(e.now, p)
+	data, _, done, err := e.d.flash.Read(e.now.Load(), p)
 	if err != nil {
 		return nil, err
 	}
-	e.now = done
-	e.metaReads++
+	e.now.AdvanceTo(done)
+	e.metaReads.Add(1)
 	return data, nil
 }
 
@@ -36,11 +45,11 @@ func (e *idxEnv) AppendPage(data []byte) (nand.PPA, error) {
 		return 0, err
 	}
 	spare := layout.EncodeSpare(layout.KindIndex, 0, 0)
-	done, err := e.d.flash.Program(e.now, ppa, data, spare)
+	done, err := e.d.flash.Program(e.now.Load(), ppa, data, spare)
 	if err != nil {
 		return 0, err
 	}
-	e.now = done
+	e.now.AdvanceTo(done)
 	e.d.mgr.OnWrite(e.d.flash.BlockOf(ppa), int64(len(data)))
 	e.d.idxPageSize[ppa] = int32(len(data))
 	return ppa, nil
@@ -62,11 +71,11 @@ func (e *idxEnv) Invalidate(p nand.PPA) {
 	e.d.mgr.OnInvalidate(e.d.flash.BlockOf(p), int64(size))
 }
 
-func (e *idxEnv) ChargeCPU(d sim.Duration) { e.now = e.now.Add(d) }
+func (e *idxEnv) ChargeCPU(d sim.Duration) { e.now.Advance(d) }
 
-func (e *idxEnv) MetaReads() int64 { return e.metaReads }
+func (e *idxEnv) MetaReads() int64 { return e.metaReads.Load() }
 
-func (e *idxEnv) Now() sim.Time { return e.now }
+func (e *idxEnv) Now() sim.Time { return e.now.Load() }
 
 // nextIndexPage reserves the next page of the index-zone log, allocating
 // (and garbage-collecting, when outside GC) a fresh block as needed.

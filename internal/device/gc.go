@@ -94,7 +94,7 @@ func (d *Device) collect() error {
 
 	d.inGC = true
 	defer func() { d.inGC = false }()
-	d.stats.GCRuns++
+	d.stats.gcRuns.Add(1)
 
 	var err error
 	if d.mgr.Zone(victim) == ftl.ZoneKV {
@@ -112,11 +112,11 @@ func (d *Device) collect() error {
 		return err
 	}
 
-	done, err := d.flash.Erase(d.env.now, victim)
+	done, err := d.flash.Erase(d.env.now.Load(), victim)
 	if err != nil {
 		return err
 	}
-	d.env.now = done
+	d.env.now.AdvanceTo(done)
 	d.mgr.Release(victim)
 	return nil
 }
@@ -126,11 +126,11 @@ func (d *Device) collectKV(victim nand.BlockID) error {
 	pages := d.flash.ProgrammedPages(victim)
 	for pi := 0; pi < pages; pi++ {
 		ppa := d.flash.PPAOf(victim, pi)
-		data, spare, done, err := d.flash.Read(d.env.now, ppa)
+		data, spare, done, err := d.flash.Read(d.env.now.Load(), ppa)
 		if err != nil {
 			return err
 		}
-		d.env.now = done
+		d.env.now.AdvanceTo(done)
 		kind, _, _, err := layout.DecodeSpare(spare)
 		if err != nil {
 			return err
@@ -164,7 +164,7 @@ func (d *Device) collectKV(victim nand.BlockID) error {
 				// Reassemble the extent from this block's continuations.
 				full := make([]byte, 0, hdr.ValueLen)
 				full = append(full, inline...)
-				readAt := d.env.now
+				readAt := d.env.now.Load()
 				for i := 1; len(full) < hdr.ValueLen; i++ {
 					cont, _, cd, err := d.flash.Read(readAt, ppa+nand.PPA(i))
 					if err != nil {
@@ -173,7 +173,7 @@ func (d *Device) collectKV(victim nand.BlockID) error {
 					readAt = cd
 					full = append(full, cont...)
 				}
-				d.env.now = readAt
+				d.env.now.AdvanceTo(readAt)
 				if len(full) > hdr.ValueLen {
 					full = full[:hdr.ValueLen]
 				}
@@ -202,8 +202,8 @@ func (d *Device) collectKV(victim nand.BlockID) error {
 			if _, _, err := d.idx.Insert(sig, uint64(newRP)); err != nil {
 				return fmt.Errorf("device: gc reinsert: %w", err)
 			}
-			d.stats.GCPagesMoved++
-			d.stats.GCBytesMoved += int64(live)
+			d.stats.gcPagesMoved.Add(1)
+			d.stats.gcBytesMoved.Add(int64(live))
 		}
 	}
 	return nil
@@ -216,11 +216,11 @@ func (d *Device) collectIndex(victim nand.BlockID) error {
 	pages := d.flash.ProgrammedPages(victim)
 	for pi := 0; pi < pages; pi++ {
 		ppa := d.flash.PPAOf(victim, pi)
-		_, spare, done, err := d.flash.Read(d.env.now, ppa)
+		_, spare, done, err := d.flash.Read(d.env.now.Load(), ppa)
 		if err != nil {
 			return err
 		}
-		d.env.now = done
+		d.env.now.AdvanceTo(done)
 		kind, _, _, err := layout.DecodeSpare(spare)
 		if err != nil {
 			return err
@@ -234,7 +234,7 @@ func (d *Device) collectIndex(victim nand.BlockID) error {
 				if err := rel.Relocate(unit); err != nil {
 					return err
 				}
-				d.stats.GCPagesMoved++
+				d.stats.gcPagesMoved.Add(1)
 			}
 		case layout.KindCheckpoint:
 			if err := d.relocateCheckpointPage(ppa); err != nil {

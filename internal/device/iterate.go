@@ -24,18 +24,16 @@ type IterEntry struct {
 // collisions into the bucket) are filtered by comparing the stored key.
 func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]IterEntry, sim.Time, error) {
 	if d.closed {
-		return nil, d.env.now, ErrClosed
+		return nil, d.env.now.Load(), ErrClosed
 	}
 	if d.scheme.PrefixLen == 0 {
-		return nil, d.env.now, ErrNoIterator
+		return nil, d.env.now.Load(), ErrNoIterator
 	}
 	rh, ok := d.idx.(*core.RHIK)
 	if !ok {
-		return nil, d.env.now, ErrNoIterator
+		return nil, d.env.now.Load(), ErrNoIterator
 	}
-	if submitAt > d.env.now {
-		d.env.now = submitAt
-	}
+	d.env.now.AdvanceTo(submitAt)
 	d.env.ChargeCPU(d.cfg.CmdCPU)
 
 	// All keys with this prefix share the signature's low 32 bits, so
@@ -44,7 +42,7 @@ func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]I
 	bucket := low & uint64(rh.DirEntries()-1)
 	rps, err := rh.BucketRecords(bucket)
 	if err != nil {
-		return nil, d.env.now, err
+		return nil, d.env.now.Load(), err
 	}
 
 	var out []IterEntry
@@ -63,6 +61,6 @@ func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]I
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
-	d.stats.Iterates++
-	return out, d.env.now, nil
+	d.stats.iterates.Add(1)
+	return out, d.env.now.Load(), nil
 }

@@ -2,8 +2,8 @@ package device
 
 import (
 	"bytes"
-	"fmt"
 
+	"repro/internal/index"
 	"repro/internal/layout"
 	"repro/internal/nand"
 	"repro/internal/sim"
@@ -14,27 +14,26 @@ import (
 // extents). When blocking is true the firmware waits for the data (key
 // verification gates the command); otherwise only the completion time
 // reflects the read and the firmware moves on (data-out phase of a
-// retrieve).
+// retrieve). Safe for concurrent readers: flash page reads are pure, the
+// single-slot signature decode allocates nothing, and the timeline only
+// moves through CAS-max advances. (The extent reassembly path allocates,
+// but only multi-page values take it.)
 func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.PairHeader, key, value []byte, done sim.Time, err error) {
 	if p, ok := d.pending[rp]; ok {
 		hdr = layout.PairHeader{KeyLen: len(p.key), ValueLen: len(p.value)}
-		return hdr, p.key, p.value, d.env.now, nil
+		return hdr, p.key, p.value, d.env.now.Load(), nil
 	}
 	ppa := nand.PPA(rp.Page())
-	data, _, readDone, err := d.flash.Read(d.env.now, ppa)
+	data, _, readDone, err := d.flash.Read(d.env.now.Load(), ppa)
 	if err != nil {
-		return hdr, nil, nil, d.env.now, err
+		return hdr, nil, nil, d.env.now.Load(), err
 	}
 	done = readDone
-	infos, err := layout.DecodeSigArea(data)
+	info, _, err := layout.SigInfoAt(data, rp.Slot())
 	if err != nil {
 		return hdr, nil, nil, done, err
 	}
-	slot := rp.Slot()
-	if slot >= len(infos) {
-		return hdr, nil, nil, done, fmt.Errorf("device: rp %v slot %d beyond page (%d pairs)", rp, slot, len(infos))
-	}
-	hdr, key, value, err = layout.DecodePairAt(data, int(infos[slot].Offset))
+	hdr, key, value, err = layout.DecodePairAt(data, int(info.Offset))
 	if err != nil {
 		return hdr, nil, nil, done, err
 	}
@@ -45,7 +44,7 @@ func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.Pa
 		for i := 1; len(full) < hdr.ValueLen; i++ {
 			cont, _, cd, err := d.flash.Read(done, ppa+nand.PPA(i))
 			if err != nil {
-				return hdr, nil, nil, done, fmt.Errorf("device: extent continuation %d: %w", i, err)
+				return hdr, nil, nil, done, err
 			}
 			done = cd
 			full = append(full, cont...)
@@ -55,10 +54,45 @@ func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.Pa
 		}
 		value = full
 	}
-	if blocking && done > d.env.now {
-		d.env.now = done
+	if blocking {
+		d.env.now.AdvanceTo(done)
 	}
 	return hdr, key, value, done, nil
+}
+
+// retrieve is the get command body shared by the exclusive and shared
+// entry points. The value is appended to dst (which may be nil).
+func (d *Device) retrieve(submitAt sim.Time, key, dst []byte, sig index.Sig) ([]byte, sim.Time, error) {
+	arrive := d.hostXfer(submitAt, len(key))
+	d.env.now.AdvanceTo(arrive)
+	start := submitAt
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads.Load()
+
+	rp, ok, err := d.idx.Lookup(sig)
+	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
+	if err != nil {
+		return dst, d.env.now.Load(), err
+	}
+	if !ok {
+		return dst, d.env.now.Load(), ErrNotFound
+	}
+	hdr, storedKey, value, done, err := d.readPair(layout.RP(rp), true, false)
+	if err != nil {
+		return dst, done, err
+	}
+	if hdr.Tombstone() || !bytes.Equal(storedKey, key) {
+		return dst, done, ErrNotFound
+	}
+	if now := d.env.now.Load(); done < now {
+		done = now
+	}
+	// Value DMA back to the host, then the completion round trip.
+	done = d.hostXfer(done, len(value)).Add(d.cfg.AckOverhead)
+	d.stats.retrieves.Add(1)
+	d.stats.bytesRead.Add(int64(len(value)))
+	d.latGet.Record(int64(done.Sub(start)))
+	return append(dst, value...), done, nil
 }
 
 // Retrieve executes a get command, returning the value (a copy) and the
@@ -67,41 +101,65 @@ func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.Pa
 // wrong value (§IV-A3).
 func (d *Device) Retrieve(submitAt sim.Time, key []byte) ([]byte, sim.Time, error) {
 	if d.closed {
-		return nil, d.env.now, ErrClosed
+		return nil, d.env.now.Load(), ErrClosed
 	}
-	arrive := d.hostXfer(submitAt, len(key))
-	if arrive > d.env.now {
-		d.env.now = arrive
-	}
-	start := submitAt
-	d.env.ChargeCPU(d.cfg.CmdCPU)
-	metaBefore := d.env.metaReads
-
-	sig := d.scheme.Compute(key)
-	rp, ok, err := d.idx.Lookup(sig)
-	d.metaPerOp.Record(d.env.metaReads - metaBefore)
-	if err != nil {
-		return nil, d.env.now, err
-	}
-	if !ok {
-		return nil, d.env.now, ErrNotFound
-	}
-	hdr, storedKey, value, done, err := d.readPair(layout.RP(rp), true, false)
+	v, done, err := d.retrieve(submitAt, key, nil, d.scheme.Compute(key))
 	if err != nil {
 		return nil, done, err
 	}
-	if hdr.Tombstone() || !bytes.Equal(storedKey, key) {
-		return nil, done, ErrNotFound
+	return v, done, nil
+}
+
+// RetrieveAppend is Retrieve with the value appended to dst, letting the
+// caller reuse one buffer across gets (the allocation-free hot path).
+// Requires the caller's exclusive lock, like Retrieve.
+func (d *Device) RetrieveAppend(submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
+	if d.closed {
+		return dst, d.env.now.Load(), ErrClosed
 	}
-	if done < d.env.now {
-		done = d.env.now
+	return d.retrieve(submitAt, key, dst, d.scheme.Compute(key))
+}
+
+// TryRetrieveShared executes a get under the caller's SHARED lock. It
+// returns index.ErrNeedExclusive — before charging any simulated time or
+// touching any counter — when the lookup would have to mutate index
+// structure (cache miss, in-flight migration, pending write-back error);
+// the caller re-executes under the exclusive lock. On success the value
+// is appended to dst.
+func (d *Device) TryRetrieveShared(submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
+	if d.closed {
+		return dst, d.env.now.Load(), ErrClosed
 	}
-	// Value DMA back to the host, then the completion round trip.
-	done = d.hostXfer(done, len(value)).Add(d.cfg.AckOverhead)
-	d.stats.Retrieves++
-	d.stats.BytesRead += int64(len(value))
-	d.latGet.Record(int64(done.Sub(start)))
-	return append([]byte(nil), value...), done, nil
+	sig := d.scheme.Compute(key)
+	sr, ok := d.idx.(index.SharedReader)
+	if !ok || !sr.SharedLookupReady(sig) {
+		return dst, 0, index.ErrNeedExclusive
+	}
+	return d.retrieve(submitAt, key, dst, sig)
+}
+
+// exist is the key-exist command body shared by the exclusive and shared
+// entry points.
+func (d *Device) exist(submitAt sim.Time, key []byte, sig index.Sig) (bool, sim.Time, error) {
+	arrive := d.hostXfer(submitAt, len(key))
+	d.env.now.AdvanceTo(arrive)
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	metaBefore := d.env.metaReads.Load()
+
+	rp, ok, err := d.idx.Lookup(sig)
+	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
+	if err != nil {
+		return false, d.env.now.Load(), err
+	}
+	d.stats.exists.Add(1)
+	if !ok {
+		return false, d.env.now.Load(), nil
+	}
+	hdr, storedKey, _, done, err := d.readPair(layout.RP(rp), false, true)
+	if err != nil {
+		return false, done, err
+	}
+	return !hdr.Tombstone() && bytes.Equal(storedKey, key), d.env.now.Load(), nil
 }
 
 // Exist executes a key-exist command. The index answers from key
@@ -110,28 +168,22 @@ func (d *Device) Retrieve(submitAt sim.Time, key []byte) ([]byte, sim.Time, erro
 // membership checks as signature collisions become likely).
 func (d *Device) Exist(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
 	if d.closed {
-		return false, d.env.now, ErrClosed
+		return false, d.env.now.Load(), ErrClosed
 	}
-	arrive := d.hostXfer(submitAt, len(key))
-	if arrive > d.env.now {
-		d.env.now = arrive
-	}
-	d.env.ChargeCPU(d.cfg.CmdCPU)
-	metaBefore := d.env.metaReads
+	return d.exist(submitAt, key, d.scheme.Compute(key))
+}
 
+// TryExistShared executes a key-exist command under the caller's SHARED
+// lock, returning index.ErrNeedExclusive (before any simulated-time
+// charge) when the lookup is not DRAM-resident.
+func (d *Device) TryExistShared(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
+	if d.closed {
+		return false, d.env.now.Load(), ErrClosed
+	}
 	sig := d.scheme.Compute(key)
-	rp, ok, err := d.idx.Lookup(sig)
-	d.metaPerOp.Record(d.env.metaReads - metaBefore)
-	if err != nil {
-		return false, d.env.now, err
+	sr, ok := d.idx.(index.SharedReader)
+	if !ok || !sr.SharedLookupReady(sig) {
+		return false, 0, index.ErrNeedExclusive
 	}
-	d.stats.Exists++
-	if !ok {
-		return false, d.env.now, nil
-	}
-	hdr, storedKey, _, done, err := d.readPair(layout.RP(rp), false, true)
-	if err != nil {
-		return false, done, err
-	}
-	return !hdr.Tombstone() && bytes.Equal(storedKey, key), d.env.now, nil
+	return d.exist(submitAt, key, sig)
 }

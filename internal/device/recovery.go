@@ -63,11 +63,11 @@ func (d *Device) Restart() error {
 		zone := ftl.ZoneKV
 		for pi := 0; pi < pages; pi++ {
 			ppa := d.flash.PPAOf(bid, pi)
-			data, spare, done, err := d.flash.Read(d.env.now, ppa)
+			data, spare, done, err := d.flash.Read(d.env.now.Load(), ppa)
 			if err != nil {
 				return fmt.Errorf("device: recovery scan: %w", err)
 			}
-			d.env.now = done
+			d.env.now.AdvanceTo(done)
 			kind, owner, seg, err := layout.DecodeSpare(spare)
 			if err != nil {
 				return fmt.Errorf("device: recovery spare: %w", err)
@@ -248,7 +248,7 @@ func (d *Device) Restart() error {
 		cr.ResizeCache(d.cfg.CacheBudget)
 	}
 
-	d.stats.Recoveries++
+	d.stats.recoveries.Add(1)
 	d.mutsSince = 0
 	return nil
 }

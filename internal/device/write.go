@@ -20,16 +20,14 @@ func (d *Device) acquireBufferSlot() {
 	}
 	oldest := d.inflight[0]
 	d.inflight = d.inflight[1:]
-	if oldest > d.env.now {
-		d.env.now = oldest
-	}
+	d.env.now.AdvanceTo(oldest)
 }
 
 // programData schedules a data-page program through the write buffer.
 // The firmware does not wait for completion; the die does the work.
 func (d *Device) programData(ppa nand.PPA, data, spare []byte) (sim.Time, error) {
 	d.acquireBufferSlot()
-	done, err := d.flash.Program(d.env.now, ppa, data, spare)
+	done, err := d.flash.Program(d.env.now.Load(), ppa, data, spare)
 	if err != nil {
 		return done, err
 	}
@@ -226,42 +224,40 @@ func (d *Device) hostXfer(at sim.Time, bytes int) sim.Time {
 // index, and invalidates the old pair.
 func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 	if d.closed {
-		return d.env.now, ErrClosed
+		return d.env.now.Load(), ErrClosed
 	}
 	if len(key) == 0 || len(key) > layout.MaxKeyLen ||
 		len(key) > layout.HeadCapacity(d.flash.Config().PageSize, 0)/2 {
-		return d.env.now, ErrKeyTooLarge
+		return d.env.now.Load(), ErrKeyTooLarge
 	}
 	if len(value) > d.maxValue {
-		return d.env.now, ErrValueTooLarge
+		return d.env.now.Load(), ErrValueTooLarge
 	}
 	// The command and its payload cross the host link before the
 	// firmware can process it.
 	arrive := d.hostXfer(submitAt, len(key)+len(value))
-	if arrive > d.env.now {
-		d.env.now = arrive
-	}
+	d.env.now.AdvanceTo(arrive)
 	start := submitAt
 	d.env.ChargeCPU(d.cfg.CmdCPU)
-	metaBefore := d.env.metaReads
+	metaBefore := d.env.metaReads.Load()
 
 	sig := d.scheme.Compute(key)
 	oldRP, existed, err := d.idx.Lookup(sig)
 	if err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	var oldSize int
 	if existed {
 		hdr, oldKey, _, _, err := d.readPair(layout.RP(oldRP), false, true)
 		if err != nil {
-			return d.env.now, err
+			return d.env.now.Load(), err
 		}
 		if !bytes.Equal(oldKey, key) {
 			// Two distinct keys share a 64-bit signature: the paper's
 			// collision-abort path — the application must choose another
 			// key.
-			d.stats.CollisionAborts++
-			return d.env.now, index.ErrCollision
+			d.stats.collisionAborts.Add(1)
+			return d.env.now.Load(), index.ErrCollision
 		}
 		oldSize = liveSize(hdr.KeyLen, hdr.ValueLen)
 	}
@@ -276,28 +272,28 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 		rp, err = d.appendPair(&d.fg, p, live)
 	}
 	if err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 
 	if _, _, err := d.idx.Insert(sig, uint64(rp)); err != nil {
 		// The freshly written pair is unreachable: mark it dead.
 		d.invalidateRP(rp, live)
 		if errors.Is(err, index.ErrCollision) {
-			d.stats.CollisionAborts++
+			d.stats.collisionAborts.Add(1)
 		}
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	if existed {
 		d.invalidateRP(layout.RP(oldRP), oldSize)
 	}
 
-	d.metaPerOp.Record(d.env.metaReads - metaBefore)
-	d.stats.Stores++
-	d.stats.BytesWritten += int64(len(key) + len(value))
+	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
+	d.stats.stores.Add(1)
+	d.stats.bytesWritten.Add(int64(len(key) + len(value)))
 	if err := d.afterMutation(); err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
-	done := d.env.now.Add(d.cfg.AckOverhead)
+	done := d.env.now.Load().Add(d.cfg.AckOverhead)
 	d.latStore.Record(int64(done.Sub(start)))
 	return done, nil
 }
@@ -306,47 +302,45 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 // record, append a tombstone for recoverability, and invalidate the pair.
 func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
 	if d.closed {
-		return d.env.now, ErrClosed
+		return d.env.now.Load(), ErrClosed
 	}
 	arrive := d.hostXfer(submitAt, len(key))
-	if arrive > d.env.now {
-		d.env.now = arrive
-	}
+	d.env.now.AdvanceTo(arrive)
 	d.env.ChargeCPU(d.cfg.CmdCPU)
-	metaBefore := d.env.metaReads
+	metaBefore := d.env.metaReads.Load()
 
 	sig := d.scheme.Compute(key)
 	rp, ok, err := d.idx.Lookup(sig)
 	if err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	if !ok {
-		return d.env.now, ErrNotFound
+		return d.env.now.Load(), ErrNotFound
 	}
 	hdr, storedKey, _, _, err := d.readPair(layout.RP(rp), false, true)
 	if err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	if !bytes.Equal(storedKey, key) {
-		return d.env.now, ErrNotFound // signature collision: not this key
+		return d.env.now.Load(), ErrNotFound // signature collision: not this key
 	}
 	if _, _, err := d.idx.Delete(sig); err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	d.seq++
 	tomb := layout.Pair{Sig: sig.Lo, Key: key, Seq: d.seq, Tombstone: true}
 	tombSize := liveSize(len(key), 0)
 	if _, err := d.appendPair(&d.fg, tomb, -tombSize); err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
 	d.invalidateRP(layout.RP(rp), liveSize(hdr.KeyLen, hdr.ValueLen))
 
-	d.metaPerOp.Record(d.env.metaReads - metaBefore)
-	d.stats.Deletes++
+	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
+	d.stats.deletes.Add(1)
 	if err := d.afterMutation(); err != nil {
-		return d.env.now, err
+		return d.env.now.Load(), err
 	}
-	return d.env.now.Add(d.cfg.AckOverhead), nil
+	return d.env.now.Load().Add(d.cfg.AckOverhead), nil
 }
 
 // afterMutation runs post-command maintenance: RHIK re-configuration
@@ -355,11 +349,11 @@ func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
 func (d *Device) afterMutation() error {
 	d.mutsSince++
 	if rz, ok := d.idx.(index.Resizer); ok && !d.cfg.DisableAutoResize && rz.NeedsResize() {
-		haltStart := d.env.now
+		haltStart := d.env.now.Load()
 		if err := rz.Resize(); err != nil {
 			return err
 		}
-		d.stats.ResizeHalt += d.env.now.Sub(haltStart)
+		d.stats.resizeHalt.Add(int64(d.env.now.Load().Sub(haltStart)))
 	}
 	if d.cfg.CheckpointEveryOps > 0 && d.mutsSince >= d.cfg.CheckpointEveryOps {
 		return d.Checkpoint()

@@ -1,12 +1,19 @@
-// Package dram models the KVSSD's integrated DRAM as a byte-budget LRU
-// cache for index pages. The FTL cache budget (e.g. the 10 MB budget in
-// the paper's Fig. 5 setup) bounds the total size of cached entries;
-// anything beyond the budget spills to flash, which is what makes index
-// size matter for performance. Eviction invokes a callback so write-back
-// owners can flush dirty entries to flash first.
+// Package dram models the KVSSD's integrated DRAM as a byte-budget cache
+// for index pages. The FTL cache budget (e.g. the 10 MB budget in the
+// paper's Fig. 5 setup) bounds the total size of cached entries; anything
+// beyond the budget spills to flash, which is what makes index size matter
+// for performance. Eviction invokes a callback so write-back owners can
+// flush dirty entries to flash first.
+//
+// Eviction is CLOCK (second-chance) rather than LRU: recency is a per-entry
+// reference bit instead of a move-to-front list, so a cache hit only flips
+// an atomic bit and never mutates shared structure. That makes Get,
+// Contains, Stats, and ResetStats safe to call from concurrent readers
+// (the shard read path), while Put, Remove, Flush, and Resize still
+// require the caller's exclusive (write) lock.
 package dram
 
-import "container/list"
+import "sync/atomic"
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
@@ -25,133 +32,187 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
-type entry struct {
+type entry[V any] struct {
 	key   uint64
-	value any
+	value V
 	size  int64
+	idx   int         // position in the clock ring
+	ref   atomic.Bool // second-chance bit, set on every hit
 }
 
 // EvictFunc is invoked when an entry is evicted to make room. Write-back
 // owners flush dirty state to flash here.
-type EvictFunc func(key uint64, value any, size int64)
+type EvictFunc[V any] func(key uint64, value V, size int64)
 
-// Cache is a least-recently-used cache bounded by a byte budget rather
-// than an entry count. It is not safe for concurrent use. A single entry
-// larger than the whole budget is still cached (and evicted on the next
-// insert), so a minimally-provisioned cache remains functional.
-type Cache struct {
+// Cache is a CLOCK cache bounded by a byte budget rather than an entry
+// count. The value type is fixed at construction so hits return without
+// interface boxing. A single entry larger than the whole budget is still
+// cached (and evicted on the next insert), so a minimally-provisioned
+// cache remains functional.
+//
+// Concurrency: any number of goroutines may call Get/Contains/Stats/
+// ResetStats concurrently with each other. Mutating calls (Put, Remove,
+// Flush, Resize) must be exclusive with everything else — in the device
+// they only run under the shard write lock.
+type Cache[V any] struct {
 	budget  int64
 	used    int64
-	ll      *list.List // front = most recent
-	byKey   map[uint64]*list.Element
-	onEvict EvictFunc
-	stats   Stats
+	ring    []*entry[V] // clock ring; hand scans for a clear ref bit
+	hand    int
+	byKey   map[uint64]*entry[V]
+	onEvict EvictFunc[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	inserts   atomic.Int64
 }
 
 // New returns a cache with the given byte budget. onEvict may be nil.
-func New(budget int64, onEvict EvictFunc) *Cache {
+func New[V any](budget int64, onEvict EvictFunc[V]) *Cache[V] {
 	if budget < 0 {
 		budget = 0
 	}
-	return &Cache{
+	return &Cache[V]{
 		budget:  budget,
-		ll:      list.New(),
-		byKey:   make(map[uint64]*list.Element),
+		byKey:   make(map[uint64]*entry[V]),
 		onEvict: onEvict,
 	}
 }
 
-// Get returns the cached value for key, marking it most-recently used.
-// Every call counts as a hit or a miss.
-func (c *Cache) Get(key uint64) (any, bool) {
-	el, ok := c.byKey[key]
+// Get returns the cached value for key, setting its reference bit.
+// Every call counts as a hit or a miss. Safe for concurrent readers.
+func (c *Cache[V]) Get(key uint64) (V, bool) {
+	e, ok := c.byKey[key]
 	if !ok {
-		c.stats.Misses++
-		return nil, false
+		c.misses.Add(1)
+		var zero V
+		return zero, false
 	}
-	c.stats.Hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).value, true
+	c.hits.Add(1)
+	e.ref.Store(true)
+	return e.value, true
 }
 
 // Contains reports whether key is cached without affecting recency or
-// hit/miss accounting.
-func (c *Cache) Contains(key uint64) bool {
+// hit/miss accounting. Safe for concurrent readers.
+func (c *Cache[V]) Contains(key uint64) bool {
 	_, ok := c.byKey[key]
 	return ok
 }
 
+// Peek returns the cached value for key without affecting recency or
+// hit/miss accounting — a pure read, used by the pre-flight checks that
+// decide whether a lookup may run under the shard read lock. Safe for
+// concurrent readers.
+func (c *Cache[V]) Peek(key uint64) (V, bool) {
+	e, ok := c.byKey[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.value, true
+}
+
 // Put inserts or updates key with the given value and size, evicting
-// least-recently-used entries as needed to respect the budget.
-func (c *Cache) Put(key uint64, value any, size int64) {
+// entries as needed to respect the budget. The touched entry gets its
+// reference bit set, so it survives the next clock sweep.
+func (c *Cache[V]) Put(key uint64, value V, size int64) {
 	if size < 0 {
 		size = 0
 	}
-	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*entry)
+	if e, ok := c.byKey[key]; ok {
 		c.used += size - e.size
 		e.value = value
 		e.size = size
-		c.ll.MoveToFront(el)
+		e.ref.Store(true)
 	} else {
-		el := c.ll.PushFront(&entry{key: key, value: value, size: size})
-		c.byKey[key] = el
+		e := &entry[V]{key: key, value: value, size: size, idx: len(c.ring)}
+		e.ref.Store(true)
+		c.ring = append(c.ring, e)
+		c.byKey[key] = e
 		c.used += size
-		c.stats.Inserts++
+		c.inserts.Add(1)
 	}
 	c.evictToBudget()
 }
 
-// evictToBudget removes LRU entries until the budget holds, always keeping
-// at least one entry so an over-budget singleton still functions.
-func (c *Cache) evictToBudget() {
-	for c.used > c.budget && c.ll.Len() > 1 {
-		c.evictOldest()
+// evictToBudget removes entries until the budget holds, always keeping at
+// least one entry so an over-budget singleton still functions.
+func (c *Cache[V]) evictToBudget() {
+	for c.used > c.budget && len(c.ring) > 1 {
+		c.evictOne()
 	}
 }
 
-func (c *Cache) evictOldest() {
-	el := c.ll.Back()
-	if el == nil {
+// evictOne advances the clock hand to the first entry whose reference bit
+// is clear, granting each referenced entry a second chance along the way,
+// and evicts it. Terminates within two sweeps: the first pass clears bits.
+func (c *Cache[V]) evictOne() {
+	for {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		e := c.ring[c.hand]
+		if e.ref.Swap(false) {
+			c.hand++
+			continue
+		}
+		c.unlink(e)
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.value, e.size)
+		}
 		return
 	}
-	e := el.Value.(*entry)
-	c.ll.Remove(el)
+}
+
+// unlink removes e from the ring (swap-remove; the displaced tail entry
+// inherits e's slot) and the key map, and releases its budget share.
+func (c *Cache[V]) unlink(e *entry[V]) {
+	last := len(c.ring) - 1
+	tail := c.ring[last]
+	c.ring[e.idx] = tail
+	tail.idx = e.idx
+	c.ring[last] = nil
+	c.ring = c.ring[:last]
+	if c.hand > last {
+		c.hand = 0
+	}
 	delete(c.byKey, e.key)
 	c.used -= e.size
-	c.stats.Evictions++
-	if c.onEvict != nil {
-		c.onEvict(e.key, e.value, e.size)
-	}
 }
 
 // Remove drops key from the cache without invoking the eviction callback
 // (the caller already owns the value). It returns the removed value.
-func (c *Cache) Remove(key uint64) (any, bool) {
-	el, ok := c.byKey[key]
+func (c *Cache[V]) Remove(key uint64) (V, bool) {
+	e, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
-	e := el.Value.(*entry)
-	c.ll.Remove(el)
-	delete(c.byKey, key)
-	c.used -= e.size
+	c.unlink(e)
 	return e.value, true
 }
 
-// Flush evicts every entry (oldest first), invoking the eviction callback
+// Flush evicts every entry in ring order, invoking the eviction callback
 // for each. Used at checkpoints to force dirty state to flash.
-func (c *Cache) Flush() {
-	for c.ll.Len() > 0 {
-		c.evictOldest()
+func (c *Cache[V]) Flush() {
+	snap := append([]*entry[V](nil), c.ring...)
+	for _, e := range snap {
+		c.unlink(e)
+		c.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.value, e.size)
+		}
 	}
 }
 
-// Range calls f for each cached entry from most to least recently used,
-// stopping if f returns false. It does not affect recency.
-func (c *Cache) Range(f func(key uint64, value any, size int64) bool) {
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
+// Range calls f for each cached entry, stopping if f returns false. The
+// order is the clock-ring order, which is not a recency order. It does
+// not affect recency. f must not mutate the cache.
+func (c *Cache[V]) Range(f func(key uint64, value V, size int64) bool) {
+	for _, e := range c.ring {
 		if !f(e.key, e.value, e.size) {
 			return
 		}
@@ -159,7 +220,7 @@ func (c *Cache) Range(f func(key uint64, value any, size int64) bool) {
 }
 
 // Resize changes the byte budget, evicting as needed.
-func (c *Cache) Resize(budget int64) {
+func (c *Cache[V]) Resize(budget int64) {
 	if budget < 0 {
 		budget = 0
 	}
@@ -168,16 +229,31 @@ func (c *Cache) Resize(budget int64) {
 }
 
 // Len reports the number of cached entries.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache[V]) Len() int { return len(c.ring) }
 
 // Used reports the summed size of cached entries.
-func (c *Cache) Used() int64 { return c.used }
+func (c *Cache[V]) Used() int64 { return c.used }
 
 // Budget reports the configured byte budget.
-func (c *Cache) Budget() int64 { return c.budget }
+func (c *Cache[V]) Budget() int64 { return c.budget }
 
-// Stats returns a snapshot of the effectiveness counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the effectiveness counters. Safe for
+// concurrent readers; the four counters are loaded independently, so the
+// snapshot is per-counter-atomic rather than a single consistent cut.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Inserts:   c.inserts.Load(),
+	}
+}
 
-// ResetStats zeroes the counters (used between experiment phases).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the counters (used between experiment phases). Safe
+// for concurrent readers; reads racing the reset land on either side.
+func (c *Cache[V]) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.inserts.Store(0)
+}

@@ -20,6 +20,14 @@ import (
 // with a different key.
 var ErrCollision = errors.New("index: uncorrectable signature collision, operation aborted")
 
+// ErrNeedExclusive is returned by the shared (reader-locked) device paths
+// when an operation cannot proceed without mutating index structure — a
+// DRAM cache miss that must load a page, or a lazy migration step during
+// incremental resize. The shard catches it before any simulated-time
+// charge has been made, upgrades to the write lock, and re-executes the
+// operation on the exclusive path.
+var ErrNeedExclusive = errors.New("index: lookup needs exclusive access")
+
 // Env is the device-side service surface an index uses to persist its
 // pages. Index page reads and writes block the firmware timeline —
 // mapping resolution is inherently serial — which is exactly why index
@@ -63,6 +71,18 @@ type Index interface {
 	Flush() error
 	// Name identifies the scheme in reports.
 	Name() string
+}
+
+// SharedReader is implemented by indexes whose Lookup/Exist can run under
+// a shared (read) lock when the needed state is DRAM-resident.
+// SharedLookupReady must be a pure pre-flight check: no timeline charges,
+// no counter updates, no cache recency effects. When it returns true, a
+// subsequent Lookup/Exist for the same sig is guaranteed to mutate nothing
+// but atomics (counters, cache reference bits) — safe among concurrent
+// readers — because only writers, which hold the exclusive lock, can
+// evict or restructure between the check and the lookup.
+type SharedReader interface {
+	SharedLookupReady(sig Sig) bool
 }
 
 // Stats is the common observability surface for index implementations.

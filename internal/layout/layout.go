@@ -218,6 +218,37 @@ func DecodeSigArea(page []byte) ([]SigInfo, error) {
 	return infos, nil
 }
 
+// SigCount reports the number of pairs in a page image without decoding
+// the signature area.
+func SigCount(page []byte) (int, error) {
+	if len(page) < CountSize {
+		return 0, fmt.Errorf("%w: page shorter than count field", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(page[len(page)-CountSize:]))
+	if n > MaxSlots || len(page) < n*SigEntrySize+CountSize {
+		return 0, fmt.Errorf("%w: count %d exceeds page", ErrCorrupt, n)
+	}
+	return n, nil
+}
+
+// SigInfoAt decodes the single signature-area entry for slot, an
+// allocation-free alternative to DecodeSigArea for point lookups on the
+// GET hot path.
+func SigInfoAt(page []byte, slot int) (SigInfo, int, error) {
+	n, err := SigCount(page)
+	if err != nil {
+		return SigInfo{}, 0, err
+	}
+	if slot < 0 || slot >= n {
+		return SigInfo{}, n, fmt.Errorf("%w: slot %d beyond page (%d pairs)", ErrCorrupt, slot, n)
+	}
+	off := len(page) - (n*SigEntrySize + CountSize) + slot*SigEntrySize
+	return SigInfo{
+		Sig:    binary.LittleEndian.Uint64(page[off : off+8]),
+		Offset: binary.LittleEndian.Uint32(page[off+8 : off+12]),
+	}, n, nil
+}
+
 // DecodePairAt parses the pair body starting at offset off. The returned
 // key and value alias the page buffer; value holds only the bytes present
 // in this page's data area (shorter than header.ValueLen for extent

@@ -95,9 +95,9 @@ type Index struct {
 	cfg Config
 	env index.Env
 
-	mem    map[uint64]uint64 // memtable: sig -> rp (tombstoneRP = delete)
-	runs   []*run            // newest first
-	cache  *dram.Cache       // page cache for run pages
+	mem    map[uint64]uint64   // memtable: sig -> rp (tombstoneRP = delete)
+	runs   []*run              // newest first
+	cache  *dram.Cache[[]byte] // page cache for run pages
 	owners map[nand.PPA]ownerRef
 
 	n           int64 // live records (net of tombstones)
@@ -107,6 +107,7 @@ type Index struct {
 }
 
 var _ index.Index = (*Index)(nil)
+var _ index.SharedReader = (*Index)(nil)
 var _ index.Relocator = (*Index)(nil)
 var _ index.StatsProvider = (*Index)(nil)
 
@@ -122,7 +123,7 @@ func New(cfg Config, env index.Env) (*Index, error) {
 		mem:    make(map[uint64]uint64),
 		owners: make(map[nand.PPA]ownerRef),
 	}
-	ix.cache = dram.New(cfg.CacheBudget, nil) // run pages are immutable: no write-back
+	ix.cache = dram.New[[]byte](cfg.CacheBudget, nil) // run pages are immutable: no write-back
 	return ix, nil
 }
 
@@ -236,8 +237,8 @@ func (ix *Index) searchRun(r *run, sigLo uint64) (uint64, bool, error) {
 
 func (ix *Index) loadRunPage(r *run, pi int) ([]byte, error) {
 	ppa := r.pages[pi]
-	if v, ok := ix.cache.Get(uint64(ppa)); ok {
-		return v.([]byte), nil
+	if data, ok := ix.cache.Get(uint64(ppa)); ok {
+		return data, nil
 	}
 	data, err := ix.env.ReadPage(ppa)
 	if err != nil {
@@ -268,6 +269,34 @@ func (ix *Index) Delete(sig index.Sig) (uint64, bool, error) {
 func (ix *Index) Exist(sig index.Sig) (bool, error) {
 	_, ok, err := ix.Lookup(sig)
 	return ok, err
+}
+
+// SharedLookupReady implements index.SharedReader. A lookup can run under
+// the shard read lock when it cannot trigger a run-page load: either the
+// memtable answers directly, or every run's one candidate page (located
+// by the same fence search the lookup performs, replayed here without
+// CPU charges) is DRAM-resident. Conservative: a hit in a newer run would
+// stop the search early, but we require all candidates cached anyway.
+func (ix *Index) SharedLookupReady(sig index.Sig) bool {
+	if ix.ioErr != nil {
+		return false
+	}
+	if _, ok := ix.mem[sig.Lo]; ok {
+		return true
+	}
+	for _, r := range ix.runs {
+		if len(r.pages) == 0 {
+			continue
+		}
+		pi := sort.Search(len(r.fences), func(i int) bool { return r.fences[i] > sig.Lo }) - 1
+		if pi < 0 {
+			continue
+		}
+		if !ix.cache.Contains(uint64(r.pages[pi])) {
+			return false
+		}
+	}
+	return true
 }
 
 // flushMemtable emits the memtable as a new sorted run, compacting when

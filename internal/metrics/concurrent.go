@@ -1,0 +1,94 @@
+package metrics
+
+import "sync/atomic"
+
+// numBuckets is the full bucket range of bucketOf: values below subBuckets
+// map to exact buckets, everything else to (bitlen-4)*subBuckets + sub, so
+// the largest int64 lands in bucket (63-4)*16 + 15 = 959.
+const numBuckets = (63-4)*subBuckets + subBuckets
+
+// ConcurrentHistogram is a Histogram safe for concurrent Record calls.
+// It trades the map for a fixed atomic bucket array so the shared read
+// path can record latencies without a lock. Query via Snapshot, which
+// returns a plain Histogram (the two use identical bucketing, so
+// percentile estimates match exactly).
+//
+// Record may run concurrently with Record and Snapshot; Reset requires
+// external serialization (the device only resets between phases, under
+// the shard write lock).
+type ConcurrentHistogram struct {
+	counts [numBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	// min/max hold v+1 so the zero value means "unset"; observations are
+	// clamped non-negative, so v+1 never collides with the sentinel.
+	min atomic.Int64
+	max atomic.Int64
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *ConcurrentHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v+1 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *ConcurrentHistogram) Count() uint64 { return h.total.Load() }
+
+// Snapshot returns the current distribution as a plain Histogram.
+// Concurrent Records may or may not be included; each observation is
+// internally consistent in the snapshot's bucket counts, while total/sum
+// may trail the buckets by in-flight records (per-shard-atomic callers
+// quiesce writers first when exactness matters).
+func (h *ConcurrentHistogram) Snapshot() Histogram {
+	var out Histogram
+	total := h.total.Load()
+	if total == 0 {
+		return out
+	}
+	out.counts = make(map[int]uint64)
+	for b := range h.counts {
+		if c := h.counts[b].Load(); c != 0 {
+			out.counts[b] = c
+		}
+	}
+	out.total = total
+	out.sum = float64(h.sum.Load())
+	out.min = h.min.Load() - 1
+	out.max = h.max.Load() - 1
+	return out
+}
+
+// Reset discards all observations. Callers must be externally serialized
+// with Record.
+func (h *ConcurrentHistogram) Reset() {
+	for b := range h.counts {
+		h.counts[b].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+}

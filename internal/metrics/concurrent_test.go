@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHistogramMatchesPlain records the same stream into both
+// histogram kinds: the snapshot must answer every query identically
+// (same bucketing, so not just approximately).
+func TestConcurrentHistogramMatchesPlain(t *testing.T) {
+	var ch ConcurrentHistogram
+	var ph Histogram
+	vals := []int64{0, 1, 15, 16, 17, 100, 1000, 123456, -5, 1 << 40}
+	for _, v := range vals {
+		ch.Record(v)
+		ph.Record(v)
+	}
+	s := ch.Snapshot()
+	if s.Count() != ph.Count() || s.Mean() != ph.Mean() || s.Min() != ph.Min() || s.Max() != ph.Max() {
+		t.Fatalf("snapshot summary %q != plain %q", s.Summary(), ph.Summary())
+	}
+	for _, p := range []float64{0, 50, 90, 99, 100} {
+		if s.Percentile(p) != ph.Percentile(p) {
+			t.Fatalf("p%v: snapshot %d != plain %d", p, s.Percentile(p), ph.Percentile(p))
+		}
+	}
+	ch.Reset()
+	if s := ch.Snapshot(); s.Count() != 0 || s.Max() != 0 {
+		t.Fatalf("snapshot after reset: %q", s.Summary())
+	}
+}
+
+// TestConcurrentHistogramParallelRecord is the -race regression for the
+// read path's latency recording: concurrent Records (with Snapshots
+// racing them) must lose nothing.
+func TestConcurrentHistogramParallelRecord(t *testing.T) {
+	var ch ConcurrentHistogram
+	const goroutines = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ch.Record(int64(g*per + i))
+				if i%100 == 0 {
+					ch.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := ch.Snapshot()
+	if s.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d (lost records)", s.Count(), goroutines*per)
+	}
+	if s.Min() != 0 || s.Max() != goroutines*per-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min(), s.Max(), goroutines*per-1)
+	}
+	wantMean := float64(goroutines*per-1) / 2
+	if s.Mean() != wantMean {
+		t.Fatalf("Mean = %v, want %v", s.Mean(), wantMean)
+	}
+}

@@ -90,7 +90,7 @@ type Index struct {
 	slots int // slots per page
 
 	dirs  [][]dirEntry // [level][pageIdx]
-	cache *dram.Cache
+	cache *dram.Cache[*page]
 	live  map[nand.PPA]uint64 // persisted page -> unit key
 
 	emptyImage []byte   // template page with every slot vacant
@@ -102,6 +102,7 @@ type Index struct {
 }
 
 var _ index.Index = (*Index)(nil)
+var _ index.SharedReader = (*Index)(nil)
 var _ index.Relocator = (*Index)(nil)
 var _ index.StatsProvider = (*Index)(nil)
 
@@ -124,8 +125,7 @@ func New(cfg Config, env index.Env) (*Index, error) {
 	for off := 0; off < len(ix.emptyImage); off += SlotSize {
 		writePPA(ix.emptyImage[off+8:], emptyPPA)
 	}
-	ix.cache = dram.New(cfg.CacheBudget, func(key uint64, v any, _ int64) {
-		pg := v.(*page)
+	ix.cache = dram.New(cfg.CacheBudget, func(key uint64, pg *page, _ int64) {
 		if pg.dirty {
 			if err := ix.writePage(key, pg); err != nil && ix.ioErr == nil {
 				ix.ioErr = err
@@ -192,8 +192,8 @@ func (ix *Index) pageOf(sigLo uint64, level int) uint64 {
 // Clean pages alias the flash buffer; mutation copies (see page.own).
 func (ix *Index) loadPage(level int, pageIdx uint64) (*page, error) {
 	key := unitKey(level, pageIdx)
-	if v, ok := ix.cache.Get(key); ok {
-		return v.(*page), nil
+	if pg, ok := ix.cache.Get(key); ok {
+		return pg, nil
 	}
 	var pg *page
 	if d := ix.dirs[level][pageIdx]; d.has {
@@ -327,11 +327,33 @@ func (ix *Index) Exist(sig index.Sig) (bool, error) {
 	return ok, err
 }
 
+// SharedLookupReady implements index.SharedReader. A lookup probes levels
+// top-down until a page contains sig, so it can run under the shard read
+// lock when every page it would touch is DRAM-resident: walk the same
+// probe sequence with pure peeks, stopping early at the level that would
+// satisfy the lookup. A page that was never persisted is not cached
+// either (loadPage would insert an empty page — a mutation), so the walk
+// correctly demands exclusivity for it.
+func (ix *Index) SharedLookupReady(sig index.Sig) bool {
+	if ix.ioErr != nil {
+		return false
+	}
+	for l := 0; l < len(ix.dirs); l++ {
+		pg, ok := ix.cache.Peek(unitKey(l, ix.pageOf(sig.Lo, l)))
+		if !ok {
+			return false
+		}
+		if pg.find(sig.Lo) >= 0 {
+			return true
+		}
+	}
+	return true // full probe, all levels cached: a clean miss is pure
+}
+
 // Flush implements index.Index: write back every dirty cached page.
 func (ix *Index) Flush() error {
 	var firstErr error
-	ix.cache.Range(func(key uint64, v any, _ int64) bool {
-		pg := v.(*page)
+	ix.cache.Range(func(key uint64, pg *page, _ int64) bool {
 		if pg.dirty {
 			if err := ix.writePage(key, pg); err != nil && firstErr == nil {
 				firstErr = err

@@ -3,6 +3,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -37,6 +38,17 @@ type Stats struct {
 	WriteBytes int64
 }
 
+// flashStats is the live counter set. Reads run concurrently under the
+// shard read lock, so the counters are atomics; Stats() snapshots them
+// into the plain exported struct.
+type flashStats struct {
+	reads      atomic.Int64
+	programs   atomic.Int64
+	erases     atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+}
+
 type block struct {
 	pages      [][]byte // data area per page; nil until programmed
 	spares     [][]byte
@@ -44,29 +56,47 @@ type block struct {
 	erases     int64
 }
 
-// Flash is the emulated NAND array. It is not safe for concurrent use;
-// the device model serializes access in the firmware.
+// Flash is the emulated NAND array. Reads may run concurrently (they
+// only touch programmed pages, schedule die/channel resources, and bump
+// atomic counters); Program and Erase mutate block state and must be
+// serialized by the caller — the device only writes under the shard's
+// exclusive lock.
 type Flash struct {
 	cfg    Config
 	clock  *sim.Clock
 	dies   []*sim.Resource
 	chans  []*sim.Resource
 	blocks []block
-	stats  Stats
+	stats  flashStats
 	// bufPool recycles full-size page buffers freed by Erase; Program
 	// draws from it, keeping high-churn workloads off the Go allocator.
 	bufPool [][]byte
 
-	failReads    int // countdown of injected read faults
-	failPrograms int // countdown of injected program faults
+	failReads    atomic.Int64 // countdown of injected read faults
+	failPrograms atomic.Int64 // countdown of injected program faults
 }
 
 // FailNextReads arms n injected uncorrectable read errors: the next n
 // Read calls fail with ErrReadFault. Testing hook.
-func (f *Flash) FailNextReads(n int) { f.failReads = n }
+func (f *Flash) FailNextReads(n int) { f.failReads.Store(int64(n)) }
 
 // FailNextPrograms arms n injected program failures. Testing hook.
-func (f *Flash) FailNextPrograms(n int) { f.failPrograms = n }
+func (f *Flash) FailNextPrograms(n int) { f.failPrograms.Store(int64(n)) }
+
+// consumeFault decrements an armed fault countdown, reporting whether
+// this call consumed a fault. CAS keeps concurrent readers from
+// consuming the same injected fault twice.
+func consumeFault(c *atomic.Int64) bool {
+	for {
+		n := c.Load()
+		if n <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
 
 // New builds a flash array on the given clock. It panics on invalid
 // geometry; validate configs at the device boundary.
@@ -92,7 +122,15 @@ func New(cfg Config, clock *sim.Clock) *Flash {
 func (f *Flash) Config() Config { return f.cfg }
 
 // Stats returns a snapshot of the operation counters.
-func (f *Flash) Stats() Stats { return f.stats }
+func (f *Flash) Stats() Stats {
+	return Stats{
+		Reads:      f.stats.reads.Load(),
+		Programs:   f.stats.programs.Load(),
+		Erases:     f.stats.erases.Load(),
+		ReadBytes:  f.stats.readBytes.Load(),
+		WriteBytes: f.stats.writeBytes.Load(),
+	}
+}
 
 // BlockOf maps a page address to its erase block.
 func (f *Flash) BlockOf(p PPA) BlockID {
@@ -150,8 +188,7 @@ func (f *Flash) Read(at sim.Time, p PPA) (data, spare []byte, done sim.Time, err
 	if err = f.checkPPA(p); err != nil {
 		return nil, nil, at, err
 	}
-	if f.failReads > 0 {
-		f.failReads--
+	if consumeFault(&f.failReads) {
 		return nil, nil, at, fmt.Errorf("%w: ppa %d", ErrReadFault, p)
 	}
 	bid := f.BlockOf(p)
@@ -165,8 +202,8 @@ func (f *Flash) Read(at sim.Time, p PPA) (data, spare []byte, done sim.Time, err
 
 	_, dieDone := f.dies[f.dieOf(bid)].Acquire(at, f.cfg.ReadLatency)
 	_, done = f.chans[f.chanOf(bid)].Acquire(dieDone, f.cfg.xferTime(len(data)+len(spare)))
-	f.stats.Reads++
-	f.stats.ReadBytes += int64(len(data) + len(spare))
+	f.stats.reads.Add(1)
+	f.stats.readBytes.Add(int64(len(data) + len(spare)))
 	return data, spare, done, nil
 }
 
@@ -183,8 +220,7 @@ func (f *Flash) Program(at sim.Time, p PPA, data, spare []byte) (done sim.Time, 
 	if len(spare) > f.cfg.SpareSize {
 		return at, fmt.Errorf("%w: spare %d > %d", ErrOversize, len(spare), f.cfg.SpareSize)
 	}
-	if f.failPrograms > 0 {
-		f.failPrograms--
+	if consumeFault(&f.failPrograms) {
 		return at, fmt.Errorf("%w: ppa %d", ErrProgramFault, p)
 	}
 	bid := f.BlockOf(p)
@@ -207,8 +243,8 @@ func (f *Flash) Program(at sim.Time, p PPA, data, spare []byte) (done sim.Time, 
 
 	_, chanDone := f.chans[f.chanOf(bid)].Acquire(at, f.cfg.xferTime(len(data)+len(spare)))
 	_, done = f.dies[f.dieOf(bid)].Acquire(chanDone, f.cfg.ProgramLatency)
-	f.stats.Programs++
-	f.stats.WriteBytes += int64(len(data) + len(spare))
+	f.stats.programs.Add(1)
+	f.stats.writeBytes.Add(int64(len(data) + len(spare)))
 	return done, nil
 }
 
@@ -231,7 +267,7 @@ func (f *Flash) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	blk.erases++
 
 	_, done = f.dies[f.dieOf(b)].Acquire(at, f.cfg.EraseLatency)
-	f.stats.Erases++
+	f.stats.erases.Add(1)
 	return done, nil
 }
 

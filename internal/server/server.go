@@ -5,13 +5,19 @@
 // dispatch so the device's parallelism survives the network hop.
 //
 // Each connection runs one reader and one writer goroutine. The reader
-// parses frames and dispatches them to a bounded worker pool with one
-// worker per shard, keyed by Set.RouteKey — operations on the same
-// shard execute in submission order on that shard's worker, while
-// operations on different shards run in parallel. BATCH and STATS
-// requests, which span shards (Set.Apply fans out internally), run on a
-// separate small executor pool. Responses complete out of order and are
-// matched by request ID.
+// parses frames and dispatches them to bounded worker pools keyed by
+// Set.RouteKey. Every shard gets ONE writer worker — mutations on the
+// same shard execute in submission order — plus a small READ pool
+// (Options.ReadPool) serving GET/EXIST: the shard's RWMutex lets
+// DRAM-resident lookups run concurrently, so several read workers per
+// shard extract real parallelism from a single shard. Reads are
+// therefore not ordered against writes admitted concurrently on the
+// same shard; clients needing read-your-write order must await the
+// write's response before issuing the read (the wire protocol's
+// request/response matching already encourages exactly that). BATCH and
+// STATS requests, which span shards (Set.Apply fans out internally),
+// run on a separate small executor pool. Responses complete out of
+// order and are matched by request ID.
 //
 // Backpressure is explicit: when the global inflight limit or a
 // worker's queue is full the server immediately answers BUSY — the
@@ -46,6 +52,11 @@ type Options struct {
 	// QueueDepth caps each worker's queue (default 256). A full queue
 	// answers BUSY.
 	QueueDepth int
+	// ReadPool is the number of read workers per shard serving GET and
+	// EXIST (default 4). Reads run under the shard's read lock, so the
+	// pool executes DRAM-resident lookups concurrently; writes keep one
+	// ordered worker per shard regardless.
+	ReadPool int
 	// RequestTimeout, when positive, drops requests that waited in
 	// queue longer than this with DEADLINE instead of executing them.
 	RequestTimeout time.Duration
@@ -60,6 +71,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.QueueDepth <= 0 {
 		out.QueueDepth = 256
+	}
+	if out.ReadPool <= 0 {
+		out.ReadPool = 4
 	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
@@ -76,8 +90,9 @@ type Server struct {
 	set  *shard.Set
 	opts Options
 
-	queues []chan *task // one per shard, shard-affine ops
-	xqueue chan *task   // cross-shard ops: BATCH, STATS
+	queues  []chan *task // one per shard: mutations, in submission order
+	rqueues []chan *task // one per shard: GET/EXIST, drained by a read pool
+	xqueue  chan *task   // cross-shard ops: BATCH, STATS
 
 	inflight atomic.Int64
 	tasks    sync.WaitGroup // admitted requests not yet answered
@@ -101,8 +116,10 @@ func New(set *shard.Set, opts Options) *Server {
 		drained: make(chan struct{}),
 	}
 	s.queues = make([]chan *task, set.N())
+	s.rqueues = make([]chan *task, set.N())
 	for i := range s.queues {
 		s.queues[i] = make(chan *task, s.opts.QueueDepth)
+		s.rqueues[i] = make(chan *task, s.opts.QueueDepth)
 	}
 	s.xqueue = make(chan *task, s.opts.QueueDepth)
 	return s
@@ -122,6 +139,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	for i := range s.queues {
 		s.workers.Add(1)
 		go s.worker(s.queues[i])
+		for r := 0; r < s.opts.ReadPool; r++ {
+			s.workers.Add(1)
+			go s.worker(s.rqueues[i])
+		}
 	}
 	// Cross-shard executors: Set.Apply fans out internally, so a few
 	// concurrent executors keep every shard busy under batch load.
@@ -194,6 +215,9 @@ func (s *Server) Shutdown() error {
 	for _, q := range s.queues {
 		close(q)
 	}
+	for _, q := range s.rqueues {
+		close(q)
+	}
 	close(s.xqueue)
 	s.workers.Wait()
 
@@ -218,6 +242,7 @@ type task struct {
 	value    []byte
 	ops      []kvwire.BatchOp
 	buf      []byte
+	vbuf     []byte // reused value scratch for GET replies
 	enqueued time.Time
 }
 
@@ -253,11 +278,14 @@ func (s *Server) execute(t *task) {
 	case kvwire.OpDel:
 		s.replyStatus(t, s.set.Delete(t.key))
 	case kvwire.OpGet:
-		v, err := s.set.Retrieve(t.key)
+		// Append into the task's reused scratch: a DRAM-resident get
+		// then completes without allocating on the device or here.
+		v, err := s.set.RetrieveAppend(t.vbuf[:0], t.key)
 		if err != nil {
 			s.replyStatus(t, err)
 			return
 		}
+		t.vbuf = v
 		t.c.reply(func(b []byte) []byte { return kvwire.AppendValueResponse(b, t.id, v) })
 	case kvwire.OpExist:
 		ok, err := s.set.Exist(t.key)
@@ -370,8 +398,10 @@ func (s *Server) admit(c *conn, req *kvwire.Request) {
 
 	var q chan *task
 	switch req.Op {
-	case kvwire.OpPut, kvwire.OpGet, kvwire.OpDel, kvwire.OpExist:
+	case kvwire.OpPut, kvwire.OpDel:
 		q = s.queues[s.set.RouteKey(t.key)]
+	case kvwire.OpGet, kvwire.OpExist:
+		q = s.rqueues[s.set.RouteKey(t.key)]
 	default:
 		q = s.xqueue
 	}

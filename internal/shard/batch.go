@@ -87,9 +87,7 @@ func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
 			if lastDone > end {
 				end = lastDone
 			}
-			if end > sh.last {
-				sh.last = end
-			}
+			sh.last.AdvanceTo(end)
 			spans[si] = end.Sub(start)
 		}(si, idxs)
 	}

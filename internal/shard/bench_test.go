@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// benchSet builds a single-shard set pre-populated with keys whose index
+// buckets are all DRAM-resident, so every benchmarked get is a cache
+// hit. AnticipatedKeys pre-sizes the directory to keep re-configuration
+// out of the measurement.
+func benchSet(tb testing.TB, keys int) (*Set, [][]byte) {
+	tb.Helper()
+	set, err := New(1, device.Config{
+		Capacity:        256 << 20,
+		AnticipatedKeys: int64(4 * keys),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ks := make([][]byte, keys)
+	for i := range ks {
+		ks[i] = workload.KeyBytes(uint64(i))
+		if err := set.Store(ks[i], workload.ValuePayload(uint64(i), 100)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Touch every key once so any bucket evicted during population is
+	// re-resident before measurement.
+	for _, k := range ks {
+		if _, err := set.Retrieve(k); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return set, ks
+}
+
+// TestSharedGetZeroAlloc pins the tentpole's allocation claim: a
+// DRAM-resident get through the shared read path, with a reused value
+// buffer, allocates nothing.
+func TestSharedGetZeroAlloc(t *testing.T) {
+	set, ks := benchSet(t, 256)
+	defer set.Close()
+	dst := make([]byte, 0, 256)
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		v, err := set.RetrieveAppend(dst[:0], ks[i%len(ks)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = v
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("shared cache-hit get allocates %.1f times per op, want 0", allocs)
+	}
+	if st := set.Stats(); st.LockUpgrades > 0 {
+		t.Fatalf("%d lock upgrades: not measuring the shared path", st.LockUpgrades)
+	}
+}
+
+// BenchmarkConcurrentGet measures cache-hit GET throughput with 8
+// goroutines against ONE shard — the tentpole scenario. Three modes:
+//
+//   - shared: the RWMutex read path (this PR). Expected: 0 allocs/op.
+//   - exclusive: every read forced through the write lock via
+//     ForceExclusiveReads — the same front-end minus reader concurrency.
+//     On a multi-core host this is where the RWMutex gap shows up as
+//     wall-clock; on a single-core CI box the two differ only by lock
+//     overhead, since timeslicing admits no parallel speedup.
+//   - queued: reads funneled through ONE worker goroutine over a
+//     channel — the previous serving architecture, where a shard's
+//     worker executed every command including reads. The shared path
+//     must beat this by ≥2×: that per-op channel handoff is exactly
+//     what the per-shard read pools delete.
+func BenchmarkConcurrentGet(b *testing.B) {
+	const (
+		goroutines = 8
+		keys       = 1024
+	)
+	b.Run("shared", func(b *testing.B) {
+		set, ks := benchSet(b, keys)
+		defer set.Close()
+		runConcurrentGets(b, set, ks, goroutines)
+		if st := set.Stats(); st.LockUpgrades > 0 {
+			b.Fatalf("%d reads upgraded: not measuring the shared path", st.LockUpgrades)
+		}
+	})
+	b.Run("exclusive", func(b *testing.B) {
+		set, ks := benchSet(b, keys)
+		defer set.Close()
+		set.ForceExclusiveReads(true)
+		runConcurrentGets(b, set, ks, goroutines)
+	})
+	b.Run("queued", func(b *testing.B) {
+		set, ks := benchSet(b, keys)
+		defer set.Close()
+		benchQueuedGets(b, set, ks, goroutines)
+	})
+}
+
+// runConcurrentGets fans b.N gets over g goroutines calling the set
+// directly, each reusing a value buffer.
+func runConcurrentGets(b *testing.B, set *Set, ks [][]byte, g int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / g
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]byte, 0, 256)
+			for i := 0; i < per; i++ {
+				v, err := set.RetrieveAppend(dst[:0], ks[(w*per+i)%len(ks)])
+				if err != nil {
+					b.Errorf("retrieve: %v", err)
+					return
+				}
+				dst = v
+			}
+		}(w)
+	}
+	// Remainder ops on the benchmark goroutine keep b.N exact.
+	dst := make([]byte, 0, 256)
+	for i := 0; i < b.N-per*g; i++ {
+		v, err := set.RetrieveAppend(dst[:0], ks[i%len(ks)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = v
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// benchQueuedGets reproduces the pre-read-pool serving shape: one
+// worker goroutine owns the shard and every get crosses a channel to it
+// and back.
+func benchQueuedGets(b *testing.B, set *Set, ks [][]byte, g int) {
+	type req struct {
+		key   []byte
+		reply chan error
+	}
+	q := make(chan req, 256)
+	var worker sync.WaitGroup
+	worker.Add(1)
+	go func() {
+		defer worker.Done()
+		dst := make([]byte, 0, 256)
+		for r := range q {
+			v, err := set.RetrieveAppend(dst[:0], r.key)
+			dst = v
+			r.reply <- err
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / g
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reply := make(chan error, 1)
+			for i := 0; i < per; i++ {
+				q <- req{key: ks[(w*per+i)%len(ks)], reply: reply}
+				if err := <-reply; err != nil {
+					b.Errorf("retrieve: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	reply := make(chan error, 1)
+	for i := 0; i < b.N-per*g; i++ {
+		q <- req{key: ks[i%len(ks)], reply: reply}
+		if err := <-reply; err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(q)
+	worker.Wait()
+}
+
+// BenchmarkStoreRetrieve measures the synchronous single-client
+// store+retrieve round trip through the shard front-end (write path
+// regression guard for the CI bench record).
+func BenchmarkStoreRetrieve(b *testing.B) {
+	set, err := New(1, device.Config{Capacity: 256 << 20, AnticipatedKeys: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	val := workload.ValuePayload(7, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := workload.KeyBytes(uint64(i % (1 << 14)))
+		if err := set.Store(key, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.Retrieve(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

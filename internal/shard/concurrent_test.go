@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// migrating reports whether shard i's index has an incremental
+// re-configuration in flight.
+func migrating(s *Set, i int) bool {
+	m, ok := s.Shard(i).Device().Index().(interface{ Migrating() bool })
+	return ok && m.Migrating()
+}
+
+// TestReaderHeavySchedule runs the read path's intended deployment
+// shape under -race: 8 reader goroutines hammering a stable
+// pre-populated key set through the shared (RLock) path while 2 writer
+// goroutines churn a disjoint key range hard enough to trigger
+// incremental re-configurations on the same shard. Readers must always
+// see their keys' exact values — never a torn read, never a phantom
+// miss — and the run must end with reads flowing through the shared
+// path again once migrations drain.
+func TestReaderHeavySchedule(t *testing.T) {
+	set, err := New(1, device.Config{
+		Capacity:          64 << 20,
+		IncrementalResize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// Stable keys: written once, then only read.
+	const stable = 400
+	stableVal := func(id uint64) []byte {
+		return workload.ValuePayload(id, 64)
+	}
+	for id := uint64(0); id < stable; id++ {
+		if err := set.Store(workload.KeyBytes(id), stableVal(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		readers     = 8
+		writers     = 2
+		readsPer    = 1500
+		writesPer   = 2500
+		writerBase  = 1 << 20 // disjoint from the stable ids
+		writerRange = 20000
+	)
+	var wg sync.WaitGroup
+	var writersDone atomic.Bool
+	errc := make(chan error, readers+writers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			dst := make([]byte, 0, 128)
+			// Run at least readsPer reads, and keep reading until the
+			// writers finish so reads overlap every migration window.
+			for i := 0; i < readsPer || !writersDone.Load(); i++ {
+				id := (seed + uint64(i)) % stable
+				v, err := set.RetrieveAppend(dst[:0], workload.KeyBytes(id))
+				if err != nil {
+					errc <- fmt.Errorf("reader: retrieve %d: %w", id, err)
+					return
+				}
+				if !bytes.Equal(v, stableVal(id)) {
+					errc <- fmt.Errorf("reader: key %d value diverged", id)
+					return
+				}
+				dst = v
+				if i%5 == 0 {
+					ok, err := set.Exist(workload.KeyBytes(id))
+					if err != nil || !ok {
+						errc <- fmt.Errorf("reader: exist %d = (%v,%v)", id, ok, err)
+						return
+					}
+				}
+			}
+		}(uint64(r) * 13)
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writerWG.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			defer writerWG.Done()
+			for i := 0; i < writesPer; i++ {
+				id := writerBase + seed*writerRange + uint64(i)%writerRange
+				key := workload.KeyBytes(id)
+				if err := set.Store(key, workload.ValuePayload(id, 32)); err != nil {
+					errc <- fmt.Errorf("writer: store %d: %w", id, err)
+					return
+				}
+				if i%7 == 3 {
+					if err := set.Delete(key); err != nil {
+						errc <- fmt.Errorf("writer: delete %d: %w", id, err)
+						return
+					}
+				}
+			}
+		}(uint64(w))
+	}
+	go func() {
+		// Writers-done flag flips as soon as both writers return; the
+		// separate waitgroup pass below still waits for the readers.
+		defer writersDone.Store(true)
+		writerWG.Wait()
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesce: lazy migration drains through the operations themselves.
+	for i := 0; migrating(set, 0); i++ {
+		if _, err := set.Retrieve(workload.KeyBytes(uint64(i) % stable)); err != nil {
+			t.Fatal(err)
+		}
+		if i > 100000 {
+			t.Fatal("migration never drained")
+		}
+	}
+
+	st := set.Stats()
+	if st.SharedReads == 0 {
+		t.Fatal("no read ever took the shared path")
+	}
+	if st.Index.Resizes == 0 {
+		t.Fatal("writers never triggered a re-configuration; the schedule lost its point")
+	}
+	if st.LockUpgrades == 0 {
+		t.Fatal("no read ever upgraded: reads never overlapped a migration")
+	}
+	t.Logf("sharedReads=%d lockUpgrades=%d resizes=%d",
+		st.SharedReads, st.LockUpgrades, st.Index.Resizes)
+
+	// With the set quiesced and every touched bucket cached, a read must
+	// take the shared path.
+	before := st.SharedReads
+	if _, err := set.Retrieve(workload.KeyBytes(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Stats().SharedReads; got != before+1 {
+		t.Fatalf("quiesced read did not go shared: sharedReads %d -> %d", before, got)
+	}
+}
+
+// TestReadMidMigrationUpgrades pins the lock-upgrade rule: a read
+// arriving while an incremental re-configuration is in flight must
+// refuse the shared path (its lookup may have to migrate the touched
+// bucket, which mutates index structure), upgrade to the write lock,
+// and still return the right value. Once the migration drains, the same
+// read flows shared again. Deterministic: single shard, no background
+// goroutines.
+func TestReadMidMigrationUpgrades(t *testing.T) {
+	set, err := New(1, device.Config{
+		Capacity:          64 << 20,
+		IncrementalResize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// Store until a store arms a migration (the device resizes inside
+	// afterMutation, so the migration is freshly armed when we stop).
+	id := uint64(0)
+	for !migrating(set, 0) {
+		if err := set.Store(workload.KeyBytes(id), workload.ValuePayload(id, 40)); err != nil {
+			t.Fatal(err)
+		}
+		id++
+		if id > 1_000_000 {
+			t.Fatal("no incremental resize ever started")
+		}
+	}
+
+	probe := workload.KeyBytes(0)
+	st := set.Stats()
+	v, err := set.Retrieve(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, workload.ValuePayload(0, 40)) {
+		t.Fatal("mid-migration read returned wrong value")
+	}
+	after := set.Stats()
+	if got := after.LockUpgrades - st.LockUpgrades; got != 1 {
+		t.Fatalf("mid-migration read took %d lock upgrades, want exactly 1", got)
+	}
+	if after.SharedReads != st.SharedReads {
+		t.Fatal("mid-migration read counted as shared")
+	}
+
+	// Drain the migration with further reads (each migrates its bucket
+	// plus the background quota), then the same probe must go shared:
+	// one sharedReads tick, zero new upgrades.
+	for i := uint64(0); migrating(set, 0); i++ {
+		if _, err := set.Retrieve(workload.KeyBytes(i % id)); err != nil {
+			t.Fatal(err)
+		}
+		if i > 1_000_000 {
+			t.Fatal("migration never drained")
+		}
+	}
+	st = set.Stats()
+	if _, err := set.Retrieve(probe); err != nil {
+		t.Fatal(err)
+	}
+	after = set.Stats()
+	if after.SharedReads != st.SharedReads+1 || after.LockUpgrades != st.LockUpgrades {
+		t.Fatalf("post-migration read: sharedReads %d->%d upgrades %d->%d, want shared fast path",
+			st.SharedReads, after.SharedReads, st.LockUpgrades, after.LockUpgrades)
+	}
+}
+
+// TestStatsUnderConcurrentReaders is the -race regression for the Stats
+// snapshot: merging per-shard counters under the read lock while
+// readers run must be race-free.
+func TestStatsUnderConcurrentReaders(t *testing.T) {
+	set, err := New(2, device.Config{Capacity: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	const keys = 100
+	for id := uint64(0); id < keys; id++ {
+		if err := set.Store(workload.KeyBytes(id), workload.ValuePayload(id, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := set.Retrieve(workload.KeyBytes((seed + uint64(i)) % keys)); err != nil {
+					t.Errorf("retrieve: %v", err)
+					return
+				}
+			}
+		}(uint64(r))
+	}
+	for i := 0; i < 50; i++ {
+		st := set.Stats()
+		if st.Dev.Retrieves < 0 {
+			t.Fatal("impossible snapshot")
+		}
+	}
+	wg.Wait()
+	st := set.Stats()
+	if got := st.Dev.Retrieves; got != 4*500 {
+		t.Fatalf("Retrieves = %d, want %d", got, 4*500)
+	}
+}

@@ -23,12 +23,12 @@ func (s *Set) Iterate(prefix []byte) ([]device.IterEntry, error) {
 			defer wg.Done()
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			entries, done, err := sh.dev.Iterate(sh.last, prefix, true)
+			entries, done, err := sh.dev.Iterate(sh.last.Load(), prefix, true)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			sh.last = done
+			sh.last.AdvanceTo(done)
 			per[i] = entries
 		}(i, sh)
 	}

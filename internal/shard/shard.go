@@ -12,12 +12,24 @@
 // so routing on high bits keeps per-shard directories dense and leaves
 // prefix locality intact. Prefix iteration therefore fans out to every
 // shard and merges the per-shard sorted results.
+//
+// Locking model: each shard carries a sync.RWMutex. Mutating commands
+// (Store, Delete, Iterate, checkpoint/restart/close, batches) hold the
+// write lock. Retrieve and Exist first try the read lock: the device's
+// TryRetrieveShared/TryExistShared refuse — before charging any
+// simulated time — whenever the lookup would mutate index structure
+// (cache miss, pending incremental-resize migration), in which case the
+// shard upgrades by releasing the read lock, taking the write lock, and
+// re-executing. DRAM-resident gets therefore run concurrently with each
+// other, mutating only atomics (clock advances, counters, CLOCK ref
+// bits) along the way.
 package shard
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/device"
 	"repro/internal/index"
@@ -25,12 +37,17 @@ import (
 )
 
 // Shard is one emulated device plus the host-side submission state for
-// its command stream. The mutex serializes commands on this shard only;
-// commands on different shards run concurrently.
+// its command stream. The RWMutex serializes commands on this shard
+// only; commands on different shards run concurrently, and read
+// commands on the same shard run concurrently when the index answers
+// from DRAM.
 type Shard struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	dev  *device.Device
-	last sim.Time // completion of the previous synchronous command
+	last sim.AtomicTime // completion of the previous synchronous command
+
+	sharedReads  atomic.Int64 // reads served under the read lock
+	lockUpgrades atomic.Int64 // reads that had to retry exclusively
 }
 
 // Device exposes the shard's device. Callers must not issue commands
@@ -42,6 +59,8 @@ type Set struct {
 	shards []*Shard
 	scheme index.SigScheme
 	shift  uint // 64 - log2(len(shards)); Lo >> shift selects the shard
+
+	forceExclusive atomic.Bool // route reads through the write lock
 }
 
 // New opens n fresh shards, each configured with cfg. n must be a power
@@ -74,6 +93,11 @@ func (s *Set) N() int { return len(s.shards) }
 // Shard returns shard i.
 func (s *Set) Shard(i int) *Shard { return s.shards[i] }
 
+// ForceExclusiveReads routes Retrieve/Exist through the write lock like
+// any mutation, disabling the shared fast path. Benchmark/experiment
+// knob for quantifying what reader concurrency buys.
+func (s *Set) ForceExclusiveReads(v bool) { s.forceExclusive.Store(v) }
+
 // RouteKey reports which shard owns key.
 func (s *Set) RouteKey(key []byte) int {
 	return s.route(s.scheme.Compute(key))
@@ -96,24 +120,56 @@ func (s *Set) Store(key, value []byte) error {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	done, err := sh.dev.Store(sh.last, key, value)
+	done, err := sh.dev.Store(sh.last.Load(), key, value)
 	if err != nil {
 		return err
 	}
-	sh.last = done
+	sh.last.AdvanceTo(done)
 	return nil
 }
 
-// Retrieve routes a synchronous get to the owning shard.
+// Retrieve routes a synchronous get to the owning shard. DRAM-resident
+// lookups run under the shard's read lock, concurrently with other
+// reads; anything that would touch flash for metadata upgrades to the
+// write lock and re-executes.
 func (s *Set) Retrieve(key []byte) ([]byte, error) {
-	sh := s.shardOf(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	v, done, err := sh.dev.Retrieve(sh.last, key)
+	v, err := s.RetrieveAppend(nil, key)
 	if err != nil {
 		return nil, err
 	}
-	sh.last = done
+	return v, nil
+}
+
+// RetrieveAppend is Retrieve with the value appended to dst, letting
+// callers reuse one buffer across gets (the allocation-free hot path).
+// On error dst is returned unchanged.
+func (s *Set) RetrieveAppend(dst, key []byte) ([]byte, error) {
+	sh := s.shardOf(key)
+	if !s.forceExclusive.Load() {
+		sh.mu.RLock()
+		v, done, err := sh.dev.TryRetrieveShared(sh.last.Load(), key, dst)
+		if err == nil {
+			sh.last.AdvanceTo(done)
+			sh.mu.RUnlock()
+			sh.sharedReads.Add(1)
+			return v, nil
+		}
+		sh.mu.RUnlock()
+		if !errors.Is(err, index.ErrNeedExclusive) {
+			return dst, err
+		}
+		// Lock upgrade: the lookup needs to restructure index state
+		// (page-in, lazy migration). No simulated time was charged, so
+		// re-executing exclusively repeats nothing.
+		sh.lockUpgrades.Add(1)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, done, err := sh.dev.RetrieveAppend(sh.last.Load(), key, dst)
+	if err != nil {
+		return dst, err
+	}
+	sh.last.AdvanceTo(done)
 	return v, nil
 }
 
@@ -122,24 +178,40 @@ func (s *Set) Delete(key []byte) error {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	done, err := sh.dev.Delete(sh.last, key)
+	done, err := sh.dev.Delete(sh.last.Load(), key)
 	if err != nil {
 		return err
 	}
-	sh.last = done
+	sh.last.AdvanceTo(done)
 	return nil
 }
 
-// Exist routes a synchronous membership check to the owning shard.
+// Exist routes a synchronous membership check to the owning shard,
+// using the same shared-then-upgrade path as Retrieve.
 func (s *Set) Exist(key []byte) (bool, error) {
 	sh := s.shardOf(key)
+	if !s.forceExclusive.Load() {
+		sh.mu.RLock()
+		ok, done, err := sh.dev.TryExistShared(sh.last.Load(), key)
+		if err == nil {
+			sh.last.AdvanceTo(done)
+			sh.mu.RUnlock()
+			sh.sharedReads.Add(1)
+			return ok, nil
+		}
+		sh.mu.RUnlock()
+		if !errors.Is(err, index.ErrNeedExclusive) {
+			return false, err
+		}
+		sh.lockUpgrades.Add(1)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	ok, done, err := sh.dev.Exist(sh.last, key)
+	ok, done, err := sh.dev.Exist(sh.last.Load(), key)
 	if err != nil {
 		return false, err
 	}
-	sh.last = done
+	sh.last.AdvanceTo(done)
 	return ok, nil
 }
 
@@ -168,7 +240,7 @@ func (s *Set) Restart() error {
 		if err := sh.dev.Restart(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		} else {
-			sh.last = sh.dev.Now()
+			sh.last.Store(sh.dev.Now())
 		}
 		sh.mu.Unlock()
 	}
@@ -197,12 +269,12 @@ func (s *Set) Close() error {
 func (s *Set) Elapsed() sim.Duration {
 	var m sim.Time
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		t := sh.dev.Drain()
-		if sh.last > t {
-			t = sh.last
+		if last := sh.last.Load(); last > t {
+			t = last
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if t > m {
 			m = t
 		}

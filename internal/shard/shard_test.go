@@ -84,8 +84,8 @@ func TestElapsedIsMaxOfShardClocks(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		sh := set.Shard(i)
 		tl := sh.dev.Drain()
-		if sh.last > tl {
-			tl = sh.last
+		if last := sh.last.Load(); last > tl {
+			tl = last
 		}
 		if tl > want {
 			want = tl

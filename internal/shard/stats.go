@@ -11,23 +11,40 @@ import (
 // Counters sum across shards; Recoveries is the maximum instead, because
 // a Restart power-cycles every shard as one device-wide event. Latency
 // histograms are exact merges of the per-shard distributions.
+//
+// Consistency: the snapshot is taken under each shard's READ lock in
+// turn, so reads may execute concurrently with it (and writes on shards
+// not currently being visited). Every underlying counter is atomic, so
+// each individual value is exact at its load instant, but the snapshot
+// is per-shard-atomic at best — not a single consistent cut across
+// shards, and cross-counter invariants (e.g. hits+misses == lookups)
+// may be off by in-flight operations. For an exact global snapshot,
+// quiesce the workload first.
 type Stats struct {
 	Dev    device.Stats
 	Index  index.Stats
 	Flash  nand.Stats
 	Scheme string
 
+	// SharedReads counts Retrieve/Exist commands served entirely under
+	// the shard read lock; LockUpgrades counts the ones that had to
+	// release it and re-execute exclusively (index page-in, pending
+	// incremental-resize migration).
+	SharedReads  int64
+	LockUpgrades int64
+
 	StoreLat    metrics.Histogram
 	RetrieveLat metrics.Histogram
 	MetaPerOp   metrics.Histogram
 }
 
-// Stats locks each shard in turn and merges its counters and histograms.
+// Stats visits each shard under its read lock and merges counters and
+// histograms. See the Stats type for the consistency contract.
 func (s *Set) Stats() Stats {
 	var out Stats
 	out.Scheme = s.shards[0].dev.Index().Name()
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		ds := sh.dev.Stats()
 		is := sh.dev.IndexStats()
 		fs := sh.dev.FlashStats()
@@ -63,10 +80,13 @@ func (s *Set) Stats() Stats {
 		out.Flash.ReadBytes += fs.ReadBytes
 		out.Flash.WriteBytes += fs.WriteBytes
 
+		out.SharedReads += sh.sharedReads.Load()
+		out.LockUpgrades += sh.lockUpgrades.Load()
+
 		out.StoreLat.Merge(sh.dev.StoreLatency())
 		out.RetrieveLat.Merge(sh.dev.RetrieveLatency())
 		out.MetaPerOp.Merge(sh.dev.MetaReadsPerOp())
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -76,9 +96,9 @@ func (s *Set) Stats() Stats {
 func (s *Set) ResizeEvents() []index.ResizeEvent {
 	var out []index.ResizeEvent
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		out = append(out, sh.dev.ResizeEvents()...)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return out
 }

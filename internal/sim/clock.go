@@ -2,9 +2,17 @@
 // KVSSD. All device components (NAND dies, the firmware CPU, the channel
 // bus) advance a shared Clock instead of sleeping on the wall clock, so
 // experiments measure simulated device time deterministically and run fast.
+//
+// Clock, AtomicTime, and Resource are safe for concurrent use: the shared
+// read path lets multiple reader goroutines advance the same timeline, so
+// every time-base primitive is lock-free (CAS-max for "advance to",
+// atomic add for "advance by"). Single-threaded behaviour is unchanged.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is a point in simulated time, in nanoseconds since device power-on.
 type Time int64
@@ -48,34 +56,62 @@ func (d Duration) String() string {
 	}
 }
 
-// Clock is the device-wide simulated clock. It only moves forward.
+// AtomicTime is a Time that concurrent goroutines may load and advance.
+// Advancing never moves the value backward; Store is reserved for
+// externally-serialized resets (restarts, recovery).
+type AtomicTime struct {
+	v atomic.Int64
+}
+
+// Load returns the current value.
+func (t *AtomicTime) Load() Time { return Time(t.v.Load()) }
+
+// Store sets the value unconditionally. Callers must be externally
+// serialized (it is only used on reset paths that hold the write lock).
+func (t *AtomicTime) Store(x Time) { t.v.Store(int64(x)) }
+
+// Advance moves the value forward by d and returns the new value.
+// Negative durations are ignored.
+func (t *AtomicTime) Advance(d Duration) Time {
+	if d <= 0 {
+		return Time(t.v.Load())
+	}
+	return Time(t.v.Add(int64(d)))
+}
+
+// AdvanceTo moves the value forward to x if x is in the future (CAS-max).
+func (t *AtomicTime) AdvanceTo(x Time) Time {
+	for {
+		cur := t.v.Load()
+		if int64(x) <= cur {
+			return Time(cur)
+		}
+		if t.v.CompareAndSwap(cur, int64(x)) {
+			return x
+		}
+	}
+}
+
+// Clock is the device-wide simulated clock. It only moves forward (except
+// Reset) and is safe for concurrent use.
 // The zero value is a clock at time 0, ready to use.
 type Clock struct {
-	now Time
+	now AtomicTime
 }
 
 // NewClock returns a clock starting at time 0.
 func NewClock() *Clock { return &Clock{} }
 
 // Now reports the current simulated time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return c.now.Load() }
 
 // Advance moves the clock forward by d and returns the new time.
 // Negative durations are ignored; the clock never moves backward.
-func (c *Clock) Advance(d Duration) Time {
-	if d > 0 {
-		c.now += Time(d)
-	}
-	return c.now
-}
+func (c *Clock) Advance(d Duration) Time { return c.now.Advance(d) }
 
 // AdvanceTo moves the clock forward to t if t is in the future.
-func (c *Clock) AdvanceTo(t Time) Time {
-	if t > c.now {
-		c.now = t
-	}
-	return c.now
-}
+func (c *Clock) AdvanceTo(t Time) Time { return c.now.AdvanceTo(t) }
 
-// Reset rewinds the clock to zero. Only tests and device restarts use this.
-func (c *Clock) Reset() { c.now = 0 }
+// Reset rewinds the clock to zero. Only tests and device restarts use
+// this, with all other clock users quiesced.
+func (c *Clock) Reset() { c.now.Store(0) }

@@ -1,5 +1,7 @@
 package sim
 
+import "sync/atomic"
+
 // Resource models a unit of device hardware that can serve one operation at
 // a time: a NAND die, the firmware CPU, or a channel bus. An operation
 // requested at time t starts at max(t, busyUntil), occupies the resource for
@@ -7,11 +9,16 @@ package sim
 // past" (because the host queued several operations at the same submit time)
 // therefore serialize on the resource while independent resources overlap —
 // this is what makes async queue depth exploit die-level parallelism.
+//
+// Acquire is lock-free (a CAS loop over busyUntil) so concurrent readers —
+// which share a device under the shard read lock — can schedule flash and
+// host-link operations without a global mutex. Concurrent Acquires
+// linearize in CAS order; single-threaded behaviour is unchanged.
 type Resource struct {
 	name      string
-	busyUntil Time
-	busyTotal Duration // total time spent serving operations
-	ops       int64
+	busyUntil atomic.Int64
+	busyTotal atomic.Int64 // total time spent serving operations
+	ops       atomic.Int64
 }
 
 // NewResource returns an idle resource with the given diagnostic name.
@@ -23,34 +30,40 @@ func (r *Resource) Name() string { return r.name }
 // Acquire schedules an operation requested at time t with the given service
 // duration and returns the operation's start and completion times.
 func (r *Resource) Acquire(t Time, service Duration) (start, done Time) {
-	start = t
-	if r.busyUntil > start {
-		start = r.busyUntil
+	for {
+		bu := r.busyUntil.Load()
+		start = t
+		if Time(bu) > start {
+			start = Time(bu)
+		}
+		done = start.Add(service)
+		if r.busyUntil.CompareAndSwap(bu, int64(done)) {
+			break
+		}
 	}
-	done = start.Add(service)
-	r.busyUntil = done
-	r.busyTotal += service
-	r.ops++
+	r.busyTotal.Add(int64(service))
+	r.ops.Add(1)
 	return start, done
 }
 
 // BusyUntil reports the time at which the resource next becomes idle.
-func (r *Resource) BusyUntil() Time { return r.busyUntil }
+func (r *Resource) BusyUntil() Time { return Time(r.busyUntil.Load()) }
 
 // Utilization reports the fraction of [0, now] this resource spent busy.
 func (r *Resource) Utilization(now Time) float64 {
 	if now <= 0 {
 		return 0
 	}
-	return float64(r.busyTotal) / float64(now)
+	return float64(r.busyTotal.Load()) / float64(now)
 }
 
 // Ops reports how many operations the resource has served.
-func (r *Resource) Ops() int64 { return r.ops }
+func (r *Resource) Ops() int64 { return r.ops.Load() }
 
 // Reset returns the resource to idle at time zero, clearing statistics.
+// Callers must be externally serialized with Acquire.
 func (r *Resource) Reset() {
-	r.busyUntil = 0
-	r.busyTotal = 0
-	r.ops = 0
+	r.busyUntil.Store(0)
+	r.busyTotal.Store(0)
+	r.ops.Store(0)
 }
