@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	rhik "repro"
+	"repro/internal/workload"
+)
+
+// testConfig is small enough for fast tests but big enough to push every
+// engine past its in-DRAM comfort zone.
+func testConfig() EngineConfig {
+	return EngineConfig{
+		Capacity:    64 << 20,
+		CacheBudget: 256 << 10,
+	}
+}
+
+// TestEngineConformance runs the shared oracle-backed suite against
+// every registered adapter: after an identical randomized op sequence,
+// each engine must agree with an in-memory map on every Retrieve, Exist,
+// Delete, and prefix Iterate outcome.
+func TestEngineConformance(t *testing.T) {
+	for _, spec := range Engines() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			eng, err := spec.Open(testConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if eng.Name() != spec.Name {
+				t.Fatalf("Name() = %q, want %q", eng.Name(), spec.Name)
+			}
+
+			oracle := map[string][]byte{}
+			rng := rand.New(rand.NewSource(99))
+			const keys = 2000
+			key := func(id uint64) []byte { return workload.KeyBytes(id) }
+
+			// Mixed mutations: stores (some overwrites), sprinkled deletes.
+			for i := 0; i < 6000; i++ {
+				id := uint64(rng.Intn(keys))
+				k := key(id)
+				switch rng.Intn(10) {
+				case 9:
+					err := eng.Delete(k)
+					_, live := oracle[string(k)]
+					if live && err != nil {
+						t.Fatalf("delete live key %d: %v", id, err)
+					}
+					if !live && !errors.Is(err, rhik.ErrNotFound) {
+						t.Fatalf("delete absent key %d: err = %v, want ErrNotFound", id, err)
+					}
+					delete(oracle, string(k))
+				default:
+					v := workload.ValuePayload(id, 50+rng.Intn(400))
+					if err := eng.Store(k, v); err != nil {
+						if errors.Is(err, rhik.ErrCollision) {
+							continue // paper-mandated abort; oracle unchanged
+						}
+						t.Fatalf("store key %d: %v", id, err)
+					}
+					oracle[string(k)] = v
+				}
+			}
+
+			// Point-read and existence agreement over the whole key space.
+			for id := uint64(0); id < keys; id++ {
+				k := key(id)
+				want, live := oracle[string(k)]
+				got, err := eng.Retrieve(nil, k)
+				switch {
+				case live && err != nil:
+					t.Fatalf("retrieve live key %d: %v", id, err)
+				case live && !bytes.Equal(got, want):
+					t.Fatalf("retrieve key %d: wrong value (%d vs %d bytes)", id, len(got), len(want))
+				case !live && !errors.Is(err, rhik.ErrNotFound):
+					t.Fatalf("retrieve dead key %d: err = %v, want ErrNotFound", id, err)
+				}
+				ex, err := eng.Exist(k)
+				if err != nil {
+					t.Fatalf("exist key %d: %v", id, err)
+				}
+				if ex != live {
+					t.Fatalf("exist key %d = %v, oracle says %v", id, ex, live)
+				}
+			}
+
+			// Prefix scans agree with the oracle: sorted, complete, live
+			// keys only, correct values.
+			for _, group := range []uint64{0, 256, 1024} {
+				prefix := key(group)[:workload.DefaultScanPrefixLen]
+				var want []string
+				for k := range oracle {
+					if bytes.HasPrefix([]byte(k), prefix) {
+						want = append(want, k)
+					}
+				}
+				sort.Strings(want)
+				entries, err := eng.Iterate(prefix)
+				if err != nil {
+					t.Fatalf("iterate %q: %v", prefix, err)
+				}
+				if len(entries) != len(want) {
+					t.Fatalf("iterate %q: %d entries, oracle has %d", prefix, len(entries), len(want))
+				}
+				for i, e := range entries {
+					if string(e.Key) != want[i] {
+						t.Fatalf("iterate %q entry %d: key %q, want %q", prefix, i, e.Key, want[i])
+					}
+					if !bytes.Equal(e.Value, oracle[want[i]]) {
+						t.Fatalf("iterate %q entry %d: wrong value", prefix, i)
+					}
+				}
+			}
+
+			// Stats must reflect the run.
+			st := eng.Stats()
+			if st.Records <= 0 {
+				t.Fatalf("stats records %d after %d live keys", st.Records, len(oracle))
+			}
+			if eng.Elapsed() <= 0 {
+				t.Fatal("elapsed simulated time is zero after thousands of ops")
+			}
+		})
+	}
+}
+
+// TestEngineConcurrentMixedOps hammers every adapter from several
+// goroutines with disjoint key ranges — run under -race this is the
+// adapters' data-race conformance pass. (Engines are opened with more
+// than one shard so readers and writers genuinely overlap.)
+func TestEngineConcurrentMixedOps(t *testing.T) {
+	for _, spec := range Engines() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Shards = 4
+			eng, err := spec.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			const workers, perWorker, span = 4, 1500, 1000
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					base := uint64(w * span)
+					var vbuf []byte // per-goroutine reuse, as the contract requires
+					for i := 0; i < perWorker; i++ {
+						id := base + uint64(rng.Intn(span))
+						k := workload.KeyBytes(id)
+						var err error
+						switch rng.Intn(4) {
+						case 0:
+							err = eng.Store(k, workload.ValuePayload(id, 64))
+						case 1:
+							var v []byte
+							if v, err = eng.Retrieve(vbuf[:0], k); err == nil {
+								vbuf = v
+							}
+						case 2:
+							_, err = eng.Exist(k)
+						case 3:
+							err = eng.Delete(k)
+						}
+						if err != nil && !errors.Is(err, rhik.ErrNotFound) && !errors.Is(err, rhik.ErrCollision) {
+							errCh <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEngineResetOpStats checks the phase boundary every shootout cell
+// relies on: after a reset, latency histograms describe only later ops.
+func TestEngineResetOpStats(t *testing.T) {
+	for _, spec := range Engines() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			eng, err := spec.Open(testConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for i := uint64(0); i < 500; i++ {
+				if err := eng.Store(workload.KeyBytes(i), workload.ValuePayload(i, 64)); err != nil && !errors.Is(err, rhik.ErrCollision) {
+					t.Fatal(err)
+				}
+			}
+			eng.ResetOpStats()
+			st := eng.Stats()
+			if st.StoreP99 != 0 {
+				t.Fatalf("store p99 %d after reset, want 0", st.StoreP99)
+			}
+			if _, err := eng.Retrieve(nil, workload.KeyBytes(1)); err != nil {
+				t.Fatal(err)
+			}
+			if st := eng.Stats(); st.RetrieveP99 == 0 {
+				t.Fatal("retrieve p99 still zero after post-reset retrieve")
+			}
+		})
+	}
+}
+
+// TestEngineByName covers registry lookups.
+func TestEngineByName(t *testing.T) {
+	for _, want := range []string{"rhik", "rhik-set", "lsm", "mlhash"} {
+		spec, err := EngineByName(want)
+		if err != nil || spec.Name != want {
+			t.Fatalf("EngineByName(%q) = %v, %v", want, spec.Name, err)
+		}
+	}
+	if _, err := EngineByName("rocksdb"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

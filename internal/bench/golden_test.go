@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// goldenShootoutConfig is the fixed single-shard cell the golden trace
+// pins: small enough to run in milliseconds, big enough to cross a
+// resize and put the index cache under pressure.
+func goldenShootoutConfig() ShootoutConfig {
+	return ShootoutConfig{
+		Engines:    []string{"rhik"},
+		Workloads:  []string{"ycsb-a"},
+		Records:    2000,
+		Ops:        5000,
+		Seed:       42,
+		ValueMin:   64,
+		ValueMax:   1024,
+		ValueTheta: 0.9,
+		Capacity:   64 << 20,
+		// 16 KiB cannot hold the ~2000-key record-page working set, so
+		// the golden cell pins a nonzero flash-reads-per-GET figure.
+		CacheBudget: 16 << 10,
+	}
+}
+
+// TestGoldenYCSBAOpStream pins the byte-exact op sequence the YCSB-A
+// generator emits for the golden cell's tuple. Any change to the
+// generators, the scramble, or the size distribution shifts this hash —
+// which silently invalidates every cross-version shootout comparison,
+// so it must be a deliberate, visible change.
+func TestGoldenYCSBAOpStream(t *testing.T) {
+	cfg := goldenShootoutConfig()
+	spec, err := workload.YCSBWorkload("ycsb-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror runCell's construction exactly: run sizes seeded Seed+2,
+	// generator seeded Seed+3.
+	gen, err := workload.NewYCSB(spec, uint64(cfg.Records),
+		workload.NewZipfSizes(cfg.ValueMin, cfg.ValueMax, cfg.ValueTheta, cfg.Seed+2), cfg.Seed+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		op := gen.Next()
+		put(uint64(op.Kind))
+		put(op.KeyID)
+		put(uint64(op.ValueSize))
+	}
+	const golden = uint64(0x25732ec6888f8f82)
+	if got := h.Sum64(); got != golden {
+		t.Fatalf("YCSB-A op-stream hash %#x, want %#x (generator output drifted)", got, golden)
+	}
+}
+
+// TestGoldenYCSBACell pins the golden cell's end-to-end result — the
+// simulated timeline and every counter the shootout reports. The
+// fingerprint couples generators, engine adapters, the phase-reset
+// protocol, and the firmware timing model: drift anywhere shows here.
+func TestGoldenYCSBACell(t *testing.T) {
+	res, err := RunShootout(goldenShootoutConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	got := fmt.Sprintf(
+		"elapsed=%d getP50=%d getP99=%d putP50=%d putP99=%d frpg=%.6f fr=%d fp=%d resizes=%d collisions=%d notfound=%d",
+		c.SimElapsedNs, c.RetrieveP50Ns, c.RetrieveP99Ns, c.StoreP50Ns, c.StoreP99Ns,
+		c.FlashReadsPerGet, c.FlashReads, c.FlashPrograms, c.Resizes, c.Collisions, c.NotFound)
+	t.Logf("fingerprint: %s", got)
+	const golden = "elapsed=1862198448 getP50=112639 getP99=954158 putP50=112639 putP99=955161 " +
+		"frpg=0.518927 fr=5727 fp=1672 resizes=1 collisions=0 notfound=0"
+	if got != golden {
+		t.Fatalf("golden YCSB-A cell drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestShootoutSmoke runs a tiny two-engine grid and checks the result
+// round-trips through JSON with every per-cell metric populated — the
+// same contract the CI smoke step asserts on the emitted file.
+func TestShootoutSmoke(t *testing.T) {
+	cfg := ShootoutConfig{
+		Engines:     []string{"rhik", "lsm"},
+		Workloads:   []string{"ycsb-b", "ycsb-e"},
+		Records:     1500,
+		Ops:         2000,
+		Seed:        7,
+		CacheBudget: 64 << 10,
+		Capacity:    64 << 20,
+	}
+	res, err := RunShootout(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShootoutResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != shootoutSpec {
+		t.Fatalf("spec %q, want %q", back.Spec, shootoutSpec)
+	}
+	if len(back.Cells) != 4 {
+		t.Fatalf("%d cells, want 4 (2 engines x 2 workloads)", len(back.Cells))
+	}
+	for _, c := range back.Cells {
+		if c.Engine == "" || c.Workload == "" {
+			t.Fatalf("cell missing axis labels: %+v", c)
+		}
+		if c.SimElapsedNs <= 0 || c.ThroughputKops <= 0 {
+			t.Fatalf("%s×%s: empty timing (%d ns, %.3f kops)", c.Engine, c.Workload, c.SimElapsedNs, c.ThroughputKops)
+		}
+		if c.FlashReads <= 0 {
+			t.Fatalf("%s×%s: no flash reads recorded", c.Engine, c.Workload)
+		}
+		switch c.Workload {
+		case "ycsb-b":
+			if c.RetrieveP99Ns <= 0 {
+				t.Fatalf("%s×ycsb-b: no retrieve latency", c.Engine)
+			}
+		case "ycsb-e":
+			if c.ScanOps <= 0 || c.ScannedEntries <= 0 {
+				t.Fatalf("%s×ycsb-e: scans missing (%d ops, %d entries)", c.Engine, c.ScanOps, c.ScannedEntries)
+			}
+		}
+	}
+	// Identical seeds: both engines saw the same stream, so scan cells
+	// must have enumerated the same number of scan ops.
+	var scans []int64
+	for _, c := range back.Cells {
+		if c.Workload == "ycsb-e" {
+			scans = append(scans, c.ScanOps)
+		}
+	}
+	if len(scans) == 2 && scans[0] != scans[1] {
+		t.Fatalf("scan op counts diverge across engines: %v", scans)
+	}
+}

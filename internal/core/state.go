@@ -119,6 +119,14 @@ func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
 	return rps, r.checkIO()
 }
 
+// PrefixRecords implements index.PrefixScanner: with iterator-mode
+// signatures every key sharing a prefix maps to directory bucket
+// (low mod D), so the scan is one bucket enumeration — at most one flash
+// read, the same guarantee as a point lookup.
+func (r *RHIK) PrefixRecords(low uint32) ([]uint64, error) {
+	return r.BucketRecords(uint64(low) & uint64(len(r.dirs)-1))
+}
+
 // Relocate implements index.Relocator: the bucket's record table is
 // loaded (DRAM or one flash read) and rewritten to a fresh page, freeing
 // the victim block's copy. A page still owned by the previous directory

@@ -284,11 +284,12 @@ type Device struct {
 	mutsSince     int64 // mutating ops since last checkpoint
 	closed        bool
 
-	stats     devStats
-	latStore  metrics.ConcurrentHistogram // per-op simulated latency (ns)
-	latGet    metrics.ConcurrentHistogram
-	metaPerOp metrics.ConcurrentHistogram // flash reads per index operation
-	maxValue  int
+	stats      devStats
+	latStore   metrics.ConcurrentHistogram // per-op simulated latency (ns)
+	latGet     metrics.ConcurrentHistogram
+	metaPerOp  metrics.ConcurrentHistogram // flash reads per index operation
+	metaPerGet metrics.ConcurrentHistogram // flash reads per retrieve lookup only
+	maxValue   int
 }
 
 // Open builds a fresh device (all flash erased).
@@ -444,12 +445,21 @@ func (d *Device) MetaReadsPerOp() *metrics.Histogram {
 	return &h
 }
 
+// MetaReadsPerGet snapshots the flash-reads-per-retrieve histogram: only
+// get lookups contribute, so its mean is the flash-reads-per-GET figure
+// RHIK bounds at one (the shootout's headline metric).
+func (d *Device) MetaReadsPerGet() *metrics.Histogram {
+	h := d.metaPerGet.Snapshot()
+	return &h
+}
+
 // ResetOpStats clears per-op histograms and cache counters between
 // experiment phases without touching stored data.
 func (d *Device) ResetOpStats() {
 	d.latStore.Reset()
 	d.latGet.Reset()
 	d.metaPerOp.Reset()
+	d.metaPerGet.Reset()
 	type cacheResetter interface{ ResetCacheStats() }
 	if cr, ok := d.idx.(cacheResetter); ok {
 		cr.ResetCacheStats()

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"sort"
 
-	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/layout"
 	"repro/internal/sim"
 )
@@ -17,11 +17,14 @@ type IterEntry struct {
 
 // Iterate enumerates keys sharing the given prefix (§VI "Integrated
 // Iterator Support"). It requires an iterator-mode signature scheme
-// (SigScheme.PrefixLen > 0) and the RHIK index: prefix-sharing keys then
-// collapse into one directory bucket per directory generation, so the
-// scan touches a single record table plus one pair read per candidate.
-// Candidates whose keys do not actually share the prefix (hash
-// collisions into the bucket) are filtered by comparing the stored key.
+// (SigScheme.PrefixLen > 0) and an index implementing
+// index.PrefixScanner. Under RHIK, prefix-sharing keys collapse into one
+// directory bucket per directory generation, so the scan touches a
+// single record table plus one pair read per candidate; other indexes
+// (LSM runs, the multi-level cascade) enumerate at their own — much
+// higher — flash cost, which is exactly the asymmetry the cross-engine
+// shootout measures. Candidates whose keys do not actually share the
+// prefix (hash collisions) are filtered by comparing the stored key.
 func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]IterEntry, sim.Time, error) {
 	if d.closed {
 		return nil, d.env.now.Load(), ErrClosed
@@ -29,18 +32,15 @@ func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]I
 	if d.scheme.PrefixLen == 0 {
 		return nil, d.env.now.Load(), ErrNoIterator
 	}
-	rh, ok := d.idx.(*core.RHIK)
+	sc, ok := d.idx.(index.PrefixScanner)
 	if !ok {
 		return nil, d.env.now.Load(), ErrNoIterator
 	}
 	d.env.now.AdvanceTo(submitAt)
 	d.env.ChargeCPU(d.cfg.CmdCPU)
 
-	// All keys with this prefix share the signature's low 32 bits, so
-	// they land in directory bucket (prefixLow mod D).
-	low := uint64(d.scheme.PrefixLow(prefix))
-	bucket := low & uint64(rh.DirEntries()-1)
-	rps, err := rh.BucketRecords(bucket)
+	// All keys with this prefix share the signature's low 32 bits.
+	rps, err := sc.PrefixRecords(d.scheme.PrefixLow(prefix))
 	if err != nil {
 		return nil, d.env.now.Load(), err
 	}

@@ -70,7 +70,9 @@ func (d *Device) retrieve(submitAt sim.Time, key, dst []byte, sig index.Sig) ([]
 	metaBefore := d.env.metaReads.Load()
 
 	rp, ok, err := d.idx.Lookup(sig)
-	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
+	metaDelta := d.env.metaReads.Load() - metaBefore
+	d.metaPerOp.Record(metaDelta)
+	d.metaPerGet.Record(metaDelta)
 	if err != nil {
 		return dst, d.env.now.Load(), err
 	}

@@ -202,7 +202,7 @@ func TestZeroBudgetCache(t *testing.T) {
 // goroutines over a fixed-resident key set must be data-race-free and
 // must not lose hit counts.
 func TestConcurrentReadersAndStats(t *testing.T) {
-	c := New[int](1 << 20, nil)
+	c := New[int](1<<20, nil)
 	const keys = 64
 	for k := uint64(0); k < keys; k++ {
 		c.Put(k, int(k), 16)

@@ -17,7 +17,7 @@ func FuzzHopscotchTable(f *testing.F) {
 	f.Add([]byte{8, 2, 0, 1, 0, 2, 0, 3, 1, 1, 2, 1})       // puts then gets/deletes
 	f.Add([]byte{3, 1, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5}) // overfill a tiny table
 	f.Add([]byte{31, 8, 0, 9, 0, 9, 2, 9, 1, 9})            // update + delete same key
-	f.Add([]byte{60, 1})                                     // no ops, empty roundtrip
+	f.Add([]byte{60, 1})                                    // no ops, empty roundtrip
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return

@@ -85,6 +85,17 @@ type SharedReader interface {
 	SharedLookupReady(sig Sig) bool
 }
 
+// PrefixScanner is implemented by indexes that can enumerate candidate
+// record pointers for an iterator-mode key prefix (SigScheme.PrefixLen >
+// 0): every live record whose signature's low 32 bits equal low must be
+// included. Extra candidates are allowed — the device filters them by
+// comparing stored keys — but each superseded record version must be
+// excluded (newest wins). Enumeration order must be deterministic, since
+// flash reads it triggers are charged to the simulated timeline.
+type PrefixScanner interface {
+	PrefixRecords(low uint32) ([]uint64, error)
+}
+
 // Stats is the common observability surface for index implementations.
 type Stats struct {
 	Records    int64

@@ -110,6 +110,7 @@ var _ index.Index = (*Index)(nil)
 var _ index.SharedReader = (*Index)(nil)
 var _ index.Relocator = (*Index)(nil)
 var _ index.StatsProvider = (*Index)(nil)
+var _ index.PrefixScanner = (*Index)(nil)
 
 // New builds an LSM index over the environment.
 func New(cfg Config, env index.Env) (*Index, error) {
@@ -299,6 +300,55 @@ func (ix *Index) SharedLookupReady(sig index.Sig) bool {
 	return true
 }
 
+// PrefixRecords implements index.PrefixScanner, giving the LSM index
+// prefix-iteration parity with RHIK for the cross-engine shootout. Runs
+// are sorted by full signature — whose HIGH bits hash the key suffix —
+// so prefix-sharing keys (equal LOW 32 bits) are scattered across every
+// run and the scan must sweep the memtable plus each run page in order:
+// a flash read per uncached page, versus RHIK's single-bucket read. That
+// cost gap is real, not an artifact, and the shootout reports it.
+// Newest version wins; tombstoned records are excluded.
+func (ix *Index) PrefixRecords(low uint32) ([]uint64, error) {
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	add := func(sig, rp uint64) {
+		if uint32(sig) != low {
+			return
+		}
+		if _, dup := seen[sig]; dup {
+			return
+		}
+		seen[sig] = struct{}{}
+		if rp != tombstoneRP {
+			out = append(out, rp)
+		}
+	}
+	// Memtable first (newest), in sorted signature order: map iteration
+	// order would otherwise vary run-to-run and perturb nothing here (no
+	// IO), but deterministic enumeration is part of the contract.
+	sigs := make([]uint64, 0, len(ix.mem))
+	for s := range ix.mem {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	for _, s := range sigs {
+		add(s, ix.mem[s])
+	}
+	for _, r := range ix.runs { // newest first
+		for pi := range r.pages {
+			data, err := ix.loadRunPage(r, pi)
+			if err != nil {
+				return nil, err
+			}
+			ix.env.ChargeCPU(ix.cfg.CPUPerCompare * sim.Duration(r.counts[pi]))
+			for k := 0; k < r.counts[pi]; k++ {
+				add(binary.LittleEndian.Uint64(data[k*SlotSize:]), readRP(data[k*SlotSize+8:]))
+			}
+		}
+	}
+	return out, ix.checkIO()
+}
+
 // flushMemtable emits the memtable as a new sorted run, compacting when
 // the run count exceeds the bound.
 func (ix *Index) flushMemtable() error {
@@ -458,6 +508,9 @@ func (ix *Index) IndexStats() index.Stats {
 
 // Compactions reports how many full merges have run.
 func (ix *Index) Compactions() int64 { return ix.compactions }
+
+// Flushes reports how many memtable flushes have emitted a run.
+func (ix *Index) Flushes() int64 { return ix.flushes }
 
 func readRP(b []byte) uint64 {
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |

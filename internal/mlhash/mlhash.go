@@ -9,6 +9,7 @@
 package mlhash
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/dram"
@@ -105,6 +106,7 @@ var _ index.Index = (*Index)(nil)
 var _ index.SharedReader = (*Index)(nil)
 var _ index.Relocator = (*Index)(nil)
 var _ index.StatsProvider = (*Index)(nil)
+var _ index.PrefixScanner = (*Index)(nil)
 
 // New builds a multi-level index over the environment.
 func New(cfg Config, env index.Env) (*Index, error) {
@@ -325,6 +327,44 @@ func (ix *Index) Delete(sig index.Sig) (uint64, bool, error) {
 func (ix *Index) Exist(sig index.Sig) (bool, error) {
 	_, ok, err := ix.Lookup(sig)
 	return ok, err
+}
+
+// PrefixRecords implements index.PrefixScanner, giving the multi-level
+// baseline prefix-iteration parity with RHIK for the cross-engine
+// shootout. The cascade hashes full signatures into per-level page
+// arrays, so prefix-sharing keys (equal low 32 bits) land anywhere: the
+// scan must sweep every materialized page of every level — a flash read
+// per uncached persisted page — versus RHIK's single-bucket read. That
+// cost gap is the asymmetry the shootout reports. Pages that were never
+// persisted and are not cached hold no records and are skipped without
+// touching the cache (loading them would mutate it).
+func (ix *Index) PrefixRecords(low uint32) ([]uint64, error) {
+	var out []uint64
+	for l := range ix.dirs {
+		for pi := range ix.dirs[l] {
+			pg, cached := ix.cache.Peek(unitKey(l, uint64(pi)))
+			if !cached {
+				if !ix.dirs[l][pi].has {
+					continue
+				}
+				var err error
+				pg, err = ix.loadPage(l, uint64(pi))
+				if err != nil {
+					return nil, err
+				}
+			}
+			ix.env.ChargeCPU(ix.cfg.CPUPerOp)
+			for off := 0; off+SlotSize <= len(pg.buf); off += SlotSize {
+				if pg.ppaAt(off) == emptyPPA {
+					continue
+				}
+				if sig := binary.LittleEndian.Uint64(pg.buf[off:]); uint32(sig) == low {
+					out = append(out, pg.ppaAt(off))
+				}
+			}
+		}
+	}
+	return out, ix.checkIO()
 }
 
 // SharedLookupReady implements index.SharedReader. A lookup probes levels

@@ -36,6 +36,9 @@ type Stats struct {
 	StoreLat    metrics.Histogram
 	RetrieveLat metrics.Histogram
 	MetaPerOp   metrics.Histogram
+	// MetaPerGet is the flash-reads-per-retrieve distribution only —
+	// the per-GET cost RHIK bounds at one flash read.
+	MetaPerGet metrics.Histogram
 }
 
 // Stats visits each shard under its read lock and merges counters and
@@ -86,9 +89,22 @@ func (s *Set) Stats() Stats {
 		out.StoreLat.Merge(sh.dev.StoreLatency())
 		out.RetrieveLat.Merge(sh.dev.RetrieveLatency())
 		out.MetaPerOp.Merge(sh.dev.MetaReadsPerOp())
+		out.MetaPerGet.Merge(sh.dev.MetaReadsPerGet())
 		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// ResetOpStats clears every shard's per-op histograms and cache
+// counters, under each shard's write lock in turn. Experiments call it
+// between phases (preload vs. measured run) so percentiles and the
+// flash-reads-per-GET figure describe only the measured window.
+func (s *Set) ResetOpStats() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.dev.ResetOpStats()
+		sh.mu.Unlock()
+	}
 }
 
 // ResizeEvents concatenates each shard's re-configuration history in

@@ -14,6 +14,12 @@ const (
 	OpRetrieve
 	OpDelete
 	OpExist
+	// OpIterate is a short prefix scan (YCSB-E): iterate the keys
+	// sharing the first Op.ScanPrefix bytes of the request key.
+	OpIterate
+	// OpRMW is a read-modify-write (YCSB-F): retrieve the key, then
+	// store a new value of Op.ValueSize under it.
+	OpRMW
 )
 
 func (k OpKind) String() string {
@@ -26,6 +32,10 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpExist:
 		return "exist"
+	case OpIterate:
+		return "iterate"
+	case OpRMW:
+		return "rmw"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -37,6 +47,8 @@ type Op struct {
 	KeyID     uint64
 	KeySize   int
 	ValueSize int
+	// ScanPrefix is the key-prefix length an OpIterate scans over.
+	ScanPrefix int
 }
 
 // Key renders the request key bytes.

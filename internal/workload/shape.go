@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LoadShape modulates offered load over the course of a run: real
+// services see diurnal swings and flash crowds, not the constant rate a
+// closed loop offers. A shape maps run progress x ∈ [0,1) to a relative
+// rate in (0,1]; drivers divide their pacing interval by it, so rate 1
+// is the configured peak and smaller values throttle toward it.
+type LoadShape interface {
+	// RelRate reports the rate multiplier at progress x (clamped to
+	// [0,1]). Implementations return values in (0,1].
+	RelRate(x float64) float64
+	// Name labels the shape in reports.
+	Name() string
+}
+
+// Steady is the constant-rate shape (the default).
+type Steady struct{}
+
+// RelRate implements LoadShape.
+func (Steady) RelRate(float64) float64 { return 1 }
+
+// Name implements LoadShape.
+func (Steady) Name() string { return "steady" }
+
+// Diurnal ramps sinusoidally from Trough at the start of the run up to
+// the full rate mid-run and back — one day compressed into one run.
+type Diurnal struct {
+	// Trough is the off-peak rate fraction in (0,1] (default 0.2).
+	Trough float64
+}
+
+// RelRate implements LoadShape.
+func (d Diurnal) RelRate(x float64) float64 {
+	t := d.Trough
+	if t <= 0 || t > 1 {
+		t = 0.2
+	}
+	x = clamp01(x)
+	return t + (1-t)*0.5*(1-math.Cos(2*math.Pi*x))
+}
+
+// Name implements LoadShape.
+func (d Diurnal) Name() string { return "diurnal" }
+
+// FlashCrowd holds a Base rate, then spikes to the full rate for a burst
+// window centered at At — a hot item going viral.
+type FlashCrowd struct {
+	// Base is the pre/post-burst rate fraction in (0,1] (default 0.25).
+	Base float64
+	// At is the burst center as run progress (default 0.5).
+	At float64
+	// Width is the burst duration as a progress fraction (default 0.2).
+	Width float64
+}
+
+func (f FlashCrowd) params() (base, at, width float64) {
+	base, at, width = f.Base, f.At, f.Width
+	if base <= 0 || base > 1 {
+		base = 0.25
+	}
+	if at <= 0 || at >= 1 {
+		at = 0.5
+	}
+	if width <= 0 || width >= 1 {
+		width = 0.2
+	}
+	return base, at, width
+}
+
+// RelRate implements LoadShape.
+func (f FlashCrowd) RelRate(x float64) float64 {
+	base, at, width := f.params()
+	x = clamp01(x)
+	if math.Abs(x-at) <= width/2 {
+		return 1
+	}
+	return base
+}
+
+// Name implements LoadShape.
+func (f FlashCrowd) Name() string { return "flash-crowd" }
+
+// ParseShape resolves a shape by name: "steady", "diurnal", "flash"
+// (or "flash-crowd"), using each shape's defaults.
+func ParseShape(name string) (LoadShape, error) {
+	switch strings.ToLower(name) {
+	case "", "steady":
+		return Steady{}, nil
+	case "diurnal":
+		return Diurnal{}, nil
+	case "flash", "flash-crowd", "flashcrowd":
+		return FlashCrowd{}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown load shape %q", name)
+	}
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -168,6 +169,47 @@ func RocksDBProfile(name string, seed int64) (*Discrete, error) {
 	default:
 		return nil, fmt.Errorf("workload: unknown RocksDB profile %q", name)
 	}
+}
+
+// ZipfSizes samples value sizes from a Zipfian rank distribution over
+// [Min, Max]: most values near Min, a heavy tail of large ones — the
+// skewed value-size profile measured in production KV fleets, as opposed
+// to the uniform-within-bucket mixes above.
+type ZipfSizes struct {
+	Min, Max int
+	z        *Zipfian
+	mean     float64
+}
+
+// NewZipfSizes builds a skewed size distribution over [min, max] with
+// Zipfian skew theta.
+func NewZipfSizes(min, max int, theta float64, seed int64) *ZipfSizes {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	n := uint64(max - min + 1)
+	s := &ZipfSizes{Min: min, Max: max, z: NewZipfian(n, theta, seed)}
+	// Exact mean over the rank distribution (n is a size range, small
+	// enough for the O(n) sum).
+	zn := zeta(n, s.z.theta)
+	for i := uint64(0); i < n; i++ {
+		s.mean += float64(min+int(i)) / (zn * math.Pow(float64(i+1), s.z.theta))
+	}
+	return s
+}
+
+// Next implements SizeDist: rank 0 (most likely) maps to Min.
+func (s *ZipfSizes) Next() int { return s.Min + int(s.z.Rank()) }
+
+// Mean implements SizeDist.
+func (s *ZipfSizes) Mean() float64 { return s.mean }
+
+// Name implements SizeDist.
+func (s *ZipfSizes) Name() string {
+	return fmt.Sprintf("zipf(%d..%dB,%.2f)", s.Min, s.Max, s.z.theta)
 }
 
 // DominantBucket returns the bucket carrying the most probability mass.

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// This file implements the YCSB core workload suite (A–F) on top of the
+// package's key and size generators. The mixes follow the canonical
+// core-workload definitions (Cooper et al., SoCC'10):
+//
+//	A  update-heavy   50% read / 50% update            zipfian
+//	B  read-mostly    95% read /  5% update            zipfian
+//	C  read-only     100% read                         zipfian
+//	D  read-latest    95% read /  5% insert            latest
+//	E  short-scans    95% scan /  5% insert            zipfian
+//	F  read-mod-write 50% read / 50% read-modify-write zipfian
+//
+// Scans map onto the device's prefix iterator: the canonical hex-rendered
+// keys are hierarchical, so the first ScanPrefixLen bytes of a key name a
+// group of adjacent key IDs and Iterate(key[:ScanPrefixLen]) is a short
+// range scan over that group.
+
+// YCSBMix is the op-probability vector of one YCSB core workload.
+// Fields sum to 1 (normalized by NewYCSB otherwise).
+type YCSBMix struct {
+	Read   float64 // point read of an existing key
+	Update float64 // overwrite of an existing key
+	Insert float64 // write of a never-before-seen key
+	Scan   float64 // short prefix scan starting at an existing key
+	RMW    float64 // read-modify-write of an existing key
+}
+
+// YCSBSpec names one YCSB core workload.
+type YCSBSpec struct {
+	// Name is the workload label ("ycsb-a" … "ycsb-f").
+	Name string
+	// Mix is the op-probability vector.
+	Mix YCSBMix
+	// KeyDist selects key popularity: "zipfian", "latest", or "uniform".
+	KeyDist string
+	// Theta is the Zipfian/latest skew (YCSB default 0.99).
+	Theta float64
+}
+
+// YCSBWorkloads lists the six core workloads in suite order.
+func YCSBWorkloads() []YCSBSpec {
+	return []YCSBSpec{
+		{Name: "ycsb-a", Mix: YCSBMix{Read: 0.5, Update: 0.5}, KeyDist: "zipfian", Theta: 0.99},
+		{Name: "ycsb-b", Mix: YCSBMix{Read: 0.95, Update: 0.05}, KeyDist: "zipfian", Theta: 0.99},
+		{Name: "ycsb-c", Mix: YCSBMix{Read: 1}, KeyDist: "zipfian", Theta: 0.99},
+		{Name: "ycsb-d", Mix: YCSBMix{Read: 0.95, Insert: 0.05}, KeyDist: "latest", Theta: 0.99},
+		{Name: "ycsb-e", Mix: YCSBMix{Scan: 0.95, Insert: 0.05}, KeyDist: "zipfian", Theta: 0.99},
+		{Name: "ycsb-f", Mix: YCSBMix{Read: 0.5, RMW: 0.5}, KeyDist: "zipfian", Theta: 0.99},
+	}
+}
+
+// YCSBWorkload returns the spec with the given name ("ycsb-a" or "a").
+func YCSBWorkload(name string) (YCSBSpec, error) {
+	n := strings.ToLower(name)
+	if !strings.HasPrefix(n, "ycsb-") {
+		n = "ycsb-" + n
+	}
+	for _, s := range YCSBWorkloads() {
+		if s.Name == n {
+			return s, nil
+		}
+	}
+	return YCSBSpec{}, fmt.Errorf("workload: unknown YCSB workload %q", name)
+}
+
+// DefaultScanPrefixLen groups keys by their first 14 bytes: the canonical
+// 16-byte keys are hex-rendered, so a 14-byte prefix spans the 256
+// adjacent key IDs sharing all but the last two hex digits — a short
+// scan in YCSB-E's sense.
+const DefaultScanPrefixLen = 14
+
+// YCSB generates one core workload's request stream over a key space
+// preloaded with Records sequential keys [0, Records). Inserts extend the
+// space upward; reads, updates, scans, and RMWs address only keys already
+// written, so the stream never touches an unwritten key ID. The stream is
+// deterministic for a fixed (spec, records, sizes, seed) tuple.
+type YCSB struct {
+	Spec  YCSBSpec
+	Sizes SizeDist
+	// ScanPrefixLen is the key-prefix length scans iterate over
+	// (DefaultScanPrefixLen when zero at construction).
+	ScanPrefixLen int
+
+	rng      *rand.Rand
+	inserted uint64 // key IDs [0, inserted) have been written
+	zip      *Zipfian
+	latest   *Latest
+}
+
+// NewYCSB builds a generator for spec over records preloaded keys. The
+// mix is normalized; sizes supplies update/insert value sizes.
+func NewYCSB(spec YCSBSpec, records uint64, sizes SizeDist, seed int64) (*YCSB, error) {
+	if records == 0 {
+		return nil, fmt.Errorf("workload: YCSB needs a preloaded key space")
+	}
+	total := spec.Mix.Read + spec.Mix.Update + spec.Mix.Insert + spec.Mix.Scan + spec.Mix.RMW
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: YCSB mix for %q is empty", spec.Name)
+	}
+	spec.Mix.Read /= total
+	spec.Mix.Update /= total
+	spec.Mix.Insert /= total
+	spec.Mix.Scan /= total
+	spec.Mix.RMW /= total
+	g := &YCSB{
+		Spec:          spec,
+		Sizes:         sizes,
+		ScanPrefixLen: DefaultScanPrefixLen,
+		rng:           rand.New(rand.NewSource(seed)),
+		inserted:      records,
+	}
+	switch spec.KeyDist {
+	case "zipfian":
+		g.zip = NewZipfian(records, spec.Theta, seed+1)
+	case "latest":
+		g.latest = NewLatest(records, spec.Theta, seed+1)
+	case "uniform":
+		// handled inline from g.rng
+	default:
+		return nil, fmt.Errorf("workload: unknown YCSB key distribution %q", spec.KeyDist)
+	}
+	return g, nil
+}
+
+// Inserted reports how many key IDs have been written so far (preload
+// plus inserts): IDs [0, Inserted) are valid read targets.
+func (g *YCSB) Inserted() uint64 { return g.inserted }
+
+// pick selects an already-written key ID under the spec's distribution.
+func (g *YCSB) pick() uint64 {
+	switch {
+	case g.latest != nil:
+		g.latest.Extend(g.inserted)
+		return g.latest.NextID()
+	case g.zip != nil:
+		// Zipfian addresses the preloaded space; inserted keys are read
+		// through the latest distribution (workload D) instead.
+		return g.zip.NextID()
+	default:
+		return uint64(g.rng.Int63n(int64(g.inserted)))
+	}
+}
+
+// Next yields the next request. Insert ops return the new key's ID and
+// advance the written window.
+func (g *YCSB) Next() Op {
+	m := g.Spec.Mix
+	u := g.rng.Float64()
+	switch {
+	case u < m.Read:
+		return Op{Kind: OpRetrieve, KeyID: g.pick()}
+	case u < m.Read+m.Update:
+		return Op{Kind: OpStore, KeyID: g.pick(), ValueSize: g.Sizes.Next()}
+	case u < m.Read+m.Update+m.Insert:
+		id := g.inserted
+		g.inserted++
+		return Op{Kind: OpStore, KeyID: id, ValueSize: g.Sizes.Next()}
+	case u < m.Read+m.Update+m.Insert+m.Scan:
+		return Op{Kind: OpIterate, KeyID: g.pick(), ScanPrefix: g.ScanPrefixLen}
+	default:
+		return Op{Kind: OpRMW, KeyID: g.pick(), ValueSize: g.Sizes.Next()}
+	}
+}
+
+// Latest samples key IDs biased toward the most recently inserted keys:
+// YCSB's "latest" distribution. The rank r is Zipfian-distributed over
+// the current insert window [0, n) and the returned ID is n-1-r, so rank
+// 0 — the most popular — is always the newest written key and the
+// generator can never emit an ID outside [0, n).
+type Latest struct {
+	theta float64
+	rng   *rand.Rand
+
+	n            uint64
+	zetan, zeta2 float64
+	alpha, eta   float64
+}
+
+// NewLatest returns a latest-biased generator over an initial window of
+// n written keys with the given skew (0 < theta < 1; default 0.99).
+func NewLatest(n uint64, theta float64, seed int64) *Latest {
+	if n == 0 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	l := &Latest{theta: theta, rng: rand.New(rand.NewSource(seed))}
+	l.zeta2 = zeta(2, theta)
+	l.n = n
+	l.zetan = zetaExact(n, theta)
+	l.recompute()
+	return l
+}
+
+// zetaExact is the exact harmonic sum (no integral cutoff): Extend grows
+// it incrementally, which only works from an exact base.
+func zetaExact(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (l *Latest) recompute() {
+	l.alpha = 1 / (1 - l.theta)
+	l.eta = (1 - math.Pow(2/float64(l.n), 1-l.theta)) / (1 - l.zeta2/l.zetan)
+}
+
+// Extend grows the insert window to n written keys, incrementally
+// updating the harmonic sum — O(inserts since the last call), so a
+// workload with a few percent inserts amortizes to O(1) per op.
+func (l *Latest) Extend(n uint64) {
+	if n <= l.n {
+		return
+	}
+	for i := l.n + 1; i <= n; i++ {
+		l.zetan += 1 / math.Pow(float64(i), l.theta)
+	}
+	l.n = n
+	l.recompute()
+}
+
+// NextID implements KeyGen: an ID in [0, n), biased toward n-1.
+func (l *Latest) NextID() uint64 {
+	u := l.rng.Float64()
+	uz := u * l.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, l.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(l.n) * math.Pow(l.eta*u-l.eta+1, l.alpha))
+		if rank >= l.n {
+			rank = l.n - 1
+		}
+	}
+	return l.n - 1 - rank
+}
+
+// Window reports the current written-key window size.
+func (l *Latest) Window() uint64 { return l.n }
+
+// Name implements KeyGen.
+func (l *Latest) Name() string { return fmt.Sprintf("latest(%.2f)", l.theta) }

@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestZipfianRankFrequency differentially tests the quick-Zipfian
+// sampler against the closed-form rank-frequency law: the empirical
+// frequency of rank r must track 1/(r+1)^theta / zeta(n, theta).
+func TestZipfianRankFrequency(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		theta := theta
+		t.Run(fmt.Sprintf("theta=%.2f", theta), func(t *testing.T) {
+			const n, samples = 1000, 400_000
+			z := NewZipfian(n, theta, 7)
+			counts := make([]int, n)
+			for i := 0; i < samples; i++ {
+				counts[z.Rank()]++
+			}
+			zn := zeta(n, theta)
+			// The head carries the mass; check the first ranks tightly and
+			// a mid-tail rank loosely.
+			for _, r := range []uint64{0, 1, 2, 5, 10, 50} {
+				want := 1 / (math.Pow(float64(r+1), theta) * zn)
+				got := float64(counts[r]) / samples
+				tol := 0.15 * want
+				if r >= 2 {
+					// Gray's quick algorithm special-cases ranks 0-1 and
+					// its continuous approximation over-weights the first
+					// ranks after them; YCSB's sampler shares this bias.
+					tol = 0.25 * want
+				}
+				if want*samples < 500 {
+					tol = 0.5 * want // few expected samples: loosen
+				}
+				if math.Abs(got-want) > tol {
+					t.Errorf("rank %d: frequency %.5f, want %.5f ± %.5f", r, got, want, tol)
+				}
+			}
+			// Monotonicity of the head: rank 0 strictly most popular.
+			if counts[0] <= counts[5] {
+				t.Errorf("rank 0 count %d not above rank 5 count %d", counts[0], counts[5])
+			}
+		})
+	}
+}
+
+// TestLatestNeverUnwritten drives the latest-biased generator through a
+// growing insert window and checks it never emits an unwritten key ID,
+// while still strongly favoring the newest keys.
+func TestLatestNeverUnwritten(t *testing.T) {
+	l := NewLatest(100, 0.99, 11)
+	window := uint64(100)
+	recent := 0
+	const samples = 200_000
+	for i := 0; i < samples; i++ {
+		if i%100 == 99 { // grow the window as workload D's inserts would
+			window += 3
+			l.Extend(window)
+			if l.Window() != window {
+				t.Fatalf("Window() = %d, want %d", l.Window(), window)
+			}
+		}
+		id := l.NextID()
+		if id >= window {
+			t.Fatalf("sample %d: id %d outside written window [0,%d)", i, id, window)
+		}
+		if id >= window-10 {
+			recent++
+		}
+	}
+	// At theta 0.99 the newest 10 keys of a ~6100-key window should
+	// absorb a large share of the traffic (rank-frequency head).
+	if frac := float64(recent) / samples; frac < 0.3 {
+		t.Errorf("newest-10 share %.3f, want > 0.3 (latest bias missing)", frac)
+	}
+}
+
+// TestLatestExtendIncremental checks the incremental harmonic update
+// matches the exact recomputation it amortizes.
+func TestLatestExtendIncremental(t *testing.T) {
+	l := NewLatest(50, 0.8, 1)
+	for _, n := range []uint64{51, 60, 113, 500} {
+		l.Extend(n)
+		want := zetaExact(n, 0.8)
+		if math.Abs(l.zetan-want) > 1e-9 {
+			t.Fatalf("Extend(%d): zetan %.12f, want %.12f", n, l.zetan, want)
+		}
+	}
+	// Extending backward is a no-op.
+	before := l.zetan
+	l.Extend(10)
+	if l.zetan != before || l.Window() != 500 {
+		t.Fatalf("backward Extend mutated state")
+	}
+}
+
+// opStreamHash fingerprints a generated op stream, including every field
+// that reaches an engine.
+func opStreamHash(g *YCSB, ops int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for i := 0; i < ops; i++ {
+		op := g.Next()
+		put(uint64(op.Kind))
+		put(op.KeyID)
+		put(uint64(op.ValueSize))
+		put(uint64(op.ScanPrefix))
+	}
+	return h.Sum64()
+}
+
+// TestYCSBDeterminism: same (spec, records, sizes, seed) tuple, same
+// byte-for-byte op stream; different seed, different stream.
+func TestYCSBDeterminism(t *testing.T) {
+	for _, spec := range YCSBWorkloads() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mk := func(seed int64) *YCSB {
+				g, err := NewYCSB(spec, 5000, NewZipfSizes(64, 1024, 0.9, seed+99), seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			}
+			a, b := opStreamHash(mk(42), 20_000), opStreamHash(mk(42), 20_000)
+			if a != b {
+				t.Fatalf("same seed diverged: %x vs %x", a, b)
+			}
+			if c := opStreamHash(mk(43), 20_000); c == a {
+				t.Fatalf("different seed produced identical stream %x", a)
+			}
+		})
+	}
+}
+
+// TestYCSBMixAndTargets is the table-driven mix test: every core
+// workload's empirical op mix must match its spec, inserts must extend
+// the key window, and no op may target an unwritten key ID.
+func TestYCSBMixAndTargets(t *testing.T) {
+	const records, ops = 10_000, 100_000
+	for _, spec := range YCSBWorkloads() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g, err := NewYCSB(spec, records, Fixed{Size: 100}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[OpKind]int{}
+			written := uint64(records)
+			for i := 0; i < ops; i++ {
+				op := g.Next()
+				counts[op.Kind]++
+				isInsert := op.Kind == OpStore && op.KeyID == written
+				if isInsert {
+					written++
+					continue
+				}
+				if op.KeyID >= written {
+					t.Fatalf("op %d (%v) targets unwritten key %d (written %d)", i, op.Kind, op.KeyID, written)
+				}
+				switch op.Kind {
+				case OpStore, OpRMW:
+					if op.ValueSize != 100 {
+						t.Fatalf("op %d: value size %d, want 100", i, op.ValueSize)
+					}
+				case OpIterate:
+					if op.ScanPrefix != DefaultScanPrefixLen {
+						t.Fatalf("op %d: scan prefix %d, want %d", i, op.ScanPrefix, DefaultScanPrefixLen)
+					}
+				}
+			}
+			if written != g.Inserted() {
+				t.Fatalf("tracked %d written keys, generator says %d", written, g.Inserted())
+			}
+			inserts := int(written) - records
+			check := func(kind string, got int, want float64) {
+				frac := float64(got) / ops
+				if math.Abs(frac-want) > 0.01 {
+					t.Errorf("%s fraction %.4f, want %.2f ± 0.01", kind, frac, want)
+				}
+			}
+			check("read", counts[OpRetrieve], spec.Mix.Read)
+			check("update+insert", counts[OpStore], spec.Mix.Update+spec.Mix.Insert)
+			check("insert", inserts, spec.Mix.Insert)
+			check("scan", counts[OpIterate], spec.Mix.Scan)
+			check("rmw", counts[OpRMW], spec.Mix.RMW)
+		})
+	}
+}
+
+// TestYCSBWorkloadLookup covers name normalization and rejection.
+func TestYCSBWorkloadLookup(t *testing.T) {
+	for _, name := range []string{"a", "ycsb-a", "YCSB-A"} {
+		spec, err := YCSBWorkload(name)
+		if err != nil || spec.Name != "ycsb-a" {
+			t.Fatalf("YCSBWorkload(%q) = %v, %v", name, spec.Name, err)
+		}
+	}
+	if _, err := YCSBWorkload("g"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := NewYCSB(YCSBSpec{Name: "x", Mix: YCSBMix{Read: 1}, KeyDist: "bogus", Theta: 0.9}, 10, Fixed{Size: 1}, 1); err == nil {
+		t.Fatal("unknown key distribution accepted")
+	}
+	if _, err := NewYCSB(YCSBSpec{Name: "x", KeyDist: "uniform"}, 10, Fixed{Size: 1}, 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := NewYCSB(YCSBSpec{Name: "x", Mix: YCSBMix{Read: 1}, KeyDist: "uniform"}, 0, Fixed{Size: 1}, 1); err == nil {
+		t.Fatal("zero-record key space accepted")
+	}
+}
+
+// TestLoadShapes pins the shapes' boundary behavior.
+func TestLoadShapes(t *testing.T) {
+	cases := []struct {
+		shape LoadShape
+		x     float64
+		want  float64
+	}{
+		{Steady{}, 0, 1},
+		{Steady{}, 0.7, 1},
+		{Diurnal{}, 0, 0.2}, // trough at start
+		{Diurnal{}, 0.5, 1}, // peak mid-run
+		{Diurnal{}, 1, 0.2}, // trough at end
+		{Diurnal{Trough: 0.5}, 0, 0.5},
+		{FlashCrowd{}, 0, 0.25},   // base before burst
+		{FlashCrowd{}, 0.5, 1},    // burst center
+		{FlashCrowd{}, 0.55, 1},   // inside burst window
+		{FlashCrowd{}, 0.9, 0.25}, // base after burst
+	}
+	for _, c := range cases {
+		if got := c.shape.RelRate(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s.RelRate(%.2f) = %.3f, want %.3f", c.shape.Name(), c.x, got, c.want)
+		}
+	}
+	// Every shape stays in (0,1] across the whole run, including
+	// out-of-range inputs (clamped).
+	for _, s := range []LoadShape{Steady{}, Diurnal{}, FlashCrowd{}} {
+		for x := -0.5; x <= 1.5; x += 0.01 {
+			if r := s.RelRate(x); r <= 0 || r > 1 {
+				t.Fatalf("%s.RelRate(%.2f) = %.3f outside (0,1]", s.Name(), x, r)
+			}
+		}
+	}
+	for _, name := range []string{"steady", "", "diurnal", "flash", "flash-crowd"} {
+		if _, err := ParseShape(name); err != nil {
+			t.Errorf("ParseShape(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseShape("square-wave"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+// TestZipfSizes checks bounds, determinism, skew, and the analytic mean.
+func TestZipfSizes(t *testing.T) {
+	const min, max, theta = 64, 4096, 0.9
+	s := NewZipfSizes(min, max, theta, 5)
+	s2 := NewZipfSizes(min, max, theta, 5)
+	const samples = 200_000
+	var sum float64
+	small := 0
+	for i := 0; i < samples; i++ {
+		v := s.Next()
+		if v2 := s2.Next(); v2 != v {
+			t.Fatalf("sample %d: same seed diverged (%d vs %d)", i, v, v2)
+		}
+		if v < min || v > max {
+			t.Fatalf("sample %d: size %d outside [%d,%d]", i, v, min, max)
+		}
+		sum += float64(v)
+		if v < min+64 {
+			small++
+		}
+	}
+	mean := sum / samples
+	if math.Abs(mean-s.Mean())/s.Mean() > 0.05 {
+		t.Errorf("empirical mean %.1f vs analytic %.1f", mean, s.Mean())
+	}
+	// Skew: the smallest 64 sizes (1.6% of the range) must absorb far
+	// more than their uniform share of the samples.
+	if frac := float64(small) / samples; frac < 0.35 {
+		t.Errorf("small-value share %.3f, want > 0.35 (skew missing)", frac)
+	}
+	if mid := float64(min+max) / 2; mean > mid/2 {
+		t.Errorf("mean %.1f not well below midpoint %.1f", mean, mid)
+	}
+}

@@ -32,6 +32,11 @@ type Stats struct {
 	// Latency percentiles over simulated time.
 	StoreP50, StoreP99       time.Duration
 	RetrieveP50, RetrieveP99 time.Duration
+
+	// FlashReadsPerGet is the mean number of metadata flash reads a
+	// retrieve's index lookup performed — the figure RHIK bounds at one
+	// (zero when the lookup answered from DRAM).
+	FlashReadsPerGet float64
 }
 
 // ResizeEvent is one RHIK re-configuration, exposed for Fig. 7-style
@@ -75,7 +80,17 @@ func (db *DB) Stats() Stats {
 		StoreP99:    time.Duration(agg.StoreLat.Percentile(99)),
 		RetrieveP50: time.Duration(agg.RetrieveLat.Percentile(50)),
 		RetrieveP99: time.Duration(agg.RetrieveLat.Percentile(99)),
+
+		FlashReadsPerGet: agg.MetaPerGet.Mean(),
 	}
+}
+
+// ResetOpStats clears per-op latency histograms and cache counters on
+// every shard, so an experiment can separate a preload phase from the
+// measured run. Cumulative totals (command counts, flash activity,
+// resizes) are unaffected.
+func (db *DB) ResetOpStats() {
+	db.set.ResetOpStats()
 }
 
 // ResizeEvents returns RHIK's re-configuration history, concatenated in
