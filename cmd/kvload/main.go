@@ -12,11 +12,11 @@
 // Besides the classic read/write/mixed mixes, -mix accepts the YCSB core
 // workloads (ycsb-a … ycsb-f): each worker replays its own deterministic
 // generator stream over the -keys ID space (use -preload to populate it
-// first). The wire protocol has no scan op, so YCSB-E's short scans are
-// emulated as -scanlen sequential GETs over adjacent key IDs — the
-// client-side cost model differs from a device-side Iterate, which is
-// why the shootout harness (cmd/shootout), not kvload, is the tool for
-// cross-engine scan comparisons.
+// first). YCSB-E's short scans are real wire SCAN requests — one
+// round trip resolved by the server's device-side Iterate — so the
+// server must run with -prefixlen 14 (the YCSB key-group width); a
+// server without iterator-mode signatures rejects them with
+// BAD_REQUEST. -scanlen caps the keys returned per scan.
 //
 // -rate with -shape modulates offered load over the run (diurnal ramp,
 // flash-crowd burst): workers switch from closed-loop to paced issue, so
@@ -64,7 +64,7 @@ func main() {
 		readers     = flag.Int("readers", 0, "dedicated GET-only workers (with -writers, replaces -concurrency/-mix)")
 		writers     = flag.Int("writers", 0, "dedicated PUT-only workers (with -readers, replaces -concurrency/-mix)")
 		preload     = flag.Bool("preload", false, "store all -keys sequentially before the timed run (YCSB assumes a loaded table)")
-		scanLen     = flag.Int("scanlen", 16, "GETs per emulated YCSB-E scan (no scan op on the wire)")
+		scanLen     = flag.Int("scanlen", 16, "max keys per YCSB-E SCAN request (server needs -prefixlen 14)")
 		rate        = flag.Float64("rate", 0, "target offered load in ops/s (0 = closed loop); shaped by -shape")
 		shapeName   = flag.String("shape", "steady", "offered-load shape over the run: steady, diurnal, flash-crowd")
 	)
@@ -132,7 +132,7 @@ func main() {
 
 	type tally struct {
 		ops, requests, notFound, failed int64
-		gets, puts                      int64
+		gets, puts, scans               int64
 		lat, getLat, putLat             metrics.Histogram
 		err                             error
 	}
@@ -175,7 +175,7 @@ func main() {
 		}
 	}
 	// runYCSB replays one worker's deterministic YCSB stream, one op per
-	// request (scans become -scanlen sequential GETs: no wire scan op).
+	// request; YCSB-E scans are single SCAN round trips.
 	runYCSB := func(w int, tl *tally) {
 		gen, err := workload.NewYCSB(*ycsb, uint64(*keyspace), workload.Fixed{Size: *valueSize}, *seed+int64(w))
 		if err != nil {
@@ -232,16 +232,24 @@ func main() {
 			case workload.OpStore:
 				ok = put(op.KeyID)
 			case workload.OpIterate:
-				// Emulated short scan: ascending GETs from the scan start,
-				// clamped to the written window.
-				end := gen.Inserted()
-				for j := 0; j < *scanLen && ok; j++ {
-					id := op.KeyID + uint64(j)
-					if id >= end {
-						break
+				// Real short scan: one SCAN frame over the op's key group.
+				prefix := workload.KeyBytes(op.KeyID)[:op.ScanPrefix]
+				reqStart := time.Now()
+				entries, err := c.Scan(prefix, *scanLen)
+				lat := time.Since(reqStart).Nanoseconds()
+				if err != nil {
+					if errors.Is(err, kvwire.ErrBadRequest) {
+						err = fmt.Errorf("SCAN rejected (run kvserver with -prefixlen %d): %w", op.ScanPrefix, err)
 					}
-					ok = get(id)
+					tl.err = err
+					return
 				}
+				if len(entries) == 0 {
+					tl.notFound++
+				}
+				tl.scans++
+				tl.lat.Record(lat)
+				tl.requests++
 			case workload.OpRMW:
 				ok = get(op.KeyID) && put(op.KeyID)
 			}
@@ -356,6 +364,7 @@ func main() {
 		tot.failed += tl.failed
 		tot.gets += tl.gets
 		tot.puts += tl.puts
+		tot.scans += tl.scans
 		tot.lat.Merge(&tl.lat)
 		tot.getLat.Merge(&tl.getLat)
 		tot.putLat.Merge(&tl.putLat)
@@ -372,9 +381,13 @@ func main() {
 	if wall > 0 {
 		fmt.Printf("throughput: %.1f kops/s (%.1f req/s)\n",
 			float64(tot.ops)/wall.Seconds()/1e3, float64(tot.requests)/wall.Seconds())
-		fmt.Printf("split: %d gets (%.1f kops/s), %d puts (%.1f kops/s)\n",
+		fmt.Printf("split: %d gets (%.1f kops/s), %d puts (%.1f kops/s)",
 			tot.gets, float64(tot.gets)/wall.Seconds()/1e3,
 			tot.puts, float64(tot.puts)/wall.Seconds()/1e3)
+		if tot.scans > 0 {
+			fmt.Printf(", %d scans (%.1f kops/s)", tot.scans, float64(tot.scans)/wall.Seconds()/1e3)
+		}
+		fmt.Println()
 	}
 	us := func(h *metrics.Histogram, p float64) float64 { return float64(h.Percentile(p)) / 1e3 }
 	fmt.Printf("request latency: p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
@@ -396,6 +409,11 @@ func main() {
 		fmt.Printf("server: shards=%d stores=%d retrieves=%d records=%d resizes=%d storeP99=%v\n",
 			st.Shards, st.Stores, st.Retrieves, st.IndexRecords, st.Resizes,
 			time.Duration(st.StoreP99ns))
+		if st.WALGroups > 0 {
+			fmt.Printf("server wal: records=%d groups=%d fsyncs=%d groupP50=%d groupMax=%d (%.2f recs/fsync)\n",
+				st.WALRecords, st.WALGroups, st.WALFsyncs, st.WALGroupP50, st.WALGroupMax,
+				float64(st.WALRecords)/float64(max(st.WALFsyncs, 1)))
+		}
 	}
 	if tot.failed > 0 {
 		os.Exit(1)

@@ -8,6 +8,13 @@
 //
 //	kvserver -addr 127.0.0.1:7700 -shards 8 -capacity 1073741824 -index rhik
 //
+// -wal-dir attaches a per-shard write-ahead log: acknowledged writes
+// survive process kill and are replayed into the emulated device on the
+// next start (-wal-fsync picks the always/group/none durability
+// trade-off, -checkpoint bounds log growth by periodically advancing
+// the compaction horizon). -prefixlen enables iterator-mode signatures
+// and with them the wire SCAN op kvload's YCSB-E issues.
+//
 // On SIGTERM or SIGINT the server drains gracefully: it stops
 // accepting, finishes every admitted request, flushes responses,
 // checkpoints the device, and exits 0.
@@ -24,7 +31,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
+	"time"
 
 	rhik "repro"
 	"repro/internal/server"
@@ -42,6 +51,11 @@ func main() {
 		queue     = flag.Int("queue", 256, "per-shard worker queue depth before BUSY")
 		timeout   = flag.Duration("timeout", 0, "per-request queue deadline (0 = none)")
 		pprofAddr = flag.String("pprof", "", "HTTP listen address for net/http/pprof (empty = disabled)")
+		prefixLen = flag.Int("prefixlen", 0, "iterator-mode signature prefix bytes; enables SCAN (0 = disabled; YCSB-E needs 14)")
+		walDir    = flag.String("wal-dir", "", "write-ahead-log directory; enables durable writes (empty = no WAL)")
+		walFsync  = flag.String("wal-fsync", "group", "WAL fsync policy: always, group, or none")
+		walSeg    = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default 4 MiB)")
+		ckptEvery = flag.Duration("checkpoint", 0, "periodic checkpoint interval; advances the WAL compaction horizon (0 = only at shutdown)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -69,6 +83,12 @@ func main() {
 		CacheBudget:       *cache,
 		Shards:            *shards,
 		IncrementalResize: *incr,
+		IteratorPrefixLen: *prefixLen,
+		WAL: rhik.WALOptions{
+			Dir:         *walDir,
+			Fsync:       *walFsync,
+			SegmentSize: *walSeg,
+		},
 	}
 	switch *indexName {
 	case "rhik":
@@ -98,12 +118,57 @@ func main() {
 	}
 	log.Printf("listening on %s (shards=%d index=%s capacity=%d MiB)",
 		ln.Addr(), set.N(), *indexName, *capacity>>20)
+	if *walDir != "" {
+		ws := set.WALStats()
+		log.Printf("wal on %s (fsync=%s, %d records replayed)", *walDir, *walFsync, ws.Replayed)
+	}
+
+	// Periodic checkpoints bound WAL growth on a long-running server:
+	// each one makes accepted writes durable, advances every shard log's
+	// compaction horizon, and folds the segments beneath it. Without
+	// them the horizon only moves at shutdown, so a crashed server
+	// replays its whole write history.
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	var ckptOnce sync.Once
+	// Signals the loop AND waits for any in-flight checkpoint, so Close
+	// never races a horizon stamp on a closing log.
+	stopCheckpoints := func() {
+		ckptOnce.Do(func() { close(stopCkpt) })
+		<-ckptDone
+	}
+	if *ckptEvery <= 0 {
+		close(ckptDone)
+	} else {
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if err := set.Checkpoint(); err != nil {
+						log.Printf("periodic checkpoint: %v", err)
+						return
+					}
+					if *walDir != "" {
+						ws := set.WALStats()
+						log.Printf("checkpoint: wal horizon advanced (%d compactions, %d segments removed)",
+							ws.Compactions, ws.SegmentsRemoved)
+					}
+				}
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		s := <-sigc
 		log.Printf("%v: beginning graceful drain", s)
+		stopCheckpoints()
 		srv.Shutdown()
 	}()
 
@@ -112,6 +177,7 @@ func main() {
 	}
 	// Serve returns as soon as the listener closes; wait for the drain
 	// (idempotent — blocks until the signal handler's Shutdown is done).
+	stopCheckpoints()
 	srv.Shutdown()
 	log.Printf("shutdown complete")
 }

@@ -271,6 +271,23 @@ func (c *Client) Exist(key []byte) (bool, error) {
 	return cl.ok, nil
 }
 
+// Scan enumerates up to limit keys sharing prefix, sorted, with their
+// values. limit 0 asks for the server maximum. The server must run
+// iterator-mode signatures (-prefixlen); otherwise the scan fails with
+// kvwire.ErrBadRequest.
+func (c *Client) Scan(prefix []byte, limit int) ([]kvwire.ScanEntry, error) {
+	cl, err := c.do(kvwire.OpScan, func(id uint64, b []byte) []byte {
+		return kvwire.AppendScan(b, id, prefix, uint64(limit))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(cl); err != nil {
+		return nil, err
+	}
+	return cl.entries, nil
+}
+
 // Stats fetches the server's device counters.
 func (c *Client) Stats() (kvwire.Stats, error) {
 	cl, err := c.do(kvwire.OpStats, func(id uint64, b []byte) []byte {

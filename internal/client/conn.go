@@ -22,13 +22,14 @@ type call struct {
 	op    kvwire.Op
 	ready chan struct{}
 
-	status kvwire.Status
-	msg    string
-	value  []byte // Get result, copied out of the frame buffer
-	ok     bool   // Exist result
-	items  []kvwire.BatchItem
-	stats  kvwire.Stats
-	err    error // transport-level failure
+	status  kvwire.Status
+	msg     string
+	value   []byte // Get result, copied out of the frame buffer
+	ok      bool   // Exist result
+	items   []kvwire.BatchItem
+	entries []kvwire.ScanEntry
+	stats   kvwire.Stats
+	err     error // transport-level failure
 }
 
 // conn is one pooled connection: callers enqueue frames, the writer
@@ -201,6 +202,16 @@ func (cl *call) decode(p []byte) error {
 			items[i].Value = append([]byte(nil), items[i].Value...)
 		}
 		cl.items = items
+	case kvwire.OpScan:
+		entries, err := kvwire.ParseScanPayload(p, nil)
+		if err != nil {
+			return err
+		}
+		for i := range entries {
+			entries[i].Key = append([]byte(nil), entries[i].Key...)
+			entries[i].Value = append([]byte(nil), entries[i].Value...)
+		}
+		cl.entries = entries
 	case kvwire.OpStats:
 		st, err := kvwire.ParseStatsPayload(p)
 		if err != nil {

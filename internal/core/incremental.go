@@ -36,6 +36,14 @@ func (r *RHIK) Migrating() bool { return r.mig != nil }
 // migration. It performs no bucket work itself, so the submission queue
 // halt is a few directory allocations long.
 func (r *RHIK) startIncrementalResize() error {
+	// A forced re-configuration (collision-driven, not occupancy-driven)
+	// can arrive while a migration is in flight; finish it first so
+	// oldDirs is always a complete generation.
+	if r.mig != nil {
+		if err := r.drainMigration(); err != nil {
+			return err
+		}
+	}
 	oldD := len(r.dirs)
 	mig := &migration{
 		oldDirs:   r.dirs,

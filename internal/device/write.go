@@ -276,12 +276,17 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 	}
 
 	if _, _, err := d.idx.Insert(sig, uint64(rp)); err != nil {
-		// The freshly written pair is unreachable: mark it dead.
-		d.invalidateRP(rp, live)
 		if errors.Is(err, index.ErrCollision) {
-			d.stats.collisionAborts.Add(1)
+			err = d.insertReconfiguring(sig, uint64(rp))
 		}
-		return d.env.now.Load(), err
+		if err != nil {
+			// The freshly written pair is unreachable: mark it dead.
+			d.invalidateRP(rp, live)
+			if errors.Is(err, index.ErrCollision) {
+				d.stats.collisionAborts.Add(1)
+			}
+			return d.env.now.Load(), err
+		}
 	}
 	if existed {
 		d.invalidateRP(layout.RP(oldRP), oldSize)
@@ -341,6 +346,59 @@ func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
 		return d.env.now.Load(), err
 	}
 	return d.env.now.Load().Add(d.cfg.AckOverhead), nil
+}
+
+// insertReconfiguring retries an index insert that aborted with a
+// record-layer displacement failure. True same-signature duplicates are
+// caught before this point by the lookup-and-compare path, so a
+// collision abort here means the key's bucket ran out of hopscotch
+// neighborhood.
+//
+// The rescue applies ONLY in iterator mode, where prefix-sharing keys
+// land on the same bucket in whole-group clumps and a single bucket
+// overflows well below the global occupancy trigger; re-configuring
+// (doubling the directory) re-spreads the groups. With plain signatures
+// bucket loads are smooth, a displacement failure is the paper's
+// saturation behaviour near the occupancy threshold, and the abort
+// rate is itself the measurement (Fig. 8) — those keep the collision
+// abort semantics.
+//
+// The sparsity guard is what keeps a truly pathological key set — a
+// single prefix group larger than one record table — from running away.
+// Bucket selection uses only prefix-hash bits, so no split ever
+// separates keys of one group; without the guard every failed insert
+// would buy another round of futile doublings and the directory would
+// grow without bound. Once occupancy falls below 1/minSplitFill the
+// index has already been doubled several times past its load, so the
+// overflow must be such a group: report it uncorrectable instead.
+func (d *Device) insertReconfiguring(sig index.Sig, rp uint64) error {
+	rz, ok := d.idx.(index.Resizer)
+	if !ok || d.cfg.DisableAutoResize || d.scheme.PrefixLen == 0 {
+		return index.ErrCollision
+	}
+	const (
+		maxSplits    = 4
+		minSplitFill = 32
+	)
+	for i := 0; i < maxSplits; i++ {
+		if cp, ok := d.idx.(interface{ Capacity() int64 }); ok &&
+			d.idx.Len()*minSplitFill < cp.Capacity() {
+			break
+		}
+		haltStart := d.env.now.Load()
+		if err := rz.Resize(); err != nil {
+			return err
+		}
+		d.stats.resizeHalt.Add(int64(d.env.now.Load().Sub(haltStart)))
+		_, _, err := d.idx.Insert(sig, rp)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, index.ErrCollision) {
+			return err
+		}
+	}
+	return index.ErrCollision
 }
 
 // afterMutation runs post-command maintenance: RHIK re-configuration

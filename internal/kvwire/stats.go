@@ -28,6 +28,15 @@ type Stats struct {
 	StoreP99ns    uint64
 	RetrieveP50ns uint64
 	RetrieveP99ns uint64
+	// Write-ahead-log counters; all zero when the server runs without a
+	// WAL. WALGroupP50/Max describe the records-per-group-commit
+	// distribution (how much locking and fsync each append amortized).
+	WALRecords  uint64
+	WALBytes    uint64
+	WALGroups   uint64
+	WALFsyncs   uint64
+	WALGroupP50 uint64
+	WALGroupMax uint64
 }
 
 // fields returns the wire order; append new fields at the end only.
@@ -39,6 +48,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.FlashReads, &s.FlashPrograms, &s.FlashErases,
 		&s.GCRuns, &s.Checkpoints,
 		&s.StoreP50ns, &s.StoreP99ns, &s.RetrieveP50ns, &s.RetrieveP99ns,
+		&s.WALRecords, &s.WALBytes, &s.WALGroups, &s.WALFsyncs,
+		&s.WALGroupP50, &s.WALGroupMax,
 	}
 }
 

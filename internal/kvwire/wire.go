@@ -18,10 +18,12 @@
 //	GET/DEL/EXIST:      keyLen key
 //	BATCH:              n, then n × (op u8, keyLen key [valueLen value])
 //	STATS:              empty
+//	SCAN:               prefixLen prefix limit
 //
 //	OK response:        empty (PUT/DEL), value (GET), u8 (EXIST),
 //	                    n × (status u8, valueLen value) (BATCH),
-//	                    fieldCount + uvarint fields (STATS)
+//	                    fieldCount + uvarint fields (STATS),
+//	                    n × (keyLen key valueLen value) (SCAN)
 //	error response:     msgLen msg (optional human-readable detail)
 //
 // The codec is allocation-free on the hot path: Append* functions grow
@@ -63,6 +65,9 @@ const (
 	MaxFrameLen = 16 << 20
 	// MaxBatchOps bounds the sub-ops in one BATCH frame.
 	MaxBatchOps = 1 << 16
+	// MaxScanResults bounds the entries in one SCAN response; requests
+	// asking for more are clamped, not rejected.
+	MaxScanResults = 1 << 16
 )
 
 // Op identifies a request opcode.
@@ -76,6 +81,7 @@ const (
 	OpExist
 	OpBatch
 	OpStats
+	OpScan
 )
 
 // String returns the opcode mnemonic.
@@ -93,6 +99,8 @@ func (o Op) String() string {
 		return "BATCH"
 	case OpStats:
 		return "STATS"
+	case OpScan:
+		return "SCAN"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -278,6 +286,17 @@ func AppendStats(dst []byte, id uint64) []byte {
 	return endFrame(dst, mark)
 }
 
+// AppendScan appends a complete SCAN request frame: enumerate up to
+// limit keys sharing prefix, sorted. limit 0 means the server maximum.
+func AppendScan(dst []byte, id uint64, prefix []byte, limit uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpScan))
+	dst = binary.AppendUvarint(dst, id)
+	dst = appendBlob(dst, prefix)
+	dst = binary.AppendUvarint(dst, limit)
+	return endFrame(dst, mark)
+}
+
 // BatchOp is one sub-operation of a BATCH frame. Op must be OpPut,
 // OpGet, or OpDel — mirroring the library Batch, membership checks are
 // not batched (use OpGet).
@@ -343,6 +362,26 @@ func AppendBoolResponse(dst []byte, id uint64, ok bool) []byte {
 	return endFrame(dst, mark)
 }
 
+// ScanEntry is one key-value pair of a SCAN response. When parsed, Key
+// and Value alias the frame buffer.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// AppendScanResponse appends a SCAN success carrying the entries.
+func AppendScanResponse(dst []byte, id uint64, entries []ScanEntry) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = appendBlob(dst, e.Key)
+		dst = appendBlob(dst, e.Value)
+	}
+	return endFrame(dst, mark)
+}
+
 // BatchItem is one sub-result of a BATCH response.
 type BatchItem struct {
 	Status Status
@@ -399,6 +438,7 @@ type Request struct {
 	ID    uint64
 	Key   []byte
 	Value []byte
+	Limit uint64    // scan result cap; 0 = server maximum
 	Ops   []BatchOp // batch sub-ops; backing array is reused across Parse calls
 }
 
@@ -417,7 +457,7 @@ func (r *Request) Parse(body []byte) error {
 	}
 	r.ID = id
 	body = body[n:]
-	r.Key, r.Value, r.Ops = nil, nil, r.Ops[:0]
+	r.Key, r.Value, r.Limit, r.Ops = nil, nil, 0, r.Ops[:0]
 
 	switch r.Op {
 	case OpPut:
@@ -468,6 +508,15 @@ func (r *Request) Parse(body []byte) error {
 		}
 	case OpStats:
 		// no payload
+	case OpScan:
+		if r.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
+			return err
+		}
+		body = body[n:]
+		if r.Limit, n, err = uvarint(body); err != nil {
+			return err
+		}
+		body = body[n:]
 	default:
 		return ErrUnknownOp
 	}
@@ -530,6 +579,35 @@ func ParseErrorPayload(p []byte) string {
 		return ""
 	}
 	return string(msg)
+}
+
+// ParseScanPayload decodes a SCAN success payload, appending entries to
+// dst (pass dst[:0] to reuse). Entry keys and values alias p.
+func ParseScanPayload(p []byte, dst []ScanEntry) ([]ScanEntry, error) {
+	count, n, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if count > MaxScanResults {
+		return dst, ErrFrameTooLarge
+	}
+	p = p[n:]
+	for i := uint64(0); i < count; i++ {
+		var e ScanEntry
+		if e.Key, n, err = parseBlob(p, MaxKeyLen); err != nil {
+			return dst, err
+		}
+		p = p[n:]
+		if e.Value, n, err = parseBlob(p, MaxValueLen); err != nil {
+			return dst, err
+		}
+		p = p[n:]
+		dst = append(dst, e)
+	}
+	if len(p) != 0 {
+		return dst, ErrTruncated
+	}
+	return dst, nil
 }
 
 // ParseBatchPayload decodes a BATCH success payload, appending items to

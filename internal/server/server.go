@@ -243,6 +243,7 @@ type task struct {
 	ops      []kvwire.BatchOp
 	buf      []byte
 	vbuf     []byte // reused value scratch for GET replies
+	limit    uint64 // scan result cap
 	enqueued time.Time
 }
 
@@ -296,6 +297,8 @@ func (s *Server) execute(t *task) {
 		t.c.reply(func(b []byte) []byte { return kvwire.AppendBoolResponse(b, t.id, ok) })
 	case kvwire.OpBatch:
 		s.executeBatch(t)
+	case kvwire.OpScan:
+		s.executeScan(t)
 	case kvwire.OpStats:
 		st := s.collectStats()
 		t.c.reply(func(b []byte) []byte { return kvwire.AppendStatsResponse(b, t.id, &st) })
@@ -335,6 +338,37 @@ func (s *Server) executeBatch(t *task) {
 	t.c.reply(func(b []byte) []byte { return kvwire.AppendBatchResponse(b, t.id, items) })
 }
 
+// executeScan fans a prefix iteration out to every shard (Set.Iterate
+// merges the sorted per-shard streams) and returns up to t.limit
+// entries. Requires the server's set to run iterator-mode signatures
+// (-prefixlen); otherwise the scan is a BAD_REQUEST, not an internal
+// error.
+func (s *Server) executeScan(t *task) {
+	entries, err := s.set.Iterate(t.key)
+	if err != nil {
+		if errors.Is(err, device.ErrNoIterator) {
+			t.c.reply(func(b []byte) []byte {
+				return kvwire.AppendError(b, t.id, kvwire.StatusBadRequest, err.Error())
+			})
+			return
+		}
+		s.replyStatus(t, err)
+		return
+	}
+	limit := t.limit
+	if limit == 0 || limit > kvwire.MaxScanResults {
+		limit = kvwire.MaxScanResults
+	}
+	if uint64(len(entries)) > limit {
+		entries = entries[:limit]
+	}
+	out := make([]kvwire.ScanEntry, len(entries))
+	for i, e := range entries {
+		out[i] = kvwire.ScanEntry{Key: e.Key, Value: e.Value}
+	}
+	t.c.reply(func(b []byte) []byte { return kvwire.AppendScanResponse(b, t.id, out) })
+}
+
 func (s *Server) collectStats() kvwire.Stats {
 	agg := s.set.Stats()
 	return kvwire.Stats{
@@ -357,6 +391,12 @@ func (s *Server) collectStats() kvwire.Stats {
 		StoreP99ns:      uint64(agg.StoreLat.Percentile(99)),
 		RetrieveP50ns:   uint64(agg.RetrieveLat.Percentile(50)),
 		RetrieveP99ns:   uint64(agg.RetrieveLat.Percentile(99)),
+		WALRecords:      uint64(agg.WAL.Records),
+		WALBytes:        uint64(agg.WAL.Bytes),
+		WALGroups:       uint64(agg.WAL.Groups),
+		WALFsyncs:       uint64(agg.WAL.Fsyncs),
+		WALGroupP50:     uint64(agg.WAL.GroupSize.Percentile(50)),
+		WALGroupMax:     uint64(agg.WAL.GroupSize.Max()),
 	}
 }
 
@@ -393,6 +433,7 @@ func (s *Server) admit(c *conn, req *kvwire.Request) {
 	t.c = c
 	t.op = req.Op
 	t.id = req.ID
+	t.limit = req.Limit
 	t.enqueued = time.Now()
 	t.copyPayload(req)
 

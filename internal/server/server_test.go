@@ -193,6 +193,75 @@ func TestLoopbackMixedOps(t *testing.T) {
 	}
 }
 
+// TestScanRoundTrip serves an iterator-mode set and checks SCAN end to
+// end: prefix filtering, sort order, limit clamping, and the
+// BAD_REQUEST mapping when the server lacks iterator signatures.
+func TestScanRoundTrip(t *testing.T) {
+	set, err := rhik.OpenSet(rhik.Options{Capacity: 256 << 20, Shards: 4, IteratorPrefixLen: 6})
+	if err != nil {
+		t.Fatalf("OpenSet: %v", err)
+	}
+	logs := &logBuf{}
+	srv := server.New(set, server.Options{Logf: logs.logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Shutdown() })
+
+	c, err := client.Dial(client.Options{Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("scanme%04d", i))
+		if err := c.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	if err := c.Put([]byte("other-key"), []byte("x")); err != nil {
+		t.Fatalf("put other: %v", err)
+	}
+
+	entries, err := c.Scan([]byte("scanme"), 0)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(entries) != 20 {
+		t.Fatalf("scan returned %d entries, want 20", len(entries))
+	}
+	for i, e := range entries {
+		wantK := fmt.Sprintf("scanme%04d", i)
+		wantV := fmt.Sprintf("val-%d", i)
+		if string(e.Key) != wantK || string(e.Value) != wantV {
+			t.Fatalf("entry %d: %q=%q, want %q=%q", i, e.Key, e.Value, wantK, wantV)
+		}
+	}
+
+	limited, err := c.Scan([]byte("scanme"), 7)
+	if err != nil {
+		t.Fatalf("limited scan: %v", err)
+	}
+	if len(limited) != 7 || string(limited[6].Key) != "scanme0006" {
+		t.Fatalf("limited scan: got %d entries", len(limited))
+	}
+
+	// A server without iterator-mode signatures must reject SCAN with
+	// BAD_REQUEST, not hang or drop the connection.
+	_, addr2, _, _ := startServer(t, 1, server.Options{})
+	c2, err := client.Dial(client.Options{Addr: addr2})
+	if err != nil {
+		t.Fatalf("dial non-iterator: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Scan([]byte("scanme"), 0); !errors.Is(err, kvwire.ErrBadRequest) {
+		t.Fatalf("scan on non-iterator server: %v, want ErrBadRequest", err)
+	}
+}
+
 // TestValueSizesAndEdgeCases exercises empty values, large values, and
 // device-level errors crossing the wire.
 func TestValueSizesAndEdgeCases(t *testing.T) {

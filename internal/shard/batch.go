@@ -83,6 +83,12 @@ func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
 					lastDone = done
 				}
 			}
+			if sh.log != nil {
+				// Journal the sub-batch's successful mutations. Runs under
+				// the held shard lock so sequence order matches apply order;
+				// the append completes before the batch is acknowledged.
+				sh.logBatch(s, ops, idxs, res.Errs)
+			}
 			end := sh.dev.Drain()
 			if lastDone > end {
 				end = lastDone

@@ -34,6 +34,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/index"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // Shard is one emulated device plus the host-side submission state for
@@ -45,6 +46,13 @@ type Shard struct {
 	mu   sync.RWMutex
 	dev  *device.Device
 	last sim.AtomicTime // completion of the previous synchronous command
+
+	// log and commitCh are non-nil once AttachWAL has run: mutations are
+	// then journaled to the per-shard commit log, and the synchronous
+	// Store/Delete paths hand off to the group committer instead of
+	// taking the shard lock themselves.
+	log      *wal.Log
+	commitCh chan *walReq
 
 	sharedReads  atomic.Int64 // reads served under the read lock
 	lockUpgrades atomic.Int64 // reads that had to retry exclusively
@@ -61,6 +69,9 @@ type Set struct {
 	shift  uint // 64 - log2(len(shards)); Lo >> shift selects the shard
 
 	forceExclusive atomic.Bool // route reads through the write lock
+
+	walWG      sync.WaitGroup // committer goroutines
+	walStopped atomic.Bool    // committers shut down (Close)
 }
 
 // New opens n fresh shards, each configured with cfg. n must be a power
@@ -116,8 +127,14 @@ func (s *Set) shardOf(key []byte) *Shard {
 
 // Store routes a synchronous put to the owning shard. The call observes
 // the command's full simulated round trip on that shard's timeline.
+// With a WAL attached the put joins the shard's group commit and is
+// acknowledged only after its log record is written (and, under
+// fsync=always, synced).
 func (s *Set) Store(key, value []byte) error {
 	sh := s.shardOf(key)
+	if sh.commitCh != nil {
+		return sh.commit(wal.OpPut, key, value)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	done, err := sh.dev.Store(sh.last.Load(), key, value)
@@ -173,9 +190,13 @@ func (s *Set) RetrieveAppend(dst, key []byte) ([]byte, error) {
 	return v, nil
 }
 
-// Delete routes a synchronous delete to the owning shard.
+// Delete routes a synchronous delete to the owning shard, through the
+// group committer when a WAL is attached.
 func (s *Set) Delete(key []byte) error {
 	sh := s.shardOf(key)
+	if sh.commitCh != nil {
+		return sh.commit(wal.OpDelete, key, nil)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	done, err := sh.dev.Delete(sh.last.Load(), key)
@@ -218,14 +239,28 @@ func (s *Set) Exist(key []byte) (bool, error) {
 // Checkpoint makes accepted writes durable on every shard. Per-shard
 // failures are annotated with the shard index and joined, so callers
 // can unwrap which shard failed (errors.Is still matches the cause).
+//
+// With a WAL attached, each shard's checkpoint also stamps the log's
+// compaction horizon with the highest sequence number the checkpoint
+// covered — captured under the shard lock, so it is exactly the set of
+// applied mutations — and then runs a compaction pass folding the
+// segments beneath it.
 func (s *Set) Checkpoint() error {
 	var errs []error
+	horizons := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		if err := sh.dev.Checkpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		} else if sh.log != nil {
+			horizons[i] = sh.log.LastSeq()
 		}
 		sh.mu.Unlock()
+	}
+	if s.WALAttached() {
+		if err := s.checkpointWAL(horizons); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -249,13 +284,29 @@ func (s *Set) Restart() error {
 
 // Close checkpoints and shuts down every shard. Per-shard failures are
 // annotated with the shard index and joined; a partial failure still
-// closes the remaining shards.
+// closes the remaining shards. With a WAL attached, the group
+// committers drain and stop before the devices close, then a final
+// checkpoint stamps each log's compaction horizon and folds the
+// segments beneath it — a graceful shutdown leaves a compacted log, so
+// the next start replays only what a fresh device needs — and each log
+// is synced and closed; no mutations may be submitted after Close.
 func (s *Set) Close() error {
+	s.stopCommitters()
 	var errs []error
+	if s.WALAttached() {
+		if err := s.Checkpoint(); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		if err := sh.dev.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+		if sh.log != nil {
+			if err := sh.log.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			}
 		}
 		sh.mu.Unlock()
 	}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/wal"
 )
 
 // Stats is the aggregated observability snapshot of a shard set.
@@ -39,6 +40,11 @@ type Stats struct {
 	// MetaPerGet is the flash-reads-per-retrieve distribution only —
 	// the per-GET cost RHIK bounds at one flash read.
 	MetaPerGet metrics.Histogram
+
+	// WAL merges the per-shard commit-log counters; WALAttached is false
+	// (and WAL zero) when the set runs without a durable write front.
+	WALAttached bool
+	WAL         wal.Stats
 }
 
 // Stats visits each shard under its read lock and merges counters and
@@ -90,6 +96,11 @@ func (s *Set) Stats() Stats {
 		out.RetrieveLat.Merge(sh.dev.RetrieveLatency())
 		out.MetaPerOp.Merge(sh.dev.MetaReadsPerOp())
 		out.MetaPerGet.Merge(sh.dev.MetaReadsPerGet())
+		if sh.log != nil {
+			out.WALAttached = true
+			ws := sh.log.Stats()
+			out.WAL.Merge(&ws)
+		}
 		sh.mu.RUnlock()
 	}
 	return out

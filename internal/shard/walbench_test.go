@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// newWALBenchSet builds a single-shard set — one shard concentrates all
+// writers on one exclusive lock, the scenario group commit exists for —
+// optionally fronted by a WAL with the given fsync policy.
+func newWALBenchSet(b *testing.B, policy wal.FsyncPolicy, attach bool) *Set {
+	b.Helper()
+	set, err := New(1, device.Config{Capacity: 512 << 20, AnticipatedKeys: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if attach {
+		if _, err := set.AttachWAL(b.TempDir(), wal.Options{Fsync: policy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { set.Close() })
+	return set
+}
+
+// runConcurrentPuts fans b.N puts over g writer goroutines, each
+// overwriting its own slice of a fixed key space.
+func runConcurrentPuts(b *testing.B, set *Set, g int) {
+	const keysPerWriter = 1 << 10
+	val := workload.ValuePayload(7, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / g
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * keysPerWriter
+			for i := 0; i < per; i++ {
+				key := workload.KeyBytes(base + uint64(i)%keysPerWriter)
+				if err := set.Store(key, val); err != nil {
+					b.Errorf("store: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Remainder ops on the benchmark goroutine keep b.N exact.
+	for i := 0; i < b.N-per*g; i++ {
+		if err := set.Store(workload.KeyBytes(uint64(i)%keysPerWriter), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// BenchmarkWALPut measures PUT throughput against one shard at 1/8/64
+// concurrent writers, in three durability modes:
+//
+//   - nowal: the direct path — each put takes the shard lock itself.
+//     The baseline the WAL's overhead is measured against.
+//   - group: the durable write front with group fsync. Concurrent puts
+//     coalesce into one lock acquisition, one device-apply run, and one
+//     log append per burst; fsyncs amortize over whole bursts. The gap
+//     versus nowal is the price of durability; the scaling from 1 to 64
+//     writers is what group commit buys.
+//   - always: every group is fsynced before acknowledgment. At 1 writer
+//     this serializes on storage flush latency; at 64 writers the
+//     committer amortizes each fsync over the whole burst.
+func BenchmarkWALPut(b *testing.B) {
+	for _, writers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("nowal/writers=%d", writers), func(b *testing.B) {
+			set := newWALBenchSet(b, wal.FsyncGroup, false)
+			runConcurrentPuts(b, set, writers)
+		})
+		b.Run(fmt.Sprintf("group/writers=%d", writers), func(b *testing.B) {
+			set := newWALBenchSet(b, wal.FsyncGroup, true)
+			runConcurrentPuts(b, set, writers)
+		})
+		b.Run(fmt.Sprintf("always/writers=%d", writers), func(b *testing.B) {
+			set := newWALBenchSet(b, wal.FsyncAlways, true)
+			runConcurrentPuts(b, set, writers)
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+func newWALSet(t *testing.T, n int, root string, opts wal.Options) *Set {
+	t.Helper()
+	set, err := New(n, device.Config{Capacity: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.AttachWAL(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestWALRecoverAcrossReopen is the core durability property: every
+// acknowledged mutation survives Close and replays into a fresh set of
+// empty devices.
+func TestWALRecoverAcrossReopen(t *testing.T) {
+	root := t.TempDir()
+	want := map[string]string{}
+
+	set := newWALSet(t, 4, root, wal.Options{})
+	for i := 0; i < 300; i++ {
+		k, v := fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%d", i)
+		if err := set.Store([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("store %s: %v", k, err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 300; i += 3 {
+		k := fmt.Sprintf("key-%04d", i)
+		if err := set.Delete([]byte(k)); err != nil {
+			t.Fatalf("delete %s: %v", k, err)
+		}
+		delete(want, k)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh devices: everything they held died with Close. Replay must
+	// reconstruct want exactly.
+	set2 := newWALSet(t, 4, root, wal.Options{})
+	defer set2.Close()
+	for k, v := range want {
+		got, err := set2.Retrieve([]byte(k))
+		if err != nil {
+			t.Fatalf("retrieve %s after recovery: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("key %s = %q want %q", k, got, v)
+		}
+	}
+	for i := 0; i < 300; i += 3 {
+		k := fmt.Sprintf("key-%04d", i)
+		if ok, _ := set2.Exist([]byte(k)); ok {
+			t.Fatalf("deleted key %s resurrected by replay", k)
+		}
+	}
+}
+
+// TestWALGroupCommitConcurrentWriters drives many goroutines through
+// the committer and checks both correctness and that grouping actually
+// happened (fewer appends than records).
+func TestWALGroupCommitConcurrentWriters(t *testing.T) {
+	root := t.TempDir()
+	set := newWALSet(t, 2, root, wal.Options{Fsync: wal.FsyncGroup})
+	const writers, perWriter = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%02d-%04d", w, i)
+				if err := set.Store([]byte(k), []byte(k)); err != nil {
+					t.Errorf("store %s: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := set.WALStats()
+	if st.Records != writers*perWriter {
+		t.Fatalf("logged %d records want %d", st.Records, writers*perWriter)
+	}
+	if st.Groups >= st.Records {
+		t.Logf("no grouping observed (%d groups for %d records) — legal but unexpected under contention", st.Groups, st.Records)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set2 := newWALSet(t, 2, root, wal.Options{})
+	defer set2.Close()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			k := fmt.Sprintf("w%02d-%04d", w, i)
+			got, err := set2.Retrieve([]byte(k))
+			if err != nil || !bytes.Equal(got, []byte(k)) {
+				t.Fatalf("key %s after recovery: %q, %v", k, got, err)
+			}
+		}
+	}
+}
+
+// TestWALBatchApplyJournaled: the Apply fast path must journal its
+// mutations too, or batch-loaded data would vanish on reopen.
+func TestWALBatchApplyJournaled(t *testing.T) {
+	root := t.TempDir()
+	set := newWALSet(t, 2, root, wal.Options{})
+	ops := make([]Op, 0, 200)
+	for i := 0; i < 200; i++ {
+		ops = append(ops, Op{
+			Kind:  workload.OpStore,
+			Key:   []byte(fmt.Sprintf("batch-%04d", i)),
+			Value: []byte(fmt.Sprintf("bv-%d", i)),
+		})
+	}
+	res := set.Apply(ops, 0)
+	for i, err := range res.Errs {
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	set.Close()
+
+	set2 := newWALSet(t, 2, root, wal.Options{})
+	defer set2.Close()
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("batch-%04d", i)
+		got, err := set2.Retrieve([]byte(k))
+		if err != nil || string(got) != fmt.Sprintf("bv-%d", i) {
+			t.Fatalf("batch key %s after recovery: %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestWALCheckpointCompacts: checkpoints advance the horizon and fold
+// covered segments, and recovery after compaction is still exact.
+func TestWALCheckpointCompacts(t *testing.T) {
+	root := t.TempDir()
+	// Tiny segments so overwrite churn seals plenty of them.
+	set := newWALSet(t, 1, root, wal.Options{SegmentSize: 4096})
+	val := bytes.Repeat([]byte("x"), 256)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 10; i++ {
+			k := fmt.Sprintf("churn-%d", i)
+			if err := set.Store([]byte(k), append(val, byte(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := set.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := set.WALStats()
+	if st.Compactions == 0 || st.SegmentsRemoved == 0 {
+		t.Fatalf("checkpoint did not compact: %+v", st)
+	}
+	set.Close()
+
+	set2 := newWALSet(t, 1, root, wal.Options{SegmentSize: 4096})
+	defer set2.Close()
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("churn-%d", i)
+		got, err := set2.Retrieve([]byte(k))
+		if err != nil {
+			t.Fatalf("retrieve %s: %v", k, err)
+		}
+		if got[len(got)-1] != 19 {
+			t.Fatalf("key %s recovered stale round %d", k, got[len(got)-1])
+		}
+	}
+}
+
+// TestWALTopologyMismatchRefused: reopening the same WAL root with a
+// different shard count must fail instead of replaying keys into the
+// wrong shards.
+func TestWALTopologyMismatchRefused(t *testing.T) {
+	root := t.TempDir()
+	set := newWALSet(t, 4, root, wal.Options{})
+	set.Store([]byte("k"), []byte("v"))
+	set.Close()
+
+	set2, err := New(2, device.Config{Capacity: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if _, err := set2.AttachWAL(root, wal.Options{}); err == nil {
+		t.Fatal("shard-count change accepted against existing WAL")
+	}
+}
+
+// TestWALFailedOpsNotLogged: a store the device rejects must not be
+// acknowledged as durable nor replayed later.
+func TestWALFailedOpsNotLogged(t *testing.T) {
+	root := t.TempDir()
+	set := newWALSet(t, 1, root, wal.Options{})
+	big := bytes.Repeat([]byte("z"), 64<<20) // larger than any erase block
+	if err := set.Store([]byte("huge"), big); err == nil {
+		t.Skip("device accepted a 64 MiB value; cannot provoke a failed op")
+	}
+	if st := set.WALStats(); st.Records != 0 {
+		t.Fatalf("failed store was journaled: %+v", st)
+	}
+	set.Close()
+	set2 := newWALSet(t, 1, root, wal.Options{})
+	defer set2.Close()
+	if ok, _ := set2.Exist([]byte("huge")); ok {
+		t.Fatal("failed store resurrected by replay")
+	}
+}

@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CompactResult reports what a compaction pass did.
+type CompactResult struct {
+	// SegmentsIn is how many sealed, checkpoint-covered segments were
+	// folded; zero means the pass found nothing eligible. SegmentsOut is
+	// 1 when a merged segment was written, 0 when every input record was
+	// superseded into nothing.
+	SegmentsIn  int
+	SegmentsOut int
+	// RecordsIn / RecordsOut count records before and after folding;
+	// BytesReclaimed is the net file-size reduction.
+	RecordsIn      int
+	RecordsOut     int
+	BytesReclaimed int64
+}
+
+// Compact folds the sealed segments fully covered by the checkpoint
+// horizon into a single merged segment holding only the newest record
+// per key. Tombstones are retained — dropping one could resurrect a key
+// if a crash interleaved with the rewrite — so the merged segment is
+// exactly equivalent to its inputs under replay, and every crash window
+// is safe: the merged segment is fsynced and renamed into place before
+// any input is deleted, and replay de-duplicates by sequence number if
+// both survive a crash.
+//
+// Compaction never touches the active segment and reads only immutable
+// sealed files, so it runs concurrently with appends; passes serialize
+// on an internal mutex.
+func (l *Log) Compact() (CompactResult, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	var res CompactResult
+
+	horizon := l.horizon.Load()
+	l.mu.Lock()
+	activeSeq, activeOpen := l.fileSeq, l.f != nil
+	l.mu.Unlock()
+
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return res, err
+	}
+	// Eligible inputs are a prefix of the sorted segment list: sealed
+	// (not the active file) and containing no record above the horizon.
+	type input struct {
+		name string
+		data []byte
+	}
+	var inputs []input
+	newest := make(map[string]Record)
+	recordsIn := 0
+	var bytesIn int64
+	for _, name := range names {
+		if activeOpen {
+			if seq, _ := parseSegName(name); seq == activeSeq {
+				break
+			}
+		}
+		path := filepath.Join(l.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return res, fmt.Errorf("wal: compact %s: %w", name, err)
+		}
+		if len(data) < segHdrLen || [8]byte(data[:8]) != segMagic {
+			return res, fmt.Errorf("wal: compact %s: bad segment header", name)
+		}
+		covered := true
+		var recs []Record
+		for off := segHdrLen; off < len(data); {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				return res, fmt.Errorf("wal: compact %s: %w at offset %d", name, err, off)
+			}
+			if rec.Seq > horizon {
+				covered = false
+				break
+			}
+			recs = append(recs, rec)
+			off += n
+		}
+		if !covered {
+			break
+		}
+		inputs = append(inputs, input{name, data})
+		bytesIn += int64(len(data))
+		for _, rec := range recs {
+			k := string(rec.Key)
+			if prev, ok := newest[k]; !ok || rec.Seq > prev.Seq {
+				newest[k] = rec
+			}
+			recordsIn++
+		}
+	}
+	if len(inputs) < 2 {
+		return res, nil // nothing worth folding
+	}
+	res.SegmentsIn = len(inputs)
+	res.RecordsIn = recordsIn
+
+	survivors := make([]Record, 0, len(newest))
+	for _, rec := range newest {
+		survivors = append(survivors, rec)
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].Seq < survivors[j].Seq })
+	res.RecordsOut = len(survivors)
+
+	replaced := ""
+	if len(survivors) > 0 {
+		buf := segHeader()
+		for i := range survivors {
+			buf = AppendRecord(buf, &survivors[i])
+		}
+		tmp := filepath.Join(l.dir, "compact.tmp")
+		if err := writeFileSync(tmp, buf); err != nil {
+			return res, err
+		}
+		// The merged segment atomically replaces the first input, keeping
+		// its name: it sorts exactly where the folded range sat, and the
+		// name cannot collide with any segment outside the input set.
+		replaced = inputs[0].name
+		if err := os.Rename(tmp, filepath.Join(l.dir, replaced)); err != nil {
+			return res, fmt.Errorf("wal: compact publish: %w", err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			return res, err
+		}
+		res.SegmentsOut = 1
+		res.BytesReclaimed = bytesIn - int64(len(buf))
+	} else {
+		res.BytesReclaimed = bytesIn
+	}
+
+	for _, in := range inputs {
+		if in.name == replaced {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, in.name)); err != nil {
+			return res, fmt.Errorf("wal: compact remove: %w", err)
+		}
+		l.segmentsRemoved.Add(1)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return res, err
+	}
+	l.compactions.Add(1)
+	return res, nil
+}
+
+// writeFileSync writes data to path and syncs it to stable storage.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("wal: compact write: %w", werr)
+	}
+	return nil
+}

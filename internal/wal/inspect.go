@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SegmentInfo describes one on-disk segment for tooling.
+type SegmentInfo struct {
+	Name    string
+	Size    int64
+	Records int
+	MinSeq  uint64
+	MaxSeq  uint64
+	// Covered reports that every record is at or below the checkpoint
+	// horizon, making the segment eligible for compaction.
+	Covered bool
+	// TornBytes is the undecodable tail, non-zero only on the segment a
+	// crash tore (recovery will truncate it).
+	TornBytes int64
+}
+
+// LogInfo is an offline snapshot of one shard's log directory.
+type LogInfo struct {
+	Dir      string
+	Segments []SegmentInfo
+	// Horizon is the persisted checkpoint horizon; LastSeq the highest
+	// sequence on disk. Records above the horizon — the live tail — are
+	// what recovery must replay after the device restores its own
+	// checkpoint; recovery re-applies everything, so the horizon's only
+	// operational role is gating compaction.
+	Horizon uint64
+	LastSeq uint64
+	Records int
+}
+
+// Inspect reads a shard log directory without modifying it. Torn tails
+// are reported, not truncated, so it is safe on a live or crashed dir.
+func Inspect(dir string) (LogInfo, error) {
+	info := LogInfo{Dir: dir, Horizon: readHorizon(dir)}
+	names, err := listSegments(dir)
+	if err != nil {
+		return info, err
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return info, fmt.Errorf("wal: inspect %s: %w", name, err)
+		}
+		si := SegmentInfo{Name: name, Size: int64(len(data)), Covered: true}
+		if len(data) < segHdrLen || [8]byte(data[:8]) != segMagic {
+			si.TornBytes = int64(len(data))
+			si.Covered = false
+			info.Segments = append(info.Segments, si)
+			continue
+		}
+		for off := segHdrLen; off < len(data); {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				si.TornBytes = int64(len(data) - off)
+				break
+			}
+			if si.Records == 0 || rec.Seq < si.MinSeq {
+				si.MinSeq = rec.Seq
+			}
+			if rec.Seq > si.MaxSeq {
+				si.MaxSeq = rec.Seq
+			}
+			si.Records++
+			off += n
+		}
+		if si.MaxSeq > info.Horizon {
+			si.Covered = false
+		}
+		if si.MaxSeq > info.LastSeq {
+			info.LastSeq = si.MaxSeq
+		}
+		info.Records += si.Records
+		info.Segments = append(info.Segments, si)
+	}
+	return info, nil
+}
+
+// Manifest pins the shard topology a WAL directory was written under.
+// Log records are routed to per-shard directories by key signature;
+// reopening with a different topology would replay keys into the wrong
+// shards, so Open refuses a mismatch instead of corrupting silently.
+type Manifest struct {
+	Shards    int
+	SigBits   int
+	PrefixLen int
+}
+
+const manifestFile = "MANIFEST"
+
+// WriteManifest persists m at the WAL root, or verifies it against an
+// existing manifest. ErrManifestMismatch reports a topology change.
+func WriteManifest(root string, m Manifest) error {
+	existing, err := ReadManifest(root)
+	switch {
+	case err == nil:
+		if existing != m {
+			return fmt.Errorf("%w: dir has shards=%d sigbits=%d prefixlen=%d, want shards=%d sigbits=%d prefixlen=%d",
+				ErrManifestMismatch,
+				existing.Shards, existing.SigBits, existing.PrefixLen,
+				m.Shards, m.SigBits, m.PrefixLen)
+		}
+		return nil
+	case !errors.Is(err, os.ErrNotExist):
+		return err
+	}
+	body := fmt.Sprintf("rhik-wal v1\nshards %d\nsigbits %d\nprefixlen %d\n",
+		m.Shards, m.SigBits, m.PrefixLen)
+	tmp := filepath.Join(root, manifestFile+".tmp")
+	if err := writeFileSync(tmp, []byte(body)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(root, manifestFile)); err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	return syncDir(root)
+}
+
+// ErrManifestMismatch reports a WAL directory written under a different
+// shard topology than the one now opening it.
+var ErrManifestMismatch = errors.New("wal: manifest mismatch")
+
+// ReadManifest loads the manifest at the WAL root; os.ErrNotExist if
+// the directory has never been used.
+func ReadManifest(root string) (Manifest, error) {
+	f, err := os.Open(filepath.Join(root, manifestFile))
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	var m Manifest
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != "rhik-wal v1" {
+		return m, fmt.Errorf("wal: manifest: unrecognized format")
+	}
+	for sc.Scan() {
+		var key string
+		var val int
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d", &key, &val); err != nil {
+			continue
+		}
+		switch key {
+		case "shards":
+			m.Shards = val
+		case "sigbits":
+			m.SigBits = val
+		case "prefixlen":
+			m.PrefixLen = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, fmt.Errorf("wal: manifest: %w", err)
+	}
+	if m.Shards == 0 {
+		return m, fmt.Errorf("wal: manifest: missing shards")
+	}
+	return m, nil
+}

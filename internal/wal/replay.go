@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ReplayInfo summarizes one Replay pass.
+type ReplayInfo struct {
+	// Segments scanned, Records applied (after de-duplication), and the
+	// highest sequence number seen.
+	Segments int
+	Records  int
+	LastSeq  uint64
+	// TruncatedBytes is the torn tail discarded from the newest segment,
+	// if any.
+	TruncatedBytes int64
+}
+
+// Replay scans every segment, truncates a torn tail on the newest one,
+// and calls apply for each surviving record in global sequence order.
+// It must run once, before the first Append: it leaves the log
+// positioned to continue appending after the highest replayed sequence.
+//
+// Only the newest segment may legitimately end mid-frame (the process
+// died inside a write); an undecodable frame in any older segment is
+// real corruption and fails the replay. Duplicate sequence numbers —
+// possible when a crash interrupts compaction between publishing the
+// merged segment and deleting its inputs — carry identical payloads, so
+// the first copy wins and the rest are skipped.
+func (l *Log) Replay(apply func(*Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return info, err
+	}
+	info.Segments = len(names)
+
+	type bufRec struct {
+		rec Record
+		ord int // arrival order, to keep the first duplicate
+	}
+	var all []bufRec
+	var lastName string
+	var lastSize int64
+	for i, name := range names {
+		path := filepath.Join(l.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return info, fmt.Errorf("wal: replay %s: %w", name, err)
+		}
+		last := i == len(names)-1
+		if len(data) < segHdrLen || [8]byte(data[:8]) != segMagic {
+			if last && len(data) < segHdrLen {
+				// The process died while creating the segment: nothing in
+				// it was ever acknowledged. Drop it and recreate on the
+				// next append.
+				info.TruncatedBytes += int64(len(data))
+				if err := os.Remove(path); err != nil {
+					return info, fmt.Errorf("wal: replay %s: %w", name, err)
+				}
+				names = names[:i]
+				break
+			}
+			return info, fmt.Errorf("wal: replay %s: bad segment header", name)
+		}
+		off := segHdrLen
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if last {
+					// Torn tail: whatever follows the last good frame was
+					// never acknowledged under fsync=always. Truncate it
+					// so appends resume at a clean boundary.
+					torn := int64(len(data) - off)
+					if terr := os.Truncate(path, int64(off)); terr != nil {
+						return info, fmt.Errorf("wal: truncate %s: %w", name, terr)
+					}
+					info.TruncatedBytes += torn
+					break
+				}
+				if errors.Is(err, ErrShortRecord) {
+					return info, fmt.Errorf("wal: replay %s: truncated record in sealed segment", name)
+				}
+				return info, fmt.Errorf("wal: replay %s: %w at offset %d", name, err, off)
+			}
+			all = append(all, bufRec{rec, len(all)})
+			off += n
+		}
+		if last {
+			lastName = name
+			lastSize = int64(off)
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rec.Seq != all[j].rec.Seq {
+			return all[i].rec.Seq < all[j].rec.Seq
+		}
+		return all[i].ord < all[j].ord
+	})
+	var prevSeq uint64
+	for i := range all {
+		r := &all[i].rec
+		if i > 0 && r.Seq == prevSeq {
+			continue // compaction-crash duplicate; identical payload
+		}
+		prevSeq = r.Seq
+		if err := apply(r); err != nil {
+			return info, fmt.Errorf("wal: replay seq %d: %w", r.Seq, err)
+		}
+		info.Records++
+		info.LastSeq = r.Seq
+	}
+	l.replayed.Store(int64(info.Records))
+	l.truncated.Store(info.TruncatedBytes)
+	l.seq.Store(info.LastSeq)
+
+	// Continue appending into the newest segment unless it is already at
+	// the rotation threshold.
+	if lastName != "" && lastSize < l.opts.SegmentSize {
+		seq, _ := parseSegName(lastName)
+		l.mu.Lock()
+		err := l.openSegmentLocked(seq)
+		l.mu.Unlock()
+		if err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,472 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// FsyncPolicy selects when appended records reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs every append before it returns: an acknowledged
+	// write survives process kill and power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncGroup acknowledges after the buffered OS write and syncs when
+	// the committer's burst drains (or every GroupBytes, whichever comes
+	// first): an acknowledged write survives process kill — the data is
+	// in the page cache — but the unsynced tail of a burst can be lost
+	// to power failure.
+	FsyncGroup
+	// FsyncNone never syncs outside Close: acknowledged writes survive a
+	// clean process kill in practice, with no power-loss guarantee.
+	FsyncNone
+)
+
+// String returns the policy's flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncGroup:
+		return "group"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses the flag spelling of a policy.
+func ParsePolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "group":
+		return FsyncGroup, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, group, or none)", s)
+}
+
+// Options tunes one shard's log.
+type Options struct {
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB).
+	SegmentSize int64
+	// GroupBytes bounds the unsynced tail under FsyncGroup: an append
+	// that pushes past it syncs immediately (default 1 MiB).
+	GroupBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = 1 << 20
+	}
+	return o
+}
+
+// Segment file layout: a 16-byte header, then record frames.
+const (
+	segHdrLen  = 16
+	segVersion = 1
+)
+
+var segMagic = [8]byte{'R', 'W', 'A', 'L', 'S', 'E', 'G', '1'}
+
+func segHeader() []byte {
+	h := make([]byte, segHdrLen)
+	copy(h, segMagic[:])
+	binary.LittleEndian.PutUint32(h[8:], segVersion)
+	return h
+}
+
+// segName renders the segment filename for a first-sequence number.
+func segName(firstSeq uint64) string { return fmt.Sprintf("wal-%016x.seg", firstSeq) }
+
+// parseSegName extracts the first-sequence number from a segment name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(hex, "%016x", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// horizonFile is the checkpoint-horizon sidecar: the highest sequence
+// number the device's own checkpoint covers. Compaction only touches
+// segments entirely at or below it.
+const horizonFile = "CHECKPOINT"
+
+var horizonMagic = [8]byte{'R', 'W', 'A', 'L', 'C', 'K', 'P', '1'}
+
+// Stats is a point-in-time snapshot of one log's counters (or, merged
+// at the shard.Set level, all logs').
+type Stats struct {
+	// Records and Bytes count appended records and their framed bytes.
+	Records int64
+	Bytes   int64
+	// Groups counts group-commit appends (one per Append call); the
+	// records-per-group distribution is GroupSize.
+	Groups int64
+	// Fsyncs counts file syncs issued by appends, Sync, and rotation.
+	Fsyncs int64
+	// Rotations counts segment rollovers; Compactions counts completed
+	// compaction passes and SegmentsRemoved the segments they deleted.
+	Compactions     int64
+	Rotations       int64
+	SegmentsRemoved int64
+	// Replayed counts records re-applied by the last Replay; Truncated
+	// is the torn-tail bytes it discarded.
+	Replayed  int64
+	Truncated int64
+	// GroupSize is the records-per-group-commit distribution.
+	GroupSize metrics.Histogram
+}
+
+// Log is one shard's append-only commit log. Appends, Sync, Rotate and
+// Close serialize on an internal mutex; sequence reservation is atomic
+// so callers can stamp records in apply order while holding their own
+// shard lock, and Replay sorts globally by sequence so cross-batch file
+// order never matters.
+type Log struct {
+	dir  string
+	opts Options
+
+	seq     atomic.Uint64 // last reserved sequence number
+	horizon atomic.Uint64 // checkpoint-covered prefix of the seq space
+
+	mu       sync.Mutex
+	f        *os.File // active segment (nil until first append)
+	fileSeq  uint64   // first seq the active segment's name carries
+	size     int64    // bytes written to the active segment
+	unsynced int64
+	buf      []byte // frame scratch, reused across appends
+	closed   bool
+
+	compactMu sync.Mutex // serializes compaction passes
+
+	records         atomic.Int64
+	bytes           atomic.Int64
+	groups          atomic.Int64
+	fsyncs          atomic.Int64
+	rotations       atomic.Int64
+	compactions     atomic.Int64
+	segmentsRemoved atomic.Int64
+	replayed        atomic.Int64
+	truncated       atomic.Int64
+	groupSize       metrics.ConcurrentHistogram
+}
+
+// Open prepares dir (creating it if needed) and loads the checkpoint
+// horizon. The log is not ready for Append until Replay has scanned the
+// existing segments; Open itself reads no record data.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults()}
+	// Leftover temporaries from an interrupted compaction or horizon
+	// write are garbage: their contents are duplicated by the files they
+	// were about to replace.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	l.horizon.Store(readHorizon(dir))
+	return l, nil
+}
+
+// Dir reports the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Fsync reports the configured durability policy.
+func (l *Log) Fsync() FsyncPolicy { return l.opts.Fsync }
+
+// LastSeq reports the most recently reserved sequence number.
+func (l *Log) LastSeq() uint64 { return l.seq.Load() }
+
+// Horizon reports the checkpoint-covered sequence horizon.
+func (l *Log) Horizon() uint64 { return l.horizon.Load() }
+
+// ReserveSeqs reserves n consecutive sequence numbers and returns the
+// first. Callers reserve while holding the shard lock that serializes
+// their device mutations, so sequence order always equals apply order.
+func (l *Log) ReserveSeqs(n int) uint64 {
+	return l.seq.Add(uint64(n)) - uint64(n) + 1
+}
+
+// Append writes one group of records as a single file append and
+// applies the fsync policy. Records must carry reserved sequence
+// numbers. One Append call is one group commit.
+func (l *Log) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append on closed log")
+	}
+	buf := l.buf[:0]
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	l.buf = buf
+
+	if l.f == nil || l.size+int64(len(buf)) > l.opts.SegmentSize && l.size > segHdrLen {
+		if err := l.rotateLocked(recs[0].Seq); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.unsynced += int64(len(buf))
+	l.records.Add(int64(len(recs)))
+	l.bytes.Add(int64(len(buf)))
+	l.groups.Add(1)
+	l.groupSize.Record(int64(len(recs)))
+
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		return l.syncLocked()
+	case FsyncGroup:
+		if l.unsynced >= l.opts.GroupBytes {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage. The committer
+// calls it when its burst drains under FsyncGroup; checkpoints call it
+// under every policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || l.unsynced == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.unsynced = 0
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// rotateLocked seals the active segment (syncing it, except under
+// FsyncNone) and opens a fresh one whose name carries firstSeq.
+func (l *Log) rotateLocked(firstSeq uint64) error {
+	if l.f != nil {
+		if l.opts.Fsync != FsyncNone {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		l.f = nil
+		l.rotations.Add(1)
+	}
+	return l.openSegmentLocked(firstSeq)
+}
+
+// openSegmentLocked creates (or reopens, after recovery) the segment
+// named for firstSeq and positions appends at its end.
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	path := filepath.Join(l.dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment stat: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		if _, err := f.Write(segHeader()); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: segment header: %w", err)
+		}
+		size = segHdrLen
+		if l.opts.Fsync != FsyncNone {
+			if err := syncDir(l.dir); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	l.f = f
+	l.fileSeq = firstSeq
+	l.size = size
+	l.unsynced = 0
+	return nil
+}
+
+// SetHorizon syncs the log and durably records seq as the checkpoint
+// horizon: the device checkpoint that just completed covers every
+// mutation at or below it, making the segments beneath it compactable.
+func (l *Log) SetHorizon(seq uint64) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	b := make([]byte, 20)
+	copy(b, horizonMagic[:])
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	binary.LittleEndian.PutUint32(b[16:], crc32.Checksum(b[:16], castagnoli))
+	tmp := filepath.Join(l.dir, horizonFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("wal: horizon: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, horizonFile)); err != nil {
+		return fmt.Errorf("wal: horizon: %w", err)
+	}
+	if l.opts.Fsync != FsyncNone {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	l.horizon.Store(seq)
+	return nil
+}
+
+// readHorizon loads the horizon sidecar; a missing or damaged sidecar
+// reads as zero, which only makes compaction more conservative.
+func readHorizon(dir string) uint64 {
+	b, err := os.ReadFile(filepath.Join(dir, horizonFile))
+	if err != nil || len(b) != 20 {
+		return 0
+	}
+	if [8]byte(b[:8]) != horizonMagic {
+		return 0
+	}
+	if crc32.Checksum(b[:16], castagnoli) != binary.LittleEndian.Uint32(b[16:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[8:])
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records:         l.records.Load(),
+		Bytes:           l.bytes.Load(),
+		Groups:          l.groups.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		Rotations:       l.rotations.Load(),
+		Compactions:     l.compactions.Load(),
+		SegmentsRemoved: l.segmentsRemoved.Load(),
+		Replayed:        l.replayed.Load(),
+		Truncated:       l.truncated.Load(),
+		GroupSize:       l.groupSize.Snapshot(),
+	}
+}
+
+// Merge folds o into s (histogram-merging GroupSize).
+func (s *Stats) Merge(o *Stats) {
+	s.Records += o.Records
+	s.Bytes += o.Bytes
+	s.Groups += o.Groups
+	s.Fsyncs += o.Fsyncs
+	s.Rotations += o.Rotations
+	s.Compactions += o.Compactions
+	s.SegmentsRemoved += o.SegmentsRemoved
+	s.Replayed += o.Replayed
+	s.Truncated += o.Truncated
+	s.GroupSize.Merge(&o.GroupSize)
+}
+
+// listSegments returns the directory's segment files sorted by the
+// first-sequence number their names carry.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	type seg struct {
+		name string
+		seq  uint64
+	}
+	var segs []seg
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	names := make([]string, len(segs))
+	for i, s := range segs {
+		names[i] = s.name
+	}
+	return names, nil
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/index"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // Errors surfaced by the API.
@@ -106,6 +107,29 @@ type Options struct {
 	// migration work) instead of halting the queue for a full
 	// migration — the paper's "real-time index scaling" extension.
 	IncrementalResize bool
+	// WAL configures the durable write front. Zero value = disabled: the
+	// emulated device is purely in-memory and all data dies with the
+	// process, exactly as before.
+	WAL WALOptions
+}
+
+// WALOptions configures the per-shard write-ahead log. The emulated
+// flash is volatile — it lives in process memory — so the WAL is what
+// makes acknowledged writes survive a real process crash: mutations are
+// journaled to real files under Dir before they are acknowledged, and
+// Open replays the retained log into the fresh device before serving.
+type WALOptions struct {
+	// Dir is the log root (one subdirectory per shard). Empty disables
+	// the WAL.
+	Dir string
+	// Fsync is the durability policy: "always" (default; every
+	// acknowledged write survives power loss), "group" (acknowledged
+	// writes are in the OS page cache, synced when a commit burst
+	// drains — survives process kill, not power loss), or "none" (sync
+	// only on Close).
+	Fsync string
+	// SegmentSize rotates log segments at this many bytes (default 4 MiB).
+	SegmentSize int64
 }
 
 // DB is an open emulated KVSSD. Methods are safe for concurrent use:
@@ -188,7 +212,25 @@ func OpenSet(opts Options) (*shard.Set, error) {
 	if err := cfg.SigScheme.Validate(); err != nil {
 		return nil, err
 	}
-	return shard.New(n, cfg)
+	set, err := shard.New(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WAL.Dir != "" {
+		wopts := wal.Options{SegmentSize: opts.WAL.SegmentSize}
+		if opts.WAL.Fsync != "" {
+			wopts.Fsync, err = wal.ParsePolicy(opts.WAL.Fsync)
+			if err != nil {
+				set.Close()
+				return nil, err
+			}
+		}
+		if _, err := set.AttachWAL(opts.WAL.Dir, wopts); err != nil {
+			set.Close()
+			return nil, err
+		}
+	}
+	return set, nil
 }
 
 // Shards reports the shard count the key space is partitioned across.

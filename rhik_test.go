@@ -156,6 +156,74 @@ func TestPublicBatchRetrieve(t *testing.T) {
 	}
 }
 
+// TestIteratorModeGroupClumping regression-tests collision-driven
+// re-configuration. In iterator mode every key sharing a 14-byte prefix
+// lands on the same directory bucket, so bucket loads grow in
+// whole-group clumps (256 keys here) and a single bucket can exhaust its
+// hopscotch neighborhood while global occupancy is still below the
+// resize trigger. Before the fix this store sequence aborted with a
+// spurious "uncorrectable signature collision" around key 6994.
+func TestIteratorModeGroupClumping(t *testing.T) {
+	for _, incr := range []bool{false, true} {
+		db := openDB(t, rhik.Options{
+			Capacity:          512 << 20,
+			IteratorPrefixLen: 14,
+			IncrementalResize: incr,
+		})
+		val := bytes.Repeat([]byte{'v'}, 64)
+		for id := uint64(0); id < 10_000; id++ {
+			key := []byte(fmt.Sprintf("k%015x", id))
+			if err := db.Store(key, val); err != nil {
+				t.Fatalf("incremental=%v: store %d: %v", incr, id, err)
+			}
+		}
+		// Every group must remain fully scannable after the splits.
+		entries, err := db.Iterate([]byte(fmt.Sprintf("k%015x", uint64(6994))[:14]))
+		if err != nil {
+			t.Fatalf("incremental=%v: iterate: %v", incr, err)
+		}
+		if len(entries) != 256 {
+			t.Fatalf("incremental=%v: scan group: %d entries, want 256", incr, len(entries))
+		}
+	}
+}
+
+// TestIteratorModeOversizeGroup pins the failure mode collision-driven
+// re-configuration must NOT try to fix: a single prefix group larger
+// than one record table. Bucket selection depends only on prefix-hash
+// bits, so no amount of directory doubling separates these keys; the
+// store must fail fast with ErrCollision (bounded resizes, bounded
+// directory) instead of doubling the directory on every failed insert.
+func TestIteratorModeOversizeGroup(t *testing.T) {
+	db := openDB(t, rhik.Options{Capacity: 256 << 20, IteratorPrefixLen: 14})
+	// All 4000 keys share the 14-byte prefix "key00000000000": a table
+	// holds ~1927 records, so the group cannot fit.
+	var firstErr error
+	stored := 0
+	for i := 0; i < 4000; i++ {
+		err := db.Store([]byte(fmt.Sprintf("key%016d", i)), []byte("v"))
+		if err != nil {
+			if !errors.Is(err, rhik.ErrCollision) {
+				t.Fatalf("store %d: %v", i, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		stored++
+	}
+	if firstErr == nil {
+		t.Fatal("oversize prefix group fully stored; expected ErrCollision")
+	}
+	if stored < 1000 {
+		t.Fatalf("only %d stores succeeded before overflow", stored)
+	}
+	if d := db.Stats().DirectoryEntries; d > 1024 {
+		t.Fatalf("directory exploded to %d entries on an inseparable group", d)
+	}
+}
+
 func TestPublicIterator(t *testing.T) {
 	db := openDB(t, rhik.Options{IteratorPrefixLen: 4})
 	for i := 0; i < 5; i++ {

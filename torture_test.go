@@ -1,0 +1,359 @@
+package rhik
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The WAL torture tests prove the durability contract the hard way: a
+// child process (this test binary re-executed) hammers a WAL-backed DB
+// until the parent SIGKILLs it mid-write, the parent recovers the
+// store in-process, and every acknowledged operation is checked
+// against an oracle the child journaled beside the WAL. Under
+// fsync=always the check is exact — an acked write that recovery
+// cannot produce is a test failure. Under group/none the check relaxes
+// to corruption-freedom: recovery must succeed and every recovered key
+// must carry its one deterministic value.
+//
+// Oracle protocol: each worker owns a disjoint key range and a private
+// append-only log. Before issuing op i it appends "I <op> <i>", after
+// the DB acknowledges it appends "A <op> <i>". Workers are sequential,
+// so at most the final intent per worker is unacknowledged — its
+// effect may or may not have landed, and the verifier accepts both.
+
+const (
+	tortureShards  = 4
+	tortureWorkers = 4
+)
+
+func tortureKey(w, i int) []byte {
+	return []byte(fmt.Sprintf("t-w%02d-%08d", w, i))
+}
+
+func tortureValue(w, i int) []byte {
+	return []byte(fmt.Sprintf("val-%02d-%08d-%s", w, i, strings.Repeat("x", 40)))
+}
+
+func tortureOpen(dir, policy string) (*DB, error) {
+	return Open(Options{
+		Capacity: 256 << 20,
+		Shards:   tortureShards,
+		WAL: WALOptions{
+			Dir:         filepath.Join(dir, "wal"),
+			Fsync:       policy,
+			SegmentSize: 256 << 10,
+		},
+	})
+}
+
+// TestWALTortureChild is the child-process body; it only runs when the
+// parent re-execs the test binary with the torture env set, and it
+// never exits voluntarily — the parent SIGKILLs it mid-write.
+func TestWALTortureChild(t *testing.T) {
+	dir := os.Getenv("RHIK_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("torture child entry point; driven by TestWALTortureKill9")
+	}
+	policy := os.Getenv("RHIK_TORTURE_FSYNC")
+	db, err := tortureOpen(dir, policy)
+	if err != nil {
+		fmt.Printf("child: open: %v\n", err)
+		os.Exit(3)
+	}
+	// Watchdog: if the parent dies without killing us, exit instead of
+	// leaking a spinning process.
+	go func() {
+		time.Sleep(30 * time.Second)
+		os.Exit(0)
+	}()
+	fmt.Println("ready")
+
+	acked := make(chan struct{}, 1024)
+	for w := 0; w < tortureWorkers; w++ {
+		go tortureWorker(db, dir, w, acked)
+	}
+	// Emit a progress line every 100 acks so the parent can wait for
+	// real work before pulling the trigger.
+	n := 0
+	for range acked {
+		if n++; n%100 == 0 {
+			fmt.Println("progress")
+		}
+	}
+}
+
+// tortureWorker appends ops forever, journaling intent and ack around
+// each one. It resumes its index from the previous life's oracle.
+func tortureWorker(db *DB, dir string, w int, acked chan<- struct{}) {
+	path := filepath.Join(dir, fmt.Sprintf("oracle-%02d.log", w))
+	next := 0
+	pendingOp, pendingIdx := "", -1
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			var kind, op string
+			var loop, target int
+			if _, err := fmt.Sscanf(line, "%s %d %s %d", &kind, &loop, &op, &target); err != nil {
+				continue
+			}
+			switch kind {
+			case "I":
+				pendingOp, pendingIdx = op, target
+				if loop >= next {
+					next = loop + 1
+				}
+			case "A":
+				pendingOp, pendingIdx = "", -1
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Printf("child: oracle: %v\n", err)
+		os.Exit(3)
+	}
+	// Redo the previous life's unacked op, if any: its effect landed or
+	// didn't (both legal), and later ops — the eventual delete of a put
+	// key — assume it is settled. Puts are idempotent; a redone delete
+	// tolerates ErrNotFound since the first attempt may have applied.
+	if pendingIdx >= 0 {
+		if pendingOp == "put" {
+			err = db.Store(tortureKey(w, pendingIdx), tortureValue(w, pendingIdx))
+		} else if err = db.Delete(tortureKey(w, pendingIdx)); errors.Is(err, ErrNotFound) {
+			err = nil
+		}
+		if err != nil {
+			fmt.Printf("child: worker %d redo %s %d: %v\n", w, pendingOp, pendingIdx, err)
+			os.Exit(3)
+		}
+		fmt.Fprintf(f, "A %d %s %d\n", next-1, pendingOp, pendingIdx)
+		acked <- struct{}{}
+	}
+	for i := next; ; i++ {
+		// Mostly sequential puts; every 7th op deletes a key from five
+		// steps back, exercising tombstone recovery.
+		op, target := "put", i
+		if i%7 == 6 && i >= 5 {
+			op, target = "del", i-5
+		}
+		fmt.Fprintf(f, "I %d %s %d\n", i, op, target)
+		if op == "put" {
+			err = db.Store(tortureKey(w, target), tortureValue(w, target))
+		} else {
+			err = db.Delete(tortureKey(w, target))
+		}
+		if err != nil {
+			fmt.Printf("child: worker %d op %s %d: %v\n", w, op, target, err)
+			os.Exit(3)
+		}
+		fmt.Fprintf(f, "A %d %s %d\n", i, op, target)
+		acked <- struct{}{}
+	}
+}
+
+// oracleState replays one worker's oracle: the definite per-key state
+// after every acked op, plus the single possibly-unacked trailing op.
+type oracleState struct {
+	present  map[int]bool // key index -> stored? (after acked ops only)
+	maxIndex int          // highest key index a put ever intended
+	// pendingOp/pendingIdx describe the one intent without an ack, if
+	// any; its effect is allowed in either state.
+	pendingOp  string
+	pendingIdx int
+}
+
+func readOracle(t *testing.T, dir string, w int) oracleState {
+	t.Helper()
+	st := oracleState{present: map[int]bool{}, maxIndex: -1, pendingIdx: -1}
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("oracle-%02d.log", w)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st
+		}
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var kind, op string
+		var loop, target int
+		if _, err := fmt.Sscanf(line, "%s %d %s %d", &kind, &loop, &op, &target); err != nil {
+			continue
+		}
+		switch kind {
+		case "I":
+			st.pendingOp, st.pendingIdx = op, target
+			if op == "put" && target > st.maxIndex {
+				st.maxIndex = target
+			}
+		case "A":
+			if op != st.pendingOp || target != st.pendingIdx {
+				t.Fatalf("worker %d: ack %s %d does not match intent %s %d", w, op, target, st.pendingOp, st.pendingIdx)
+			}
+			st.present[target] = op == "put"
+			st.pendingOp, st.pendingIdx = "", -1
+		}
+	}
+	return st
+}
+
+// runTortureCycle starts the child, waits for it to make progress,
+// kills it with SIGKILL at a random moment, and reaps it.
+func runTortureCycle(t *testing.T, dir, policy string, rng *rand.Rand) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestWALTortureChild$")
+	cmd.Env = append(os.Environ(),
+		"RHIK_TORTURE_DIR="+dir,
+		"RHIK_TORTURE_FSYNC="+policy,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for recovery+serving, then for ~100 acked ops, then fire at a
+	// random offset so the kill lands at varied log positions.
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(20 * time.Second)
+	got := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			got <- sc.Text()
+		}
+		close(got)
+	}()
+	stage := 0 // 0 = want ready, 1 = want progress
+wait:
+	for {
+		select {
+		case line, ok := <-got:
+			if !ok {
+				t.Fatalf("child exited before being killed (stage %d)", stage)
+			}
+			if stage == 0 && line == "ready" {
+				stage = 1
+			} else if stage == 1 && line == "progress" {
+				break wait
+			} else if strings.HasPrefix(line, "child:") {
+				t.Fatalf("child error: %s", line)
+			}
+		case <-deadline:
+			t.Fatalf("child made no progress (stage %d)", stage)
+		}
+	}
+	time.Sleep(time.Duration(rng.Intn(80)) * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, stdout)
+	cmd.Wait() // expected: killed
+}
+
+// TestWALTortureKill9 is the acceptance torture: >= 20 kill/recover
+// cycles under fsync=always with zero lost acknowledged writes.
+func TestWALTortureKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test spawns child processes; skipped in -short")
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	cycles := 20
+	for c := 0; c < cycles; c++ {
+		runTortureCycle(t, dir, "always", rng)
+
+		// Recover in-process and hold every acked op against the oracle.
+		db, err := tortureOpen(dir, "always")
+		if err != nil {
+			t.Fatalf("cycle %d: recovery failed: %v", c, err)
+		}
+		for w := 0; w < tortureWorkers; w++ {
+			st := readOracle(t, dir, w)
+			for i, want := range st.present {
+				if i == st.pendingIdx {
+					continue // re-intended op; both states legal
+				}
+				ok, err := db.Exist(tortureKey(w, i))
+				if err != nil {
+					t.Fatalf("cycle %d worker %d key %d: %v", c, w, i, err)
+				}
+				if ok != want {
+					t.Fatalf("cycle %d worker %d key %d: present=%v want %v (acked op lost)", c, w, i, ok, want)
+				}
+				if want {
+					v, err := db.Retrieve(tortureKey(w, i))
+					if err != nil || string(v) != string(tortureValue(w, i)) {
+						t.Fatalf("cycle %d worker %d key %d: bad value %q (%v)", c, w, i, v, err)
+					}
+				}
+			}
+			// Keys never intended must not exist.
+			for i := st.maxIndex + 1; i < st.maxIndex+4; i++ {
+				if ok, _ := db.Exist(tortureKey(w, i)); ok {
+					t.Fatalf("cycle %d worker %d: phantom key %d", c, w, i)
+				}
+			}
+		}
+		// Checkpoint so compaction keeps the log from growing without
+		// bound across cycles, then hand the store to the next child.
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("cycle %d: checkpoint: %v", c, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", c, err)
+		}
+	}
+}
+
+// TestWALTortureRelaxedPolicies runs a few kill cycles under the group
+// and none fsync policies. Acked writes may legally be lost to a power
+// cut there, but recovery must never fail or surface a corrupt value —
+// every recovered key carries exactly its deterministic payload.
+func TestWALTortureRelaxedPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test spawns child processes; skipped in -short")
+	}
+	for _, policy := range []string{"group", "none"} {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(2))
+			for c := 0; c < 3; c++ {
+				runTortureCycle(t, dir, policy, rng)
+				db, err := tortureOpen(dir, policy)
+				if err != nil {
+					t.Fatalf("cycle %d: recovery failed: %v", c, err)
+				}
+				for w := 0; w < tortureWorkers; w++ {
+					st := readOracle(t, dir, w)
+					for i := 0; i <= st.maxIndex; i++ {
+						ok, err := db.Exist(tortureKey(w, i))
+						if err != nil {
+							t.Fatalf("cycle %d worker %d key %d: %v", c, w, i, err)
+						}
+						if !ok {
+							continue
+						}
+						v, err := db.Retrieve(tortureKey(w, i))
+						if err != nil || string(v) != string(tortureValue(w, i)) {
+							t.Fatalf("cycle %d worker %d key %d: corrupt value %q (%v)", c, w, i, v, err)
+						}
+					}
+				}
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("cycle %d: checkpoint: %v", c, err)
+				}
+				if err := db.Close(); err != nil {
+					t.Fatalf("cycle %d: close: %v", c, err)
+				}
+			}
+		})
+	}
+}
