@@ -16,7 +16,7 @@ import (
 // "hyper-local scaling") plus a small background quota, so the
 // per-command cost is bounded and tail latency stays flat.
 type migration struct {
-	oldDirs   []dirEntry
+	oldGen    *generation
 	oldCache  *dram.Cache[*tableEntry]
 	migrated  []bool
 	cursor    uint64
@@ -44,9 +44,10 @@ func (r *RHIK) startIncrementalResize() error {
 			return err
 		}
 	}
-	oldD := len(r.dirs)
+	oldG := r.g()
+	oldD := len(oldG.dirs)
 	mig := &migration{
-		oldDirs:   r.dirs,
+		oldGen:    oldG,
 		oldCache:  r.cache,
 		migrated:  make([]bool, oldD),
 		oldD:      oldD,
@@ -54,8 +55,14 @@ func (r *RHIK) startIncrementalResize() error {
 		keys:      r.n,
 		remaining: oldD,
 	}
-	r.dirs = make([]dirEntry, 2*oldD)
-	r.cache = r.newCache(r.dirs)
+	newG := newGeneration(2 * oldD)
+	newG.cache = r.newCache(newG)
+	// Publish the doubled generation before any bucket migrates: readers
+	// that load it see nil resident slots for unmigrated buckets and
+	// escalate; readers still holding the old generation keep validating
+	// against it until migrateBucket unpublishes their bucket.
+	r.gen.Store(newG)
+	r.cache = newG.cache
 	r.dBits++
 	r.mig = mig
 	return nil
@@ -99,9 +106,14 @@ func (r *RHIK) migrateBucket(b uint64) error {
 	mig := r.mig
 	var src *tableEntry
 	if e, ok := mig.oldCache.Remove(b); ok {
+		// Unpublish from the old generation and poison the table before
+		// its records move: an optimistic reader still probing the old
+		// generation fails validation instead of seeing a stale bucket.
+		mig.oldGen.resident[b].Store(nil)
+		e.table.Invalidate()
 		src = e
-	} else if mig.oldDirs[b].has {
-		data, err := r.env.ReadPage(mig.oldDirs[b].ppa)
+	} else if mig.oldGen.dirs[b].has {
+		data, err := r.env.ReadPage(mig.oldGen.dirs[b].ppa)
 		if err != nil {
 			return fmt.Errorf("core: incremental migrate bucket %d: %w", b, err)
 		}
@@ -135,22 +147,25 @@ func (r *RHIK) migrateBucket(b uint64) error {
 		if migErr != nil {
 			return migErr
 		}
-		r.recycleEntry(src)
+		r.retireEntry(src)
 	}
+	g := r.g()
 	if lowT.table.Len() > 0 {
 		r.cache.Put(b, lowT, int64(lowT.table.EncodedBytes()))
+		r.publish(g, b, lowT)
 	} else {
 		r.recycleEntry(lowT)
 	}
 	if highT.table.Len() > 0 {
 		r.cache.Put(b+uint64(mig.oldD), highT, int64(highT.table.EncodedBytes()))
+		r.publish(g, b+uint64(mig.oldD), highT)
 	} else {
 		r.recycleEntry(highT)
 	}
-	if mig.oldDirs[b].has {
-		r.env.Invalidate(mig.oldDirs[b].ppa)
-		delete(r.live, mig.oldDirs[b].ppa)
-		mig.oldDirs[b].has = false
+	if mig.oldGen.dirs[b].has {
+		r.env.Invalidate(mig.oldGen.dirs[b].ppa)
+		delete(r.live, mig.oldGen.dirs[b].ppa)
+		mig.oldGen.dirs[b].has = false
 	}
 	mig.migrated[b] = true
 	mig.remaining--

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/index"
+)
+
+// optRHIK builds a RHIK with an epoch domain attached, the configuration
+// the lock-free device tier runs it under, and returns a pin the test
+// holds for its whole probe/validate lifetime (mirroring the device).
+func optRHIK(t *testing.T, cfg Config) (*RHIK, *epoch.Domain, epoch.Pin) {
+	t.Helper()
+	dom := epoch.NewDomain()
+	cfg.Reclaim = dom
+	r, _ := newTestRHIK(t, cfg)
+	pin, ok := dom.TryPin()
+	if !ok {
+		t.Fatal("fresh domain refused a pin")
+	}
+	t.Cleanup(func() { dom.Unpin(pin) })
+	return r, dom, pin
+}
+
+// TestOptimisticProbePrecision pins how narrowly invalidation is scoped:
+// a probe stays valid across writes to OTHER buckets and dies on the
+// first write to its own.
+func TestOptimisticProbePrecision(t *testing.T) {
+	r, _, _ := optRHIK(t, Config{PageSize: 1024, AnticipatedKeys: 4096})
+	d := uint64(r.DirEntries())
+	if d < 2 {
+		t.Fatalf("anticipated sizing produced %d buckets, need several", d)
+	}
+	sigA := sig64(0) // bucket 0
+	if _, _, err := r.Insert(sigA, 7); err != nil {
+		t.Fatal(err)
+	}
+	p, st := r.PeekOptimistic(sigA)
+	if st != index.OptOK || !p.Found || p.RP != 7 {
+		t.Fatalf("probe = (%+v, %v), want OK/found/rp=7", p, st)
+	}
+	// A write to bucket 1 must not disturb the probe.
+	if _, _, err := r.Insert(sig64(1), 8); err != nil {
+		t.Fatal(err)
+	}
+	if !r.RevalidateOptimistic(p) {
+		t.Fatal("write to another bucket invalidated the probe")
+	}
+	// A write to bucket 0 (same bucket, different key) must kill it.
+	if _, _, err := r.Insert(sig64(d), 9); err != nil {
+		t.Fatal(err)
+	}
+	if r.RevalidateOptimistic(p) {
+		t.Fatal("write to the probed bucket left the probe valid")
+	}
+	// Deletes count too: re-probe, delete the neighbor, revalidate.
+	p, st = r.PeekOptimistic(sigA)
+	if st != index.OptOK {
+		t.Fatalf("re-probe status %v", st)
+	}
+	if _, _, err := r.Delete(sig64(d)); err != nil {
+		t.Fatal(err)
+	}
+	if r.RevalidateOptimistic(p) {
+		t.Fatal("delete in the probed bucket left the probe valid")
+	}
+}
+
+// TestOptimisticProbeInvalidatedByResize: a stop-the-world resize
+// retires every old-generation table, so a probe taken before it must
+// fail revalidation, and a fresh probe must find the record in the new
+// generation at the same record pointer.
+func TestOptimisticProbeInvalidatedByResize(t *testing.T) {
+	r, _, _ := optRHIK(t, Config{PageSize: 1024})
+	rng := rand.New(rand.NewSource(11))
+	probeSig := sig64(rng.Uint64())
+	if _, _, err := r.Insert(probeSig, 42); err != nil {
+		t.Fatal(err)
+	}
+	for !r.NeedsResize() {
+		r.Insert(sig64(rng.Uint64()), 1)
+	}
+	p, st := r.PeekOptimistic(probeSig)
+	if st != index.OptOK || !p.Found || p.RP != 42 {
+		t.Fatalf("pre-resize probe = (%+v, %v), want OK/found/rp=42", p, st)
+	}
+	if err := r.Resize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.RevalidateOptimistic(p) {
+		t.Fatal("full resize left a pre-resize probe valid")
+	}
+	p, st = r.PeekOptimistic(probeSig)
+	if st != index.OptOK || !p.Found || p.RP != 42 {
+		t.Fatalf("post-resize probe = (%+v, %v), want OK/found/rp=42", p, st)
+	}
+	if !r.RevalidateOptimistic(p) {
+		t.Fatal("post-resize probe does not revalidate")
+	}
+}
+
+// TestOptimisticProbeInvalidatedByEviction: CLOCK eviction unpublishes
+// the resident slot and poisons the table before the entry is retired,
+// so a probe into an evicted bucket must fail revalidation rather than
+// chase a recycled table.
+func TestOptimisticProbeInvalidatedByEviction(t *testing.T) {
+	r, dom, _ := optRHIK(t, Config{
+		PageSize:        1024,
+		AnticipatedKeys: 4096,
+		CacheBudget:     3 * 1024, // room for ~2 tables: inserts elsewhere must evict
+	})
+	d := uint64(r.DirEntries())
+	if d < 8 {
+		t.Fatalf("anticipated sizing produced %d buckets, need several", d)
+	}
+	sigA := sig64(0)
+	if _, _, err := r.Insert(sigA, 7); err != nil {
+		t.Fatal(err)
+	}
+	p, st := r.PeekOptimistic(sigA)
+	if st != index.OptOK {
+		t.Fatalf("probe status %v", st)
+	}
+	evicted := false
+	for b := uint64(1); b < d; b++ {
+		if _, _, err := r.Insert(sig64(b), b); err != nil {
+			t.Fatal(err)
+		}
+		if !r.SharedLookupReady(sigA) {
+			evicted = true
+			break
+		}
+	}
+	if !evicted {
+		t.Fatal("filling other buckets never evicted the probed table")
+	}
+	if r.RevalidateOptimistic(p) {
+		t.Fatal("eviction left the probe valid")
+	}
+	// The retired table must still be deferred behind this test's pin.
+	if dom.Pending() == 0 {
+		t.Fatal("evicted table was recycled immediately despite a live pin")
+	}
+}
+
+// TestOptimisticUnmigratedBucketEscalates pins the incremental-resize
+// hand-off: after the directory swap every bucket reads OptNeedExclusive
+// (nil resident slot in the new generation), a pre-swap probe stays
+// valid until ITS bucket migrates, and once an exclusive operation
+// migrates and publishes the bucket, probes go lock-free again at the
+// same record pointer.
+func TestOptimisticUnmigratedBucketEscalates(t *testing.T) {
+	r, _, _ := optRHIK(t, Config{PageSize: 1024, IncrementalResize: true})
+	rng := rand.New(rand.NewSource(12))
+	probeSig := sig64(rng.Uint64())
+	if _, _, err := r.Insert(probeSig, 42); err != nil {
+		t.Fatal(err)
+	}
+	for !r.NeedsResize() {
+		r.Insert(sig64(rng.Uint64()), 1)
+	}
+	pre, st := r.PeekOptimistic(probeSig)
+	if st != index.OptOK {
+		t.Fatalf("pre-swap probe status %v", st)
+	}
+	if err := r.Resize(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Migrating() {
+		t.Fatal("incremental resize did not arm a migration")
+	}
+	// The swap alone moves no records: the old-generation probe is still
+	// an accurate read of the index.
+	if !r.RevalidateOptimistic(pre) {
+		t.Fatal("directory swap invalidated a probe whose bucket is untouched")
+	}
+	// But the new generation has produced no buckets yet, so a fresh
+	// probe must escalate.
+	if _, st := r.PeekOptimistic(probeSig); st != index.OptNeedExclusive {
+		t.Fatalf("unmigrated bucket probe status %v, want OptNeedExclusive", st)
+	}
+	// An exclusive lookup migrates the touched bucket, which unpublishes
+	// and poisons its old table...
+	if rp, ok, err := r.Lookup(probeSig); err != nil || !ok || rp != 42 {
+		t.Fatalf("Lookup = (%d,%v,%v), want 42", rp, ok, err)
+	}
+	if r.RevalidateOptimistic(pre) {
+		t.Fatal("bucket migration left the pre-swap probe valid")
+	}
+	// ...and publishes the new one: lock-free service resumes.
+	p, st := r.PeekOptimistic(probeSig)
+	if st != index.OptOK || !p.Found || p.RP != 42 {
+		t.Fatalf("post-migration probe = (%+v, %v), want OK/found/rp=42", p, st)
+	}
+	if !r.RevalidateOptimistic(p) {
+		t.Fatal("post-migration probe does not revalidate")
+	}
+}

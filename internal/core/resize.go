@@ -33,19 +33,27 @@ func (r *RHIK) Resize() error {
 	start := r.env.Now()
 	keysBefore := r.n
 
-	oldD := len(r.dirs)
-	newDirs := make([]dirEntry, 2*oldD)
-	newCache := r.newCache(newDirs)
+	oldG := r.g()
+	oldD := len(oldG.dirs)
+	newG := newGeneration(2 * oldD)
+	newG.cache = r.newCache(newG)
+	newCache := newG.cache
 	lowBit := uint64(oldD) // the new directory bit
 
 	// Migrate bucket by bucket. Each old bucket b splits into new buckets
-	// b and b+oldD, decided by bit d of each record's signature.
+	// b and b+oldD, decided by bit d of each record's signature. The new
+	// generation is private until the swap below, so optimistic readers
+	// keep validating against the old generation: a bucket they probe is
+	// either untouched (the read linearizes before the resize) or already
+	// unpublished/poisoned (the read fails validation and escalates).
 	for b := uint64(0); b < uint64(oldD); b++ {
 		var src *tableEntry
 		if e, ok := r.cache.Remove(b); ok {
+			oldG.resident[b].Store(nil)
+			e.table.Invalidate()
 			src = e
-		} else if r.dirs[b].has {
-			data, err := r.env.ReadPage(r.dirs[b].ppa)
+		} else if oldG.dirs[b].has {
+			data, err := r.env.ReadPage(oldG.dirs[b].ppa)
 			if err != nil {
 				return fmt.Errorf("core: resize read bucket %d: %w", b, err)
 			}
@@ -80,28 +88,30 @@ func (r *RHIK) Resize() error {
 			}
 		}
 		if src != nil {
-			r.recycleEntry(src)
+			r.retireEntry(src)
 		}
 		// Empty tables need no flash presence: leave their directory
 		// entries unpersisted and skip caching.
 		if lowT.table.Len() > 0 {
 			newCache.Put(b, lowT, int64(lowT.table.EncodedBytes()))
+			r.publish(newG, b, lowT)
 		} else {
 			r.recycleEntry(lowT)
 		}
 		if highT.table.Len() > 0 {
 			newCache.Put(b+uint64(oldD), highT, int64(highT.table.EncodedBytes()))
+			r.publish(newG, b+uint64(oldD), highT)
 		} else {
 			r.recycleEntry(highT)
 		}
 		// The old persisted page is superseded.
-		if r.dirs[b].has {
-			r.env.Invalidate(r.dirs[b].ppa)
-			delete(r.live, r.dirs[b].ppa)
+		if oldG.dirs[b].has {
+			r.env.Invalidate(oldG.dirs[b].ppa)
+			delete(r.live, oldG.dirs[b].ppa)
 		}
 	}
 
-	r.dirs = newDirs
+	r.gen.Store(newG)
 	r.cache = newCache
 	r.dBits++
 

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/dram"
+	"repro/internal/epoch"
 	"repro/internal/hopscotch"
 	"repro/internal/index"
 	"repro/internal/nand"
@@ -61,6 +63,12 @@ type Config struct {
 	// MigrateStepBuckets is the background migration quota per operation
 	// in incremental mode (default 4).
 	MigrateStepBuckets int
+	// Reclaim, when set, defers pool reuse of record tables that were
+	// reader-reachable until the epoch domain proves no optimistic reader
+	// can still alias them. Nil keeps the original immediate recycling
+	// (safe when the caller serializes all access, as in the tests that
+	// drive RHIK directly).
+	Reclaim *epoch.Domain
 }
 
 // Defaults applied by New.
@@ -147,26 +155,63 @@ type tableEntry struct {
 	dirty bool
 }
 
-// RHIK is the re-configurable hash index. It is not safe for concurrent
-// use; the device firmware serializes all access.
-type RHIK struct {
-	cfg Config
-	env index.Env
+// generation is one directory generation: the dirEntry slice plus, per
+// bucket, an atomically-published pointer to the DRAM-resident record
+// table (nil when the bucket is not cached). Optimistic readers load
+// the current generation once, follow resident pointers, and validate
+// with the table's seqlock; writers build a new generation on resize
+// and swap it in atomically, so readers never see a half-migrated
+// directory. The cache pointer is fixed per generation so lock-free
+// commits can touch CLOCK state without racing the writer's cache swap.
+type generation struct {
+	dirs     []dirEntry
+	resident []atomic.Pointer[residentRef]
+	cache    *dram.Cache[*tableEntry]
+}
 
-	r     int // records per table (Eq. 1)
-	dBits int // log2(D)
-	dirs  []dirEntry
-	cache *dram.Cache[*tableEntry]
-	live  map[nand.PPA]uint64 // persisted page -> bucket, for index-zone GC
-	pool  []*hopscotch.Table  // recycled tables; avoids per-miss allocation
-	epool []*tableEntry       // recycled cache entries; keeps misses alloc-free
-	mig   *migration          // in-flight incremental re-configuration
+// residentRef pairs a published table entry with its cache touch
+// handle, so an optimistic reader that validates can replicate the
+// locked path's hit accounting and CLOCK recency without the key map.
+type residentRef struct {
+	e *tableEntry
+	h dram.Handle[*tableEntry]
+}
+
+func newGeneration(d int) *generation {
+	return &generation{
+		dirs:     make([]dirEntry, d),
+		resident: make([]atomic.Pointer[residentRef], d),
+	}
+}
+
+// RHIK is the re-configurable hash index. Mutations are single-threaded
+// — the device firmware serializes them under the shard write lock —
+// but PeekOptimistic/RevalidateOptimistic/CommitOptimistic may run
+// lock-free from concurrent readers, validated by the per-table seqlock
+// and the atomically-swapped directory generation.
+type RHIK struct {
+	cfg     Config
+	env     index.Env
+	reclaim *epoch.Domain // nil: recycle pools immediately
+
+	r     int                        // records per table (Eq. 1)
+	dBits int                        // log2(D)
+	gen   atomic.Pointer[generation] // current directory generation
+	cache *dram.Cache[*tableEntry]   // == gen.Load().cache; writer convenience
+	live  map[nand.PPA]uint64        // persisted page -> bucket, for index-zone GC
+	pool  []*hopscotch.Table         // recycled tables; avoids per-miss allocation
+	epool []*tableEntry              // recycled cache entries; keeps misses alloc-free
+	mig   *migration                 // in-flight incremental re-configuration
 
 	n          int64 // total records
 	collisions int64
 	resizes    []index.ResizeEvent
-	ioErr      error // first error stashed by the eviction write-back path
+	ioErr      error       // first error stashed by the eviction write-back path
+	ioErrFlag  atomic.Bool // lock-free mirror of ioErr != nil for readers
 }
+
+// g returns the current generation. Writer-side shorthand.
+func (r *RHIK) g() *generation { return r.gen.Load() }
 
 var _ index.Index = (*RHIK)(nil)
 var _ index.SharedReader = (*RHIK)(nil)
@@ -182,15 +227,18 @@ func New(cfg Config, env index.Env) (*RHIK, error) {
 		return nil, err
 	}
 	r := &RHIK{
-		cfg:  cfg,
-		env:  env,
-		r:    RecordsPerTable(cfg.PageSize, cfg.SigScheme.Wide()),
-		live: make(map[nand.PPA]uint64),
+		cfg:     cfg,
+		env:     env,
+		reclaim: cfg.Reclaim,
+		r:       RecordsPerTable(cfg.PageSize, cfg.SigScheme.Wide()),
+		live:    make(map[nand.PPA]uint64),
 	}
 	d := DirectoryEntries(cfg.AnticipatedKeys, r.r)
 	r.dBits = bits.Len64(uint64(d)) - 1
-	r.dirs = make([]dirEntry, d)
-	r.cache = r.newCache(r.dirs)
+	g := newGeneration(d)
+	g.cache = r.newCache(g)
+	r.gen.Store(g)
+	r.cache = g.cache
 	return r, nil
 }
 
@@ -204,26 +252,62 @@ func (r *RHIK) Len() int64 { return r.n }
 func (r *RHIK) RecordsPerTable() int { return r.r }
 
 // DirEntries reports the current directory size D.
-func (r *RHIK) DirEntries() int { return len(r.dirs) }
+func (r *RHIK) DirEntries() int { return len(r.g().dirs) }
 
 // Capacity reports the total record capacity D·R.
-func (r *RHIK) Capacity() int64 { return int64(len(r.dirs)) * int64(r.r) }
+func (r *RHIK) Capacity() int64 { return int64(r.DirEntries()) * int64(r.r) }
 
 // Occupancy reports Len/Capacity.
 func (r *RHIK) Occupancy() float64 { return float64(r.n) / float64(r.Capacity()) }
 
 // newCache builds a record-table cache whose write-back path targets the
-// given directory slice. The closure binds dirs so that evictions during
-// a resize write through to the directory generation that owns them.
-func (r *RHIK) newCache(dirs []dirEntry) *dram.Cache[*tableEntry] {
+// given generation. The closure binds g so that evictions during a
+// resize write through to the directory generation that owns them.
+// Eviction order matters for lock-free readers: unpublish the resident
+// pointer, poison the table's version counter, then write back and
+// retire — an optimistic probe racing the eviction fails either the
+// pointer re-check or the seqlock validation, never reads a recycled
+// table.
+func (r *RHIK) newCache(g *generation) *dram.Cache[*tableEntry] {
 	return dram.New(r.cfg.CacheBudget, func(key uint64, e *tableEntry, _ int64) {
+		g.resident[key].Store(nil)
+		e.table.Invalidate()
 		if e.dirty {
-			if err := r.writeTable(dirs, key, e); err != nil && r.ioErr == nil {
-				r.ioErr = err
+			if err := r.writeTable(g.dirs, key, e); err != nil {
+				r.setIOErr(err)
 			}
 		}
-		r.recycleEntry(e)
+		r.retireEntry(e)
 	})
+}
+
+// setIOErr stashes the first deferred write-back error and raises the
+// lock-free mirror flag so optimistic readers escalate until a writer
+// surfaces the error via checkIO.
+func (r *RHIK) setIOErr(err error) {
+	if r.ioErr == nil {
+		r.ioErr = err
+	}
+	r.ioErrFlag.Store(true)
+}
+
+// retireEntry returns an entry that may have been reader-reachable to
+// the pools — immediately without a reclaim domain, otherwise deferred
+// past every pinned reader epoch.
+func (r *RHIK) retireEntry(e *tableEntry) {
+	if r.reclaim == nil {
+		r.recycleEntry(e)
+		return
+	}
+	r.reclaim.Retire(func() { r.recycleEntry(e) })
+}
+
+// publish makes bucket's cached entry reachable by optimistic readers.
+// Call after every cache.Put of a non-empty table.
+func (r *RHIK) publish(g *generation, bucket uint64, e *tableEntry) {
+	if h, ok := g.cache.Handle(bucket); ok {
+		g.resident[bucket].Store(&residentRef{e: e, h: h})
+	}
 }
 
 // recycle returns an evicted table to the pool. Callers follow a
@@ -294,7 +378,7 @@ func (r *RHIK) writeTable(dirs []dirEntry, bucket uint64, e *tableEntry) error {
 }
 
 func (r *RHIK) bucketOf(sig index.Sig) uint64 {
-	return sig.Lo & uint64(len(r.dirs)-1)
+	return sig.Lo & uint64(len(r.g().dirs)-1)
 }
 
 func (r *RHIK) newTable() *hopscotch.Table {
@@ -310,9 +394,10 @@ func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
 	if e, ok := r.cache.Get(bucket); ok {
 		return e, nil
 	}
+	g := r.g()
 	t := r.takeTable()
-	if r.dirs[bucket].has {
-		data, err := r.env.ReadPage(r.dirs[bucket].ppa)
+	if g.dirs[bucket].has {
+		data, err := r.env.ReadPage(g.dirs[bucket].ppa)
 		if err != nil {
 			r.recycle(t)
 			return nil, err
@@ -326,6 +411,7 @@ func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
 	}
 	e := r.takeEntry(t)
 	r.cache.Put(bucket, e, int64(t.EncodedBytes()))
+	r.publish(g, bucket, e)
 	return e, nil
 }
 
@@ -333,6 +419,7 @@ func (r *RHIK) checkIO() error {
 	if r.ioErr != nil {
 		err := r.ioErr
 		r.ioErr = nil
+		r.ioErrFlag.Store(false)
 		return err
 	}
 	return nil
@@ -420,6 +507,82 @@ func (r *RHIK) SharedLookupReady(sig index.Sig) bool {
 	return r.mig == nil && r.ioErr == nil && r.cache.Contains(r.bucketOf(sig))
 }
 
+// OptProbe is the result of a lock-free index probe. The RP/Found pair
+// is meaningful only while RevalidateOptimistic keeps returning true;
+// the unexported fields anchor the probed generation slot and seqlock
+// snapshot for those later validations. Plain value type: it must not
+// escape to the heap on the device's 0-alloc GET path.
+type OptProbe struct {
+	RP    uint64
+	Found bool
+
+	ref   *residentRef
+	slot  *atomic.Pointer[residentRef]
+	seq   uint64
+	cache *dram.Cache[*tableEntry]
+}
+
+// PeekOptimistic probes the index for sig without any lock and without
+// charging simulated time or touching counters. The caller must hold an
+// epoch pin on the device's reclaim domain for the whole probe/validate
+// lifetime, so the referenced table cannot be recycled underneath it.
+//
+// OptOK means the probe validated at return: RP/Found were read from a
+// stable table version reachable from the current directory generation.
+// OptRetry means a concurrent mutation interfered; retry immediately.
+// OptNeedExclusive means no lock-free read can succeed (bucket not
+// resident, bucket not yet migrated into the current generation, or a
+// deferred write-back error is pending) — escalate to the exclusive
+// path.
+func (r *RHIK) PeekOptimistic(sig index.Sig) (OptProbe, index.OptStatus) {
+	if r.ioErrFlag.Load() {
+		return OptProbe{}, index.OptNeedExclusive
+	}
+	g := r.gen.Load()
+	b := sig.Lo & uint64(len(g.dirs)-1)
+	slot := &g.resident[b]
+	ref := slot.Load()
+	if ref == nil {
+		// Not DRAM-resident in this generation: either a cache miss or a
+		// bucket the incremental migration has not produced yet. Both need
+		// the exclusive path (flash load / migration step).
+		return OptProbe{}, index.OptNeedExclusive
+	}
+	t := ref.e.table
+	v, ok := t.SeqSnapshot()
+	if !ok {
+		return OptProbe{}, index.OptRetry
+	}
+	rp, found := t.GetOptimistic(sig.Lo, sig.Hi)
+	if !t.SeqValidate(v) || slot.Load() != ref {
+		return OptProbe{}, index.OptRetry
+	}
+	return OptProbe{RP: rp, Found: found, ref: ref, slot: slot, seq: v, cache: g.cache}, index.OptOK
+}
+
+// RevalidateOptimistic reports whether a probe's result is still
+// current: the table version is unchanged and the entry is still the
+// one published for its bucket. The device calls it after copying
+// dependent data (the record page) and before acting on it, which is
+// the read's linearization point. Requires the same epoch pin as the
+// probe.
+func (r *RHIK) RevalidateOptimistic(p OptProbe) bool {
+	return p.ref.e.table.SeqValidate(p.seq) && p.slot.Load() == p.ref
+}
+
+// CommitOptimistic applies the cache side effects a locked Lookup would
+// have had — one hit, CLOCK reference bit set — for a probe that
+// validated, against the cache generation the probe actually read. Call
+// exactly once per successful optimistic operation.
+func (r *RHIK) CommitOptimistic(p OptProbe) {
+	p.cache.TouchHit(p.ref.h)
+}
+
+// OptimisticLookupCost is the simulated CPU charge for one optimistic
+// lookup, identical to the locked path's per-op charge so the two paths
+// produce byte-identical timelines.
+func (r *RHIK) OptimisticLookupCost() sim.Duration { return r.cfg.CPUPerOp }
+
 // Flush writes every dirty cached table to flash. Entries stay cached.
 // An in-flight incremental migration is drained first so the persisted
 // state is single-generation.
@@ -428,9 +591,10 @@ func (r *RHIK) Flush() error {
 		return err
 	}
 	var firstErr error
+	dirs := r.g().dirs
 	r.cache.Range(func(key uint64, e *tableEntry, _ int64) bool {
 		if e.dirty {
-			if err := r.writeTable(r.dirs, key, e); err != nil && firstErr == nil {
+			if err := r.writeTable(dirs, key, e); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -444,14 +608,15 @@ func (r *RHIK) Flush() error {
 
 // IndexStats implements index.StatsProvider.
 func (r *RHIK) IndexStats() index.Stats {
+	d := r.DirEntries()
 	return index.Stats{
 		Records:    r.n,
 		Collisions: r.collisions,
 		Resizes:    len(r.resizes),
-		DirEntries: len(r.dirs),
+		DirEntries: d,
 		// Directory entries cost ~5 bytes (a flash page address) each in
 		// integrated DRAM, plus the record-table cache.
-		DRAMBytes: int64(len(r.dirs))*5 + r.cache.Used(),
+		DRAMBytes: int64(d)*5 + r.cache.Used(),
 		Cache:     r.cache.Stats(),
 	}
 }

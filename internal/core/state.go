@@ -15,7 +15,8 @@ const stateMagic = "RHIKDR1\x00"
 // persistent copy of the D entries". Call Flush first so every directory
 // entry points at current flash pages.
 func (r *RHIK) EncodeState() []byte {
-	buf := make([]byte, 0, len(stateMagic)+1+8+8+len(r.dirs)*9)
+	dirs := r.g().dirs
+	buf := make([]byte, 0, len(stateMagic)+1+8+8+len(dirs)*9)
 	buf = append(buf, stateMagic...)
 	buf = append(buf, byte(r.dBits))
 	var n8 [8]byte
@@ -23,7 +24,7 @@ func (r *RHIK) EncodeState() []byte {
 	buf = append(buf, n8[:]...)
 	binary.LittleEndian.PutUint64(n8[:], uint64(r.collisions))
 	buf = append(buf, n8[:]...)
-	for _, d := range r.dirs {
+	for _, d := range dirs {
 		has := byte(0)
 		if d.has {
 			has = 1
@@ -52,32 +53,38 @@ func (r *RHIK) LoadState(data []byte) error {
 	if len(data) < p+9*d {
 		return fmt.Errorf("core: truncated checkpoint: %d entries expected", d)
 	}
-	dirs := make([]dirEntry, d)
+	g := newGeneration(d)
 	live := make(map[nand.PPA]uint64, d)
-	for i := range dirs {
+	for i := range g.dirs {
 		has := data[p] == 1
 		p++
 		ppa := nand.PPA(binary.LittleEndian.Uint64(data[p:]))
 		p += 8
-		dirs[i] = dirEntry{ppa: ppa, has: has}
+		g.dirs[i] = dirEntry{ppa: ppa, has: has}
 		if has {
 			live[ppa] = uint64(i)
 		}
 	}
+	g.cache = r.newCache(g)
 	r.dBits = dBits
-	r.dirs = dirs
 	r.live = live
 	r.n = n
 	r.collisions = collisions
-	r.cache = r.newCache(r.dirs)
+	// The previous generation's cached entries are dropped wholesale (no
+	// eviction callbacks, no pool recycling), so a reader racing a device
+	// restart — already fenced out by the device's structure-mutation
+	// sequence — can never see their tables reused.
+	r.gen.Store(g)
+	r.cache = g.cache
 	return nil
 }
 
 // PersistentPages implements index.Checkpointer: the flash pages the
 // encoded directory references.
 func (r *RHIK) PersistentPages() []nand.PPA {
-	pages := make([]nand.PPA, 0, len(r.dirs))
-	for _, d := range r.dirs {
+	dirs := r.g().dirs
+	pages := make([]nand.PPA, 0, len(dirs))
+	for _, d := range dirs {
 		if d.has {
 			pages = append(pages, d.ppa)
 		}
@@ -97,7 +104,7 @@ func (r *RHIK) Owner(p nand.PPA) (uint64, bool) {
 // with iterator-mode signatures, every key sharing a prefix maps to one
 // bucket, so enumeration scans a single record table (§VI).
 func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
-	if bucket >= uint64(len(r.dirs)) {
+	if bucket >= uint64(len(r.g().dirs)) {
 		return nil, fmt.Errorf("core: bucket %d out of range", bucket)
 	}
 	if r.mig != nil {
@@ -124,7 +131,7 @@ func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
 // (low mod D), so the scan is one bucket enumeration — at most one flash
 // read, the same guarantee as a point lookup.
 func (r *RHIK) PrefixRecords(low uint32) ([]uint64, error) {
-	return r.BucketRecords(uint64(low) & uint64(len(r.dirs)-1))
+	return r.BucketRecords(uint64(low) & uint64(len(r.g().dirs)-1))
 }
 
 // Relocate implements index.Relocator: the bucket's record table is
@@ -140,7 +147,7 @@ func (r *RHIK) Relocate(bucket uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := r.writeTable(r.dirs, bucket, e); err != nil {
+	if err := r.writeTable(r.g().dirs, bucket, e); err != nil {
 		return err
 	}
 	return r.checkIO()

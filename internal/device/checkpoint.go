@@ -21,6 +21,7 @@ var ckptMagic = [4]byte{'R', 'C', 'K', '1'}
 // persistent copy" of the directory layer. Data written after the last
 // checkpoint remains recoverable through the log scan (see recovery.go).
 func (d *Device) Checkpoint() error {
+	d.collectRetired()
 	if err := d.FlushData(); err != nil {
 		return err
 	}

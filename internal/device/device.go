@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/ftl"
 	"repro/internal/index"
 	"repro/internal/layout"
@@ -240,11 +241,24 @@ func (s *devStats) snapshot() Stats {
 // Device is the emulated KVSSD. Mutating commands (Store, Delete,
 // Checkpoint, Restart, Close, Iterate) must be externally serialized —
 // the sharded front-end (internal/shard) runs them under a per-shard
-// write lock. Read commands may run concurrently with each other via
-// TryRetrieveShared/TryExistShared, which refuse (ErrNeedExclusive,
-// before charging any simulated time) whenever the operation would have
-// to mutate index structure; the shard then retries under the write
-// lock. Observability accessors (Stats, FlashStats, latency histograms)
+// write lock. Reads have three tiers:
+//
+//   - TryRetrieveOptimistic/TryExistOptimistic run with NO lock at all
+//     (RHIK only): the probe validates against per-table seqlocks and
+//     the atomically-swapped directory generation, an epoch pin keeps
+//     retired tables and erased flash buffers from being reused
+//     underneath the read, and index.ErrOptimisticRetry /
+//     index.ErrNeedExclusive are returned — before any simulated-time
+//     charge — when a concurrent mutation interferes or the state is
+//     not DRAM-resident.
+//   - TryRetrieveShared/TryExistShared run under the caller's SHARED
+//     lock (the legacy tier, still used by indexes without an
+//     optimistic surface), refusing with ErrNeedExclusive whenever the
+//     operation would have to mutate index structure.
+//   - Retrieve/RetrieveAppend/Exist re-execute under the caller's
+//     exclusive lock.
+//
+// Observability accessors (Stats, FlashStats, latency histograms)
 // snapshot atomics and are safe alongside concurrent readers.
 type Device struct {
 	cfg    Config
@@ -281,8 +295,25 @@ type Device struct {
 	// deferred to deferredInval and applied at the next checkpoint.
 	ckptPinned    map[nand.PPA]bool
 	deferredInval []nand.PPA
-	mutsSince     int64 // mutating ops since last checkpoint
-	closed        bool
+	mutsSince     int64       // mutating ops since last checkpoint
+	closed        atomic.Bool // lock-free readers check it without the shard lock
+
+	// reclaim defers reuse of reader-reachable objects (pooled record
+	// tables, erased flash buffers) past every pinned optimistic reader.
+	// Created once in Open; survives Restart so pins held across a
+	// simulated power cycle stay valid.
+	reclaim *epoch.Domain
+	// optIdx caches the index downcast for the lock-free read tier; nil
+	// when the configured index has no optimistic surface.
+	optIdx atomic.Pointer[core.RHIK]
+	// mutSeq is the device structure-mutation sequence: odd while a
+	// restructuring that can yank flash pages out from under a reader
+	// (GC erase, Restart) is in flight. Optimistic readers snapshot it
+	// up front and convert any mid-read flash error into a retry when it
+	// moved, so transient ErrNotProgrammed during an overlapping erase
+	// never surfaces to the host.
+	mutSeq   atomic.Uint64
+	mutDepth int // re-entrancy depth for begin/endStructureMutation
 
 	stats      devStats
 	latStore   metrics.ConcurrentHistogram // per-op simulated latency (ns)
@@ -328,6 +359,7 @@ func Open(cfg Config) (*Device, error) {
 		idxPageSize: make(map[nand.PPA]int32),
 		pending:     make(map[layout.RP]pendingPair),
 		ckptPinned:  make(map[nand.PPA]bool),
+		reclaim:     epoch.NewDomain(),
 	}
 	d.env = &idxEnv{d: d}
 	d.hostLink = sim.NewResource("hostlink")
@@ -342,6 +374,9 @@ func Open(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d.idx = idx
+	if r, ok := idx.(*core.RHIK); ok {
+		d.optIdx.Store(r)
+	}
 	return d, nil
 }
 
@@ -357,6 +392,7 @@ func (d *Device) buildIndex() (index.Index, error) {
 			OccupancyThreshold: d.cfg.OccupancyThreshold,
 			CacheBudget:        d.cfg.CacheBudget,
 			IncrementalResize:  d.cfg.IncrementalResize,
+			Reclaim:            d.reclaim,
 		}, d.env)
 	case IndexMultiLevel:
 		mcfg := d.cfg.MLHash
@@ -469,15 +505,54 @@ func (d *Device) ResetOpStats() {
 // Close flushes buffered data and the index, then marks the device
 // unusable.
 func (d *Device) Close() error {
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
 	if err := d.Checkpoint(); err != nil {
 		return err
 	}
-	d.closed = true
+	d.closed.Store(true)
 	return nil
 }
+
+// beginStructureMutation marks the start of a restructuring that can
+// make flash pages transiently unreadable (GC erase, Restart). The
+// sequence is odd while one is in flight; optimistic readers that
+// observe a moved or odd sequence convert flash errors into retries.
+// Re-entrant (collect can run inside Restart's replay via flushOpen),
+// so only the outermost bracket moves the sequence. Writer-side.
+func (d *Device) beginStructureMutation() {
+	if d.mutDepth == 0 {
+		d.mutSeq.Add(1)
+	}
+	d.mutDepth++
+}
+
+// endStructureMutation closes a beginStructureMutation bracket.
+func (d *Device) endStructureMutation() {
+	d.mutDepth--
+	if d.mutDepth == 0 {
+		d.mutSeq.Add(1)
+	}
+}
+
+// collectRetired frees retired objects (pooled record tables, erased
+// flash buffers) whose retirement epoch precedes every pinned reader.
+// Writer-side: called from the exclusive command paths, so it never
+// races Retire.
+func (d *Device) collectRetired() {
+	if d.reclaim.Pending() > 0 {
+		d.reclaim.Collect()
+	}
+}
+
+// SupportsOptimisticReads reports whether the configured index exposes
+// the lock-free read tier (RHIK does; the baselines fall back to the
+// shared-lock tier).
+func (d *Device) SupportsOptimisticReads() bool { return d.optIdx.Load() != nil }
+
+// ReclaimStats snapshots the epoch-reclamation counters.
+func (d *Device) ReclaimStats() epoch.Stats { return d.reclaim.Stats() }
 
 // Flash exposes the NAND array for tests (fault injection) and tools.
 func (d *Device) Flash() *nand.Flash { return d.flash }

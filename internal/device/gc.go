@@ -94,6 +94,11 @@ func (d *Device) collect() error {
 
 	d.inGC = true
 	defer func() { d.inGC = false }()
+	// The erase below can yank pages out from under an in-flight
+	// optimistic reader; the structure-mutation bracket turns any flash
+	// error it sees into a retry.
+	d.beginStructureMutation()
+	defer d.endStructureMutation()
 	d.stats.gcRuns.Add(1)
 
 	var err error
@@ -116,8 +121,15 @@ func (d *Device) collect() error {
 	if err != nil {
 		return err
 	}
+	// A pinned reader may still hold slices into the erased block's page
+	// buffers; route them through the reclaim domain instead of straight
+	// back into the program pool.
+	if bufs := d.flash.TakeLimbo(); len(bufs) != 0 {
+		d.reclaim.Retire(func() { d.flash.RecycleBuffers(bufs) })
+	}
 	d.env.now.AdvanceTo(done)
 	d.mgr.Release(victim)
+	d.collectRetired()
 	return nil
 }
 

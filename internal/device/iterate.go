@@ -26,7 +26,7 @@ type IterEntry struct {
 // shootout measures. Candidates whose keys do not actually share the
 // prefix (hash collisions) are filtered by comparing the stored key.
 func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]IterEntry, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return nil, d.env.now.Load(), ErrClosed
 	}
 	if d.scheme.PrefixLen == 0 {

@@ -102,9 +102,10 @@ func (d *Device) retrieve(submitAt sim.Time, key, dst []byte, sig index.Sig) ([]
 // key before returning, so signature collisions can never return the
 // wrong value (§IV-A3).
 func (d *Device) Retrieve(submitAt sim.Time, key []byte) ([]byte, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return nil, d.env.now.Load(), ErrClosed
 	}
+	d.collectRetired()
 	v, done, err := d.retrieve(submitAt, key, nil, d.scheme.Compute(key))
 	if err != nil {
 		return nil, done, err
@@ -116,9 +117,10 @@ func (d *Device) Retrieve(submitAt sim.Time, key []byte) ([]byte, sim.Time, erro
 // caller reuse one buffer across gets (the allocation-free hot path).
 // Requires the caller's exclusive lock, like Retrieve.
 func (d *Device) RetrieveAppend(submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return dst, d.env.now.Load(), ErrClosed
 	}
+	d.collectRetired()
 	return d.retrieve(submitAt, key, dst, d.scheme.Compute(key))
 }
 
@@ -129,7 +131,7 @@ func (d *Device) RetrieveAppend(submitAt sim.Time, key, dst []byte) ([]byte, sim
 // the caller re-executes under the exclusive lock. On success the value
 // is appended to dst.
 func (d *Device) TryRetrieveShared(submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return dst, d.env.now.Load(), ErrClosed
 	}
 	sig := d.scheme.Compute(key)
@@ -169,9 +171,10 @@ func (d *Device) exist(submitAt sim.Time, key []byte, sig index.Sig) (bool, sim.
 // result is exact (the extra flash read the paper describes for explicit
 // membership checks as signature collisions become likely).
 func (d *Device) Exist(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return false, d.env.now.Load(), ErrClosed
 	}
+	d.collectRetired()
 	return d.exist(submitAt, key, d.scheme.Compute(key))
 }
 
@@ -179,7 +182,7 @@ func (d *Device) Exist(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
 // lock, returning index.ErrNeedExclusive (before any simulated-time
 // charge) when the lookup is not DRAM-resident.
 func (d *Device) TryExistShared(submitAt sim.Time, key []byte) (bool, sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return false, d.env.now.Load(), ErrClosed
 	}
 	sig := d.scheme.Compute(key)

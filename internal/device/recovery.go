@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/index"
 	"repro/internal/layout"
@@ -19,9 +20,14 @@ import (
 // still in the volatile open-page buffer at the crash are lost, matching
 // write-cache semantics; Close/Checkpoint bound that window.
 func (d *Device) Restart() error {
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
+	// The whole rebuild is one structure mutation: an optimistic reader
+	// overlapping it retries instead of surfacing a transient error, and
+	// its result linearizes before the power cycle.
+	d.beginStructureMutation()
+	defer d.endStructureMutation()
 	// Drop all volatile state.
 	d.pending = make(map[layout.RP]pendingPair)
 	d.fg = d.newLogWriter("fg")
@@ -44,6 +50,11 @@ func (d *Device) Restart() error {
 		return err
 	}
 	d.idx = idx
+	if r, ok := idx.(*core.RHIK); ok {
+		d.optIdx.Store(r)
+	} else {
+		d.optIdx.Store(nil)
+	}
 
 	// Phase 1: scan every programmed page and classify it.
 	type scannedPage struct {

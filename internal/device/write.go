@@ -223,7 +223,7 @@ func (d *Device) hostXfer(at sim.Time, bytes int) sim.Time {
 // (signature re-use, §IV-A3), writes the new pair log-style, updates the
 // index, and invalidates the old pair.
 func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return d.env.now.Load(), ErrClosed
 	}
 	if len(key) == 0 || len(key) > layout.MaxKeyLen ||
@@ -306,7 +306,7 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 // Delete executes a delete command: verify the key, remove the index
 // record, append a tombstone for recoverability, and invalidate the pair.
 func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return d.env.now.Load(), ErrClosed
 	}
 	arrive := d.hostXfer(submitAt, len(key))
@@ -403,9 +403,11 @@ func (d *Device) insertReconfiguring(sig index.Sig, rp uint64) error {
 
 // afterMutation runs post-command maintenance: RHIK re-configuration
 // (with the submission queue halted — the firmware timeline simply
-// advances through the migration) and periodic checkpoints.
+// advances through the migration), epoch-reclamation collection, and
+// periodic checkpoints.
 func (d *Device) afterMutation() error {
 	d.mutsSince++
+	d.collectRetired()
 	if rz, ok := d.idx.(index.Resizer); ok && !d.cfg.DisableAutoResize && rz.NeedsResize() {
 		haltStart := d.env.now.Load()
 		if err := rz.Resize(); err != nil {

@@ -114,6 +114,36 @@ func (c *Cache[V]) Peek(key uint64) (V, bool) {
 	return e.value, true
 }
 
+// Handle is a stable reference to a cache entry, captured under the
+// writer lock (Handle method) and redeemable later from lock-free
+// readers via TouchHit. It stays valid across evictions in the weak
+// sense optimistic readers need: touching an already-evicted entry
+// flips a ref bit nobody consults, which is harmless.
+type Handle[V any] struct {
+	e *entry[V]
+}
+
+// Handle captures a touch handle for key. Writer-side (it reads the key
+// map); callers publish the handle through their own synchronized
+// structure for readers to redeem.
+func (c *Cache[V]) Handle(key uint64) (Handle[V], bool) {
+	e, ok := c.byKey[key]
+	if !ok {
+		return Handle[V]{}, false
+	}
+	return Handle[V]{e: e}, true
+}
+
+// TouchHit applies the exact side effects of a successful Get — one hit
+// count, reference bit set — through a previously captured Handle,
+// without reading the key map. Safe from any goroutine; optimistic
+// readers call it after their version check passes so CLOCK recency and
+// hit accounting match the locked path.
+func (c *Cache[V]) TouchHit(h Handle[V]) {
+	c.hits.Add(1)
+	h.e.ref.Store(true)
+}
+
 // Put inserts or updates key with the given value and size, evicting
 // entries as needed to respect the budget. The touched entry gets its
 // reference bit set, so it survives the next clock sweep.

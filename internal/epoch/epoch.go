@@ -1,0 +1,164 @@
+// Package epoch implements epoch-based reclamation for the lock-free
+// read path: readers pin the current epoch before touching any shared
+// structure, writers retire objects (pooled tables, erased flash
+// buffers) instead of recycling them immediately, and a periodic
+// collection frees everything retired before the oldest still-pinned
+// epoch. In Go nothing is ever unsafe to *dereference* — the garbage
+// collector guarantees that — so what reclamation protects here is
+// object REUSE: a pooled hopscotch table or page buffer must not be
+// handed to a new owner (and overwritten) while a reader pinned before
+// its retirement might still be reading it.
+//
+// The safety argument needs no pin revalidation loop: a reader acquires
+// references only AFTER pinning, and writers unlink an object from all
+// reader-reachable paths BEFORE retiring it. An object retired at epoch
+// R is freed only when R < min(pinned epochs); any reader that could
+// hold a reference pinned at e <= R, so it blocks the free until it
+// unpins. A pin published with a stale (lower) epoch only delays frees
+// — it is conservative, never unsafe.
+package epoch
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// slots is the fixed pin-table size. Each optimistic read occupies one
+// slot for its duration; with more than slots concurrent readers,
+// TryPin fails and the caller falls back to its exclusive path, so the
+// bound degrades gracefully instead of blocking.
+const slots = 128
+
+// Pin identifies a pinned slot, returned by TryPin and passed to Unpin.
+type Pin int32
+
+// pinSlot is one reader's published epoch, padded to its own cache line
+// so concurrent pins on different slots do not false-share.
+type pinSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Stats is a snapshot of the domain's counters.
+type Stats struct {
+	Pins     int64 // successful TryPin calls
+	PinFails int64 // TryPin calls that found no free slot
+	Retired  int64 // objects handed to Retire
+	Freed    int64 // retired objects whose free functions have run
+	Pending  int64 // retired objects awaiting a quiescent epoch
+}
+
+// Domain is one reclamation domain. Reader-side calls (TryPin, Unpin)
+// are safe from any goroutine; writer-side calls (Retire, Collect) must
+// be serialized by the caller — in the device they run under the shard
+// write lock.
+type Domain struct {
+	epoch  atomic.Uint64 // current epoch; starts at 1 (0 marks a free slot)
+	cursor atomic.Uint32 // round-robin start hint spreading pins over slots
+	table  [slots]pinSlot
+
+	pins     atomic.Int64
+	pinFails atomic.Int64
+
+	retired      []retiredItem // writer-side; guarded by the caller's lock
+	retiredTotal int64
+	freedTotal   int64
+}
+
+type retiredItem struct {
+	epoch uint64
+	free  func()
+}
+
+// NewDomain returns an empty domain at epoch 1.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(1)
+	return d
+}
+
+// TryPin claims a pin slot and publishes the current epoch in it. It
+// returns ok=false when all slots are taken; the caller must then fall
+// back to a path that does not rely on deferred reclamation. A
+// successful pin must be released with Unpin.
+func (d *Domain) TryPin() (Pin, bool) {
+	start := d.cursor.Add(1)
+	for i := uint32(0); i < slots; i++ {
+		s := &d.table[(start+i)%slots]
+		if s.v.Load() != 0 {
+			continue
+		}
+		// The epoch may advance between this load and the CAS; publishing
+		// the older value is safe (it only delays frees, see the package
+		// comment).
+		if s.v.CompareAndSwap(0, d.epoch.Load()) {
+			d.pins.Add(1)
+			return Pin((start + i) % slots), true
+		}
+	}
+	d.pinFails.Add(1)
+	return 0, false
+}
+
+// Unpin releases a slot claimed by TryPin.
+func (d *Domain) Unpin(p Pin) {
+	d.table[p].v.Store(0)
+}
+
+// Retire defers free until every reader pinned at or before the current
+// epoch has unpinned. The object must already be unreachable from any
+// path a newly-pinning reader could follow. Writer-side.
+func (d *Domain) Retire(free func()) {
+	d.retired = append(d.retired, retiredItem{epoch: d.epoch.Load(), free: free})
+	d.retiredTotal++
+}
+
+// Collect advances the epoch and frees every retired object whose
+// retirement epoch precedes the oldest still-pinned epoch, returning
+// how many were freed. Writer-side.
+func (d *Domain) Collect() int {
+	if len(d.retired) == 0 {
+		return 0
+	}
+	d.epoch.Add(1)
+	min := uint64(math.MaxUint64)
+	for i := range d.table {
+		if v := d.table[i].v.Load(); v != 0 && v < min {
+			min = v
+		}
+	}
+	kept := d.retired[:0]
+	freed := 0
+	for _, it := range d.retired {
+		if it.epoch < min {
+			it.free()
+			freed++
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	// Drop freed closures so they do not pin their captures.
+	for i := len(kept); i < len(d.retired); i++ {
+		d.retired[i] = retiredItem{}
+	}
+	d.retired = kept
+	d.freedTotal += int64(freed)
+	return freed
+}
+
+// Pending reports the number of retired objects not yet freed.
+// Writer-side (it reads the retired list unsynchronized).
+func (d *Domain) Pending() int { return len(d.retired) }
+
+// Stats snapshots the counters. The atomic fields are exact at their
+// load instants; Retired/Freed/Pending are writer-side values and need
+// the caller's lock for a consistent cut.
+func (d *Domain) Stats() Stats {
+	return Stats{
+		Pins:     d.pins.Load(),
+		PinFails: d.pinFails.Load(),
+		Retired:  d.retiredTotal,
+		Freed:    d.freedTotal,
+		Pending:  int64(len(d.retired)),
+	}
+}

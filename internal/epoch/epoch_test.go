@@ -1,0 +1,113 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRetireFreedOnlyAfterUnpin(t *testing.T) {
+	d := NewDomain()
+	p, ok := d.TryPin()
+	if !ok {
+		t.Fatal("fresh domain refused a pin")
+	}
+	freed := false
+	d.Retire(func() { freed = true })
+	if n := d.Collect(); n != 0 || freed {
+		t.Fatalf("collected %d (freed=%v) while the pre-retire pin is held", n, freed)
+	}
+	d.Unpin(p)
+	if n := d.Collect(); n != 1 || !freed {
+		t.Fatalf("after unpin: collected %d, freed=%v, want 1/true", n, freed)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d after full collection", d.Pending())
+	}
+}
+
+func TestPinAfterRetireDoesNotBlockFree(t *testing.T) {
+	// A reader that pins AFTER the object was unlinked and retired cannot
+	// reach it, so it must not delay the free past one epoch turn.
+	d := NewDomain()
+	freed := false
+	d.Retire(func() { freed = true })
+	d.Collect() // advances the epoch past the retirement epoch
+	p, ok := d.TryPin()
+	if !ok {
+		t.Fatal("pin failed")
+	}
+	defer d.Unpin(p)
+	if !freed {
+		if n := d.Collect(); n != 1 {
+			t.Fatalf("late pin blocked the free: collected %d", n)
+		}
+	}
+}
+
+func TestTryPinExhaustion(t *testing.T) {
+	d := NewDomain()
+	pins := make([]Pin, 0, slots)
+	for {
+		p, ok := d.TryPin()
+		if !ok {
+			break
+		}
+		pins = append(pins, p)
+	}
+	if len(pins) != slots {
+		t.Fatalf("claimed %d pins before exhaustion, want %d", len(pins), slots)
+	}
+	if st := d.Stats(); st.PinFails != 1 {
+		t.Fatalf("PinFails = %d, want 1", st.PinFails)
+	}
+	for _, p := range pins {
+		d.Unpin(p)
+	}
+	if _, ok := d.TryPin(); !ok {
+		t.Fatal("pin failed after all slots were released")
+	}
+}
+
+func TestConcurrentPinUnpinRace(t *testing.T) {
+	// -race regression: readers pin/unpin while a writer retires and
+	// collects under its own mutex (standing in for the shard lock).
+	d := NewDomain()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if p, ok := d.TryPin(); ok {
+					d.Unpin(p)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		mu.Lock()
+		d.Retire(func() {})
+		if i%7 == 0 {
+			d.Collect()
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	for d.Pending() > 0 {
+		d.Collect()
+	}
+	mu.Unlock()
+	st := d.Stats()
+	if st.Retired != 2000 || st.Freed != 2000 {
+		t.Fatalf("retired=%d freed=%d, want 2000/2000", st.Retired, st.Freed)
+	}
+}

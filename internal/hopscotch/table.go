@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/hash"
 )
@@ -41,9 +42,18 @@ const emptyPPA = 1<<40 - 1
 var ErrNoSlot = errors.New("hopscotch: no free slot within hop range")
 
 // Table is a fixed-capacity hopscotch hash table mapping 64-bit key
-// signatures to physical page addresses. It is not safe for concurrent
-// use; RHIK serializes access in the firmware model.
+// signatures to physical page addresses. Mutations are not safe for
+// concurrent use — RHIK serializes them under the shard write lock —
+// but the table carries a seqlock version counter so OPTIMISTIC readers
+// may race mutators: a reader snapshots the version (SeqSnapshot),
+// probes with GetOptimistic, and re-checks (SeqValidate); a mismatch
+// means the read overlapped a write and must be retried or escalated.
+// The counter is odd for the duration of every mutation and bumped to
+// the next even value when it completes; Invalidate parks it odd
+// permanently when the table leaves reader reachability (eviction,
+// migration, pool recycling), so stale probes can never validate.
 type Table struct {
+	seq  atomic.Uint64
 	sigs []uint64
 	his  []uint64 // upper signature halves; nil in 64-bit mode
 	ppas []uint64
@@ -52,6 +62,39 @@ type Table struct {
 	n    int
 	hop  int
 }
+
+// beginWrite makes the sequence odd for the duration of a mutation.
+// The formula lands on an odd value whether the current value is even
+// (normal bracket) or already odd (mutating a poisoned table, e.g.
+// Reset while pooled), so brackets compose with Invalidate.
+func (t *Table) beginWrite() {
+	v := t.seq.Load()
+	t.seq.Store(v + 1 + (v & 1))
+}
+
+// endWrite publishes the mutation by moving the sequence to the next
+// even value.
+func (t *Table) endWrite() { t.seq.Add(1) }
+
+// Invalidate permanently poisons the table's version counter (leaves it
+// odd) so any in-flight optimistic read fails validation. Call it
+// whenever the table leaves the reader-reachable directory: cache
+// eviction, migration source teardown, resize teardown. The next full
+// mutation bracket (Reset/DecodeFrom on pool reuse) revives the counter.
+func (t *Table) Invalidate() { t.beginWrite() }
+
+// SeqSnapshot returns the current version counter and whether the table
+// is stable (no mutation in flight, not invalidated). Optimistic
+// readers call it before probing; !ok means retry or escalate now.
+func (t *Table) SeqSnapshot() (uint64, bool) {
+	v := t.seq.Load()
+	return v, v&1 == 0
+}
+
+// SeqValidate reports whether the version counter still equals the
+// earlier snapshot v — i.e. no mutation started since. Readers call it
+// after probing (and again after copying any dependent data out).
+func (t *Table) SeqValidate(v uint64) bool { return t.seq.Load() == v }
 
 // New returns an empty 64-bit-signature table with the given slot
 // capacity and hop range. Hop ranges larger than MaxHopRange or the
@@ -159,6 +202,31 @@ func (t *Table) GetWide(lo, hi uint64) (ppa uint64, ok bool) {
 	return 0, false
 }
 
+// GetOptimistic is GetWide for seqlock readers racing a mutator: every
+// slot-array access is an atomic load, and it never touches the
+// plain-written used[]/n fields (a set hop bit implies the slot was
+// occupied at some even sequence; torn states are rejected by the
+// caller's SeqValidate). The returned value is only meaningful if the
+// surrounding SeqSnapshot/SeqValidate pair passes.
+func (t *Table) GetOptimistic(lo, hi uint64) (ppa uint64, ok bool) {
+	home := t.home(lo)
+	for hop := atomic.LoadUint32(&t.hops[home]); hop != 0; hop &= hop - 1 {
+		i := bits.TrailingZeros32(hop)
+		slot := (home + i) % len(t.sigs)
+		if atomic.LoadUint64(&t.sigs[slot]) == lo && t.hiOptimistic(slot) == hi {
+			return atomic.LoadUint64(&t.ppas[slot]), true
+		}
+	}
+	return 0, false
+}
+
+func (t *Table) hiOptimistic(slot int) uint64 {
+	if t.his == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&t.his[slot])
+}
+
 // Put inserts or updates the record for sig. It reports whether an
 // existing record was replaced. ErrNoSlot means the neighborhood is
 // saturated and the operation must be aborted.
@@ -174,7 +242,9 @@ func (t *Table) PutWide(lo, hi, ppa uint64) (replaced bool, err error) {
 		i := bits.TrailingZeros32(hop)
 		slot := (home + i) % len(t.sigs)
 		if t.match(slot, lo, hi) {
-			t.ppas[slot] = ppa
+			t.beginWrite()
+			atomic.StoreUint64(&t.ppas[slot], ppa)
+			t.endWrite()
 			return true, nil
 		}
 	}
@@ -195,6 +265,7 @@ func (t *Table) PutWide(lo, hi, ppa uint64) (replaced bool, err error) {
 		return false, ErrNoSlot
 	}
 
+	t.beginWrite()
 	// Hop the free slot backward until it is within range of home.
 	for t.dist(home, free) >= t.hop {
 		moved := false
@@ -208,32 +279,34 @@ func (t *Table) PutWide(lo, hi, ppa uint64) (replaced bool, err error) {
 				continue
 			}
 			// Move the candidate record into the free slot.
-			t.sigs[free] = t.sigs[cand]
+			atomic.StoreUint64(&t.sigs[free], t.sigs[cand])
 			if t.his != nil {
-				t.his[free] = t.his[cand]
+				atomic.StoreUint64(&t.his[free], t.his[cand])
 			}
-			t.ppas[free] = t.ppas[cand]
+			atomic.StoreUint64(&t.ppas[free], t.ppas[cand])
 			t.used[free] = true
 			t.used[cand] = false
-			t.hops[candHome] &^= 1 << uint(t.dist(candHome, cand))
-			t.hops[candHome] |= 1 << uint(t.dist(candHome, free))
+			atomic.StoreUint32(&t.hops[candHome],
+				t.hops[candHome]&^(1<<uint(t.dist(candHome, cand)))|1<<uint(t.dist(candHome, free)))
 			free = cand
 			moved = true
 			break
 		}
 		if !moved {
+			t.endWrite()
 			return false, ErrNoSlot
 		}
 	}
 
-	t.sigs[free] = lo
+	atomic.StoreUint64(&t.sigs[free], lo)
 	if t.his != nil {
-		t.his[free] = hi
+		atomic.StoreUint64(&t.his[free], hi)
 	}
-	t.ppas[free] = ppa
+	atomic.StoreUint64(&t.ppas[free], ppa)
 	t.used[free] = true
-	t.hops[home] |= 1 << uint(t.dist(home, free))
+	atomic.StoreUint32(&t.hops[home], t.hops[home]|1<<uint(t.dist(home, free)))
 	t.n++
+	t.endWrite()
 	return false, nil
 }
 
@@ -248,14 +321,16 @@ func (t *Table) DeleteWide(lo, hi uint64) (ppa uint64, ok bool) {
 		slot := (home + i) % len(t.sigs)
 		if t.match(slot, lo, hi) {
 			ppa = t.ppas[slot]
+			t.beginWrite()
 			t.used[slot] = false
-			t.sigs[slot] = 0
+			atomic.StoreUint64(&t.sigs[slot], 0)
 			if t.his != nil {
-				t.his[slot] = 0
+				atomic.StoreUint64(&t.his[slot], 0)
 			}
-			t.ppas[slot] = 0
-			t.hops[home] &^= 1 << uint(i)
+			atomic.StoreUint64(&t.ppas[slot], 0)
+			atomic.StoreUint32(&t.hops[home], t.hops[home]&^(1<<uint(i)))
 			t.n--
+			t.endWrite()
 			return ppa, true
 		}
 	}
@@ -281,18 +356,21 @@ func (t *Table) RangeWide(f func(lo, hi, ppa uint64) bool) {
 	}
 }
 
-// Reset empties the table in place.
+// Reset empties the table in place. It runs a full write bracket, so it
+// also revives an Invalidate-poisoned counter on pool reuse.
 func (t *Table) Reset() {
+	t.beginWrite()
 	for i := range t.used {
 		t.used[i] = false
-		t.sigs[i] = 0
+		atomic.StoreUint64(&t.sigs[i], 0)
 		if t.his != nil {
-			t.his[i] = 0
+			atomic.StoreUint64(&t.his[i], 0)
 		}
-		t.ppas[i] = 0
-		t.hops[i] = 0
+		atomic.StoreUint64(&t.ppas[i], 0)
+		atomic.StoreUint32(&t.hops[i], 0)
 	}
 	t.n = 0
+	t.endWrite()
 }
 
 // EncodedSize reports the number of bytes a 64-bit-signature table with
@@ -343,6 +421,7 @@ func (t *Table) DecodeFrom(buf []byte) error {
 		return fmt.Errorf("hopscotch: decode buffer %d < %d", len(buf), need)
 	}
 	ss := t.SlotSizeOf()
+	t.beginWrite()
 	t.n = 0
 	for i := range t.sigs {
 		off := i * ss
@@ -354,24 +433,25 @@ func (t *Table) DecodeFrom(buf []byte) error {
 			off += 8
 		}
 		ppa := uint40(buf[off:])
-		t.hops[i] = binary.LittleEndian.Uint32(buf[off+5:])
+		atomic.StoreUint32(&t.hops[i], binary.LittleEndian.Uint32(buf[off+5:]))
 		if ppa == emptyPPA {
 			t.used[i] = false
-			t.sigs[i] = 0
+			atomic.StoreUint64(&t.sigs[i], 0)
 			if t.his != nil {
-				t.his[i] = 0
+				atomic.StoreUint64(&t.his[i], 0)
 			}
-			t.ppas[i] = 0
+			atomic.StoreUint64(&t.ppas[i], 0)
 			continue
 		}
 		t.used[i] = true
-		t.sigs[i] = lo
+		atomic.StoreUint64(&t.sigs[i], lo)
 		if t.his != nil {
-			t.his[i] = hi
+			atomic.StoreUint64(&t.his[i], hi)
 		}
-		t.ppas[i] = ppa
+		atomic.StoreUint64(&t.ppas[i], ppa)
 		t.n++
 	}
+	t.endWrite()
 	return nil
 }
 

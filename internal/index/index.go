@@ -20,13 +20,40 @@ import (
 // with a different key.
 var ErrCollision = errors.New("index: uncorrectable signature collision, operation aborted")
 
-// ErrNeedExclusive is returned by the shared (reader-locked) device paths
-// when an operation cannot proceed without mutating index structure — a
-// DRAM cache miss that must load a page, or a lazy migration step during
-// incremental resize. The shard catches it before any simulated-time
-// charge has been made, upgrades to the write lock, and re-executes the
-// operation on the exclusive path.
+// ErrNeedExclusive is returned by the shared (reader-locked) and
+// optimistic (lock-free) device read paths when an operation cannot
+// proceed without mutating index structure — a DRAM cache miss that must
+// load a page, or a lazy migration step during incremental resize. The
+// shard catches it before any simulated-time charge has been made,
+// takes the write lock, and re-executes the operation on the exclusive
+// path.
 var ErrNeedExclusive = errors.New("index: lookup needs exclusive access")
+
+// ErrOptimisticRetry is returned by the lock-free read path when a
+// version validation failed mid-operation: a writer mutated the probed
+// table, swapped the directory generation, or restructured device state
+// while the read was in flight. Unlike ErrNeedExclusive it is
+// transient — the caller retries the optimistic path up to its retry
+// budget before falling back to the exclusive lock. Simulated-time
+// charges made before the failed validation stand (the speculative work
+// really occupied the firmware), so only genuinely-raced operations pay
+// the retry cost and single-threaded runs never see it.
+var ErrOptimisticRetry = errors.New("index: optimistic read invalidated, retry")
+
+// OptStatus classifies the outcome of an optimistic index probe.
+type OptStatus uint8
+
+const (
+	// OptOK: the probe validated; its result may be acted on.
+	OptOK OptStatus = iota
+	// OptRetry: a concurrent mutation invalidated the probe; retrying
+	// immediately may succeed.
+	OptRetry
+	// OptNeedExclusive: the probe cannot succeed without mutating index
+	// structure (cache miss, unmigrated bucket, poisoned state); the
+	// caller must escalate to the exclusive path.
+	OptNeedExclusive
+)
 
 // Env is the device-side service surface an index uses to persist its
 // pages. Index page reads and writes block the firmware timeline —

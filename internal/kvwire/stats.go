@@ -37,6 +37,15 @@ type Stats struct {
 	WALFsyncs   uint64
 	WALGroupP50 uint64
 	WALGroupMax uint64
+	// Lock-free read-path counters: reads served with no shard lock,
+	// optimistic attempts invalidated by racing writers, reads that fell
+	// back to the exclusive lock, and reader epoch pins on the
+	// reclamation domain. All zero on servers predating the optimistic
+	// tier (the field-count versioning zero-fills them).
+	OptimisticReads   uint64
+	OptimisticRetries uint64
+	FallbackExclusive uint64
+	EpochPins         uint64
 }
 
 // fields returns the wire order; append new fields at the end only.
@@ -50,6 +59,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.StoreP50ns, &s.StoreP99ns, &s.RetrieveP50ns, &s.RetrieveP99ns,
 		&s.WALRecords, &s.WALBytes, &s.WALGroups, &s.WALFsyncs,
 		&s.WALGroupP50, &s.WALGroupMax,
+		&s.OptimisticReads, &s.OptimisticRetries,
+		&s.FallbackExclusive, &s.EpochPins,
 	}
 }
 

@@ -1,0 +1,97 @@
+// Package lintest checks concurrent histories of the shard front-end
+// for linearizability. The optimistic read path serves GETs with no
+// shard-level lock, validated only by seqlock versions under an epoch
+// pin; the property that makes that safe is not mutual exclusion but
+// linearizability — every read must be explainable as happening at one
+// instant between its invocation and response. This package provides
+// the per-key register checker (Wing & Gong search with memoization)
+// and, in its external tests, the racing harness that feeds it.
+package lintest
+
+// Op is one completed operation on a single key, treated as a register
+// of uint64 values. Timestamps come from one shared monotonic counter:
+// Start is drawn immediately before the call, End immediately after it
+// returns, so A happened strictly before B iff A.End < B.Start.
+//
+// Writes carry the value written; a delete is a write of zero. Reads
+// carry the value observed; not-found reads observe zero. Zero is
+// therefore reserved — live writes must use non-zero values.
+type Op struct {
+	Start, End uint64
+	Write      bool
+	Value      uint64
+}
+
+// MaxOps is the largest history Check accepts. The search memoizes on a
+// bitmask of linearized operations packed beside the last-write index,
+// which caps the history length; harnesses must bound each key's
+// per-window history below this.
+const MaxOps = 57
+
+// Check reports whether ops is a linearizable history of a single
+// register whose initial value is init.
+//
+// The search is Wing & Gong's: pick any operation that is minimal in
+// the real-time order (no other remaining operation finished before it
+// started), apply it to the register — a write always applies, a read
+// applies only if it observed the current value — and recurse on the
+// rest. The history is linearizable iff some order linearizes every
+// operation. Failed states are memoized on (linearized-set, index of
+// last linearized write): the register value is a function of that
+// pair, so revisiting it cannot succeed either. Worst case is
+// exponential, but real histories are mostly sequential — only
+// operations whose intervals overlap permute — so the memoized search
+// is fast at the window sizes the harness produces.
+//
+// Check panics if len(ops) exceeds MaxOps.
+func Check(init uint64, ops []Op) bool {
+	n := len(ops)
+	if n > MaxOps {
+		panic("lintest: history longer than MaxOps; shrink the harness window")
+	}
+	if n == 0 {
+		return true
+	}
+	full := uint64(1)<<n - 1
+	// failed[key] records (done, lastWrite) states proven dead. Key
+	// layout: done occupies the low n (≤57) bits, lastWrite+1 (0 meaning
+	// "no write linearized yet, register holds init") the top 6.
+	failed := make(map[uint64]struct{})
+	var dfs func(done uint64, cur uint64, lastWrite int) bool
+	dfs = func(done uint64, cur uint64, lastWrite int) bool {
+		if done == full {
+			return true
+		}
+		key := done | uint64(lastWrite+1)<<58
+		if _, dead := failed[key]; dead {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			minimal := true
+			for j := 0; j < n; j++ {
+				if j != i && done&(1<<j) == 0 && ops[j].End < ops[i].Start {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if ops[i].Write {
+				if dfs(done|1<<i, ops[i].Value, i) {
+					return true
+				}
+			} else if ops[i].Value == cur {
+				if dfs(done|1<<i, cur, lastWrite) {
+					return true
+				}
+			}
+		}
+		failed[key] = struct{}{}
+		return false
+	}
+	return dfs(0, init, -1)
+}

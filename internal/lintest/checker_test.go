@@ -1,0 +1,114 @@
+package lintest
+
+import "testing"
+
+func w(start, end, v uint64) Op { return Op{Start: start, End: end, Write: true, Value: v} }
+func r(start, end, v uint64) Op { return Op{Start: start, End: end, Value: v} }
+
+func TestCheckSequential(t *testing.T) {
+	ops := []Op{w(1, 2, 7), r(3, 4, 7), w(5, 6, 9), r(7, 8, 9)}
+	if !Check(0, ops) {
+		t.Fatal("sequential history rejected")
+	}
+}
+
+func TestCheckEmptyAndInit(t *testing.T) {
+	if !Check(5, nil) {
+		t.Fatal("empty history rejected")
+	}
+	if !Check(5, []Op{r(1, 2, 5)}) {
+		t.Fatal("read of the initial value rejected")
+	}
+	if Check(5, []Op{r(1, 2, 6)}) {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+// A read overlapping a write may observe either the old or the new
+// value — both orders linearize.
+func TestCheckOverlapEitherValue(t *testing.T) {
+	for _, seen := range []uint64{0, 9} {
+		ops := []Op{w(1, 4, 9), r(2, 3, seen)}
+		if !Check(0, ops) {
+			t.Fatalf("read of %d during w(9) rejected", seen)
+		}
+	}
+	if Check(0, []Op{w(1, 4, 9), r(2, 3, 8)}) {
+		t.Fatal("read of a third value during w(9) accepted")
+	}
+}
+
+// A stale read strictly after a completed write must be rejected: the
+// write's interval ended before the read began, so no order can put the
+// read first.
+func TestCheckStaleRead(t *testing.T) {
+	if Check(0, []Op{w(1, 2, 9), r(3, 4, 0)}) {
+		t.Fatal("stale read after completed write accepted")
+	}
+}
+
+// Two sequential reads during one long write must not travel backwards
+// in time: once the first read observes the new value, a later
+// non-overlapping read cannot observe the old one.
+func TestCheckReadInversion(t *testing.T) {
+	ops := []Op{w(1, 8, 9), r(2, 3, 9), r(4, 5, 0)}
+	if Check(0, ops) {
+		t.Fatal("new-then-old read inversion accepted")
+	}
+	// The reverse order (old then new) is fine.
+	if !Check(0, []Op{w(1, 8, 9), r(2, 3, 0), r(4, 5, 9)}) {
+		t.Fatal("old-then-new reads during a write rejected")
+	}
+}
+
+// Deletes are writes of zero: a read after a completed delete must
+// observe zero, and must not resurrect the deleted value.
+func TestCheckDelete(t *testing.T) {
+	if !Check(0, []Op{w(1, 2, 9), w(3, 4, 0), r(5, 6, 0)}) {
+		t.Fatal("read-after-delete rejected")
+	}
+	if Check(0, []Op{w(1, 2, 9), w(3, 4, 0), r(5, 6, 9)}) {
+		t.Fatal("resurrected read after delete accepted")
+	}
+}
+
+// Two concurrent writes plus a later read: the read pins which write
+// won, and either winner is acceptable — but not a third value.
+func TestCheckConcurrentWrites(t *testing.T) {
+	for _, winner := range []uint64{7, 9} {
+		if !Check(0, []Op{w(1, 4, 7), w(2, 3, 9), r(5, 6, winner)}) {
+			t.Fatalf("read of concurrent-write winner %d rejected", winner)
+		}
+	}
+	if Check(0, []Op{w(1, 4, 7), w(2, 3, 9), r(5, 6, 8)}) {
+		t.Fatal("read of a value neither concurrent write produced accepted")
+	}
+}
+
+// Memoization must not change answers: a history with many overlapping
+// reads of both values interleaved with writes exercises repeated
+// states.
+func TestCheckWideOverlap(t *testing.T) {
+	ops := []Op{w(1, 20, 1)}
+	for i := uint64(0); i < 10; i++ {
+		v := uint64(0)
+		if i%2 == 1 {
+			v = 1
+		}
+		// All reads overlap the write and each other; any old/new mix
+		// linearizes because they can be ordered around the write point.
+		ops = append(ops, r(2+i, 21+i, v))
+	}
+	if !Check(0, ops) {
+		t.Fatal("overlapping old/new read mix rejected")
+	}
+}
+
+func TestCheckMaxOpsGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized history did not panic")
+		}
+	}()
+	Check(0, make([]Op, MaxOps+1))
+}

@@ -49,11 +49,23 @@ type flashStats struct {
 	writeBytes atomic.Int64
 }
 
+// flashPage is one programmed page's payload. Pages are published to
+// concurrent readers by storing a *flashPage into the block's pointer
+// array, so a reader sees either the whole page or nil — never a torn
+// data/spare pair.
+type flashPage struct {
+	data  []byte
+	spare []byte
+}
+
 type block struct {
-	pages      [][]byte // data area per page; nil until programmed
-	spares     [][]byte
-	programmed int // pages programmed so far (program order enforced)
-	erases     int64
+	// pages points to a fixed array of per-page pointers; nil until the
+	// block is first programmed. Entries are nil until programmed and
+	// reset to nil by Erase. Both levels are atomic so lock-free readers
+	// can race Program/Erase without torn state.
+	pages      atomic.Pointer[[]atomic.Pointer[flashPage]]
+	programmed atomic.Int32 // pages programmed so far (program order enforced)
+	erases     atomic.Int64
 }
 
 // Flash is the emulated NAND array. Reads may run concurrently (they
@@ -71,6 +83,11 @@ type Flash struct {
 	// bufPool recycles full-size page buffers freed by Erase; Program
 	// draws from it, keeping high-churn workloads off the Go allocator.
 	bufPool [][]byte
+	// limbo holds buffers Erase unlinked but that an in-flight optimistic
+	// reader may still alias. The device drains it with TakeLimbo and
+	// retires the batch to its epoch domain, which calls RecycleBuffers
+	// once no pinned reader can hold a reference.
+	limbo [][]byte
 
 	failReads    atomic.Int64 // countdown of injected read faults
 	failPrograms atomic.Int64 // countdown of injected program faults
@@ -194,11 +211,16 @@ func (f *Flash) Read(at sim.Time, p PPA) (data, spare []byte, done sim.Time, err
 	bid := f.BlockOf(p)
 	blk := &f.blocks[bid]
 	pi := f.PageIndex(p)
-	if blk.pages == nil || pi >= blk.programmed || blk.pages[pi] == nil {
+	arr := blk.pages.Load()
+	if arr == nil {
 		return nil, nil, at, fmt.Errorf("%w: ppa %d", ErrNotProgrammed, p)
 	}
-	data = blk.pages[pi]
-	spare = blk.spares[pi]
+	pg := (*arr)[pi].Load()
+	if pg == nil {
+		return nil, nil, at, fmt.Errorf("%w: ppa %d", ErrNotProgrammed, p)
+	}
+	data = pg.data
+	spare = pg.spare
 
 	_, dieDone := f.dies[f.dieOf(bid)].Acquire(at, f.cfg.ReadLatency)
 	_, done = f.chans[f.chanOf(bid)].Acquire(dieDone, f.cfg.xferTime(len(data)+len(spare)))
@@ -226,20 +248,25 @@ func (f *Flash) Program(at sim.Time, p PPA, data, spare []byte) (done sim.Time, 
 	bid := f.BlockOf(p)
 	blk := &f.blocks[bid]
 	pi := f.PageIndex(p)
-	if blk.pages == nil {
-		blk.pages = make([][]byte, f.cfg.PagesPerBlock)
-		blk.spares = make([][]byte, f.cfg.PagesPerBlock)
+	arr := blk.pages.Load()
+	if arr == nil {
+		a := make([]atomic.Pointer[flashPage], f.cfg.PagesPerBlock)
+		blk.pages.Store(&a)
+		arr = &a
 	}
-	if pi < blk.programmed {
+	programmed := int(blk.programmed.Load())
+	if pi < programmed {
 		return at, fmt.Errorf("%w: ppa %d", ErrOverwrite, p)
 	}
-	if pi != blk.programmed {
+	if pi != programmed {
 		return at, fmt.Errorf("%w: ppa %d is page %d, next programmable is %d",
-			ErrProgramOrder, p, pi, blk.programmed)
+			ErrProgramOrder, p, pi, programmed)
 	}
-	blk.pages[pi] = f.copyData(data)
-	blk.spares[pi] = append([]byte(nil), spare...)
-	blk.programmed++
+	(*arr)[pi].Store(&flashPage{
+		data:  f.copyData(data),
+		spare: append([]byte(nil), spare...),
+	})
+	blk.programmed.Add(1)
 
 	_, chanDone := f.chans[f.chanOf(bid)].Acquire(at, f.cfg.xferTime(len(data)+len(spare)))
 	_, done = f.dies[f.dieOf(bid)].Acquire(chanDone, f.cfg.ProgramLatency)
@@ -248,27 +275,67 @@ func (f *Flash) Program(at sim.Time, p PPA, data, spare []byte) (done sim.Time, 
 	return done, nil
 }
 
-// Erase wipes block b at time `at`, freeing its page storage and
-// incrementing its wear counter.
+// Erase wipes block b at time `at`, unlinking its page storage and
+// incrementing its wear counter. Freed full-size data buffers go to the
+// limbo list rather than straight back to the program pool: an
+// optimistic reader that validated before the erase may still alias
+// them, so the device must quarantine the batch behind its epoch domain
+// (TakeLimbo → epoch.Retire → RecycleBuffers) before reuse.
 func (f *Flash) Erase(at sim.Time, b BlockID) (done sim.Time, err error) {
 	if int(b) >= len(f.blocks) {
 		return at, fmt.Errorf("%w: block %d >= %d", ErrOutOfRange, b, len(f.blocks))
 	}
 	blk := &f.blocks[b]
-	for _, pg := range blk.pages {
-		// Recycle full-size buffers; odd-size tails are left to the GC.
-		if cap(pg) == f.cfg.PageSize && len(f.bufPool) < 4*f.cfg.PagesPerBlock {
-			f.bufPool = append(f.bufPool, pg)
+	if arr := blk.pages.Load(); arr != nil {
+		for i := range *arr {
+			pg := (*arr)[i].Swap(nil)
+			if pg == nil {
+				continue
+			}
+			// Quarantine full-size buffers; odd-size tails go to the GC.
+			if cap(pg.data) == f.cfg.PageSize && len(f.limbo) < 4*f.cfg.PagesPerBlock {
+				f.limbo = append(f.limbo, pg.data)
+			}
 		}
 	}
-	blk.pages = nil
-	blk.spares = nil
-	blk.programmed = 0
-	blk.erases++
+	blk.programmed.Store(0)
+	blk.erases.Add(1)
 
 	_, done = f.dies[f.dieOf(b)].Acquire(at, f.cfg.EraseLatency)
 	f.stats.erases.Add(1)
 	return done, nil
+}
+
+// TakeLimbo hands the caller every buffer quarantined by Erase since the
+// last call. Writer-side; the caller owns the batch and must not reuse
+// the buffers until all concurrent readers have quiesced.
+func (f *Flash) TakeLimbo() [][]byte {
+	l := f.limbo
+	f.limbo = nil
+	return l
+}
+
+// RecycleBuffers returns quarantined buffers to the program pool once
+// the caller has proven no reader can alias them. Writer-side.
+func (f *Flash) RecycleBuffers(bufs [][]byte) {
+	for _, buf := range bufs {
+		if cap(buf) == f.cfg.PageSize && len(f.bufPool) < 4*f.cfg.PagesPerBlock {
+			f.bufPool = append(f.bufPool, buf)
+		}
+	}
+}
+
+// PageReadable reports whether page p is programmed and readable, as a
+// pure check: no fault consumption, no resource scheduling, no counter
+// updates. Safe from any goroutine; the optimistic read path uses it to
+// refuse volatile (pending/unprogrammed) pages before charging any
+// simulated time.
+func (f *Flash) PageReadable(p PPA) bool {
+	if f.checkPPA(p) != nil {
+		return false
+	}
+	arr := f.blocks[f.BlockOf(p)].pages.Load()
+	return arr != nil && (*arr)[f.PageIndex(p)].Load() != nil
 }
 
 // ProgrammedPages reports how many pages of block b are written.
@@ -276,7 +343,7 @@ func (f *Flash) ProgrammedPages(b BlockID) int {
 	if int(b) >= len(f.blocks) {
 		return 0
 	}
-	return f.blocks[b].programmed
+	return int(f.blocks[b].programmed.Load())
 }
 
 // EraseCount reports block b's wear (number of erases).
@@ -284,7 +351,7 @@ func (f *Flash) EraseCount(b BlockID) int64 {
 	if int(b) >= len(f.blocks) {
 		return 0
 	}
-	return f.blocks[b].erases
+	return f.blocks[b].erases.Load()
 }
 
 // DieUtilization reports the mean busy fraction across dies at time now.

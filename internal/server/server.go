@@ -397,6 +397,11 @@ func (s *Server) collectStats() kvwire.Stats {
 		WALFsyncs:       uint64(agg.WAL.Fsyncs),
 		WALGroupP50:     uint64(agg.WAL.GroupSize.Percentile(50)),
 		WALGroupMax:     uint64(agg.WAL.GroupSize.Max()),
+
+		OptimisticReads:   uint64(agg.OptimisticReads),
+		OptimisticRetries: uint64(agg.OptimisticRetries),
+		FallbackExclusive: uint64(agg.FallbackExclusive),
+		EpochPins:         uint64(agg.EpochPins),
 	}
 }
 

@@ -20,12 +20,12 @@ func migrating(s *Set, i int) bool {
 
 // TestReaderHeavySchedule runs the read path's intended deployment
 // shape under -race: 8 reader goroutines hammering a stable
-// pre-populated key set through the shared (RLock) path while 2 writer
-// goroutines churn a disjoint key range hard enough to trigger
+// pre-populated key set through the lock-free optimistic path while 2
+// writer goroutines churn a disjoint key range hard enough to trigger
 // incremental re-configurations on the same shard. Readers must always
 // see their keys' exact values — never a torn read, never a phantom
-// miss — and the run must end with reads flowing through the shared
-// path again once migrations drain.
+// miss — and the run must end with reads flowing through the
+// optimistic path again once migrations drain.
 func TestReaderHeavySchedule(t *testing.T) {
 	set, err := New(1, device.Config{
 		Capacity:          64 << 20,
@@ -122,47 +122,62 @@ func TestReaderHeavySchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Quiesce: lazy migration drains through the operations themselves.
-	for i := 0; migrating(set, 0); i++ {
-		if _, err := set.Retrieve(workload.KeyBytes(uint64(i) % stable)); err != nil {
+	// Quiesce. Optimistic reads of already-migrated buckets no longer
+	// advance the migration (that is the point: GETs do not block on or
+	// pay for it), so cycling reads over the stable keys cannot be
+	// relied on to drain it — checkpoint instead, which drains
+	// explicitly.
+	if migrating(set, 0) {
+		if err := set.Checkpoint(); err != nil {
 			t.Fatal(err)
 		}
-		if i > 100000 {
-			t.Fatal("migration never drained")
-		}
+	}
+	if migrating(set, 0) {
+		t.Fatal("migration survived a checkpoint")
+	}
+	// Re-warm the probe key's bucket (the checkpoint may have been
+	// preceded by evictions during churn).
+	if _, err := set.Retrieve(workload.KeyBytes(1)); err != nil {
+		t.Fatal(err)
 	}
 
 	st := set.Stats()
-	if st.SharedReads == 0 {
-		t.Fatal("no read ever took the shared path")
+	if st.OptimisticReads == 0 {
+		t.Fatal("no read ever took the lock-free path")
 	}
 	if st.Index.Resizes == 0 {
 		t.Fatal("writers never triggered a re-configuration; the schedule lost its point")
 	}
-	if st.LockUpgrades == 0 {
-		t.Fatal("no read ever upgraded: reads never overlapped a migration")
+	if st.FallbackExclusive == 0 {
+		t.Fatal("no read ever fell back: reads never overlapped a migration or a pending pair")
 	}
-	t.Logf("sharedReads=%d lockUpgrades=%d resizes=%d",
-		st.SharedReads, st.LockUpgrades, st.Index.Resizes)
+	if st.EpochPins == 0 {
+		t.Fatal("no optimistic read ever pinned the reclamation domain")
+	}
+	t.Logf("optimisticReads=%d retries=%d fallbacks=%d epochPins=%d resizes=%d",
+		st.OptimisticReads, st.OptimisticRetries, st.FallbackExclusive,
+		st.EpochPins, st.Index.Resizes)
 
 	// With the set quiesced and every touched bucket cached, a read must
-	// take the shared path.
-	before := st.SharedReads
+	// go lock-free.
+	before := st.OptimisticReads
 	if _, err := set.Retrieve(workload.KeyBytes(1)); err != nil {
 		t.Fatal(err)
 	}
-	if got := set.Stats().SharedReads; got != before+1 {
-		t.Fatalf("quiesced read did not go shared: sharedReads %d -> %d", before, got)
+	if got := set.Stats().OptimisticReads; got != before+1 {
+		t.Fatalf("quiesced read did not go lock-free: optimisticReads %d -> %d", before, got)
 	}
 }
 
-// TestReadMidMigrationUpgrades pins the lock-upgrade rule: a read
-// arriving while an incremental re-configuration is in flight must
-// refuse the shared path (its lookup may have to migrate the touched
-// bucket, which mutates index structure), upgrade to the write lock,
-// and still return the right value. Once the migration drains, the same
-// read flows shared again. Deterministic: single shard, no background
-// goroutines.
+// TestReadMidMigrationUpgrades pins the fallback rule: a read arriving
+// while an incremental re-configuration is in flight, for a bucket the
+// migration has not yet produced, must refuse the lock-free path with
+// exactly one escalation (ErrNeedExclusive is not retried), re-execute
+// under the write lock — which migrates the touched bucket — and still
+// return the right value. The SAME key read again immediately goes
+// lock-free, because the exclusive pass published its freshly migrated
+// bucket. Once the migration drains, the probe stays lock-free.
+// Deterministic: single shard, no background goroutines.
 func TestReadMidMigrationUpgrades(t *testing.T) {
 	set, err := New(1, device.Config{
 		Capacity:          64 << 20,
@@ -175,8 +190,11 @@ func TestReadMidMigrationUpgrades(t *testing.T) {
 
 	// Store until a store arms a migration (the device resizes inside
 	// afterMutation, so the migration is freshly armed when we stop).
+	// Skip past the first resizes: their old directories are small enough
+	// that one or two operations' background quota drains them, and this
+	// test needs the migration to outlive the probe read.
 	id := uint64(0)
-	for !migrating(set, 0) {
+	for !migrating(set, 0) || set.Stats().Index.Resizes < 3 {
 		if err := set.Store(workload.KeyBytes(id), workload.ValuePayload(id, 40)); err != nil {
 			t.Fatal(err)
 		}
@@ -196,16 +214,37 @@ func TestReadMidMigrationUpgrades(t *testing.T) {
 		t.Fatal("mid-migration read returned wrong value")
 	}
 	after := set.Stats()
-	if got := after.LockUpgrades - st.LockUpgrades; got != 1 {
-		t.Fatalf("mid-migration read took %d lock upgrades, want exactly 1", got)
+	if got := after.FallbackExclusive - st.FallbackExclusive; got != 1 {
+		t.Fatalf("mid-migration read took %d exclusive fallbacks, want exactly 1", got)
 	}
-	if after.SharedReads != st.SharedReads {
-		t.Fatal("mid-migration read counted as shared")
+	if after.OptimisticReads != st.OptimisticReads {
+		t.Fatal("mid-migration read counted as lock-free")
+	}
+	if after.OptimisticRetries != st.OptimisticRetries {
+		t.Fatal("an unmigrated bucket must escalate immediately, not spin the retry budget")
 	}
 
-	// Drain the migration with further reads (each migrates its bucket
-	// plus the background quota), then the same probe must go shared:
-	// one sharedReads tick, zero new upgrades.
+	// The exclusive pass migrated and published the probe's bucket: the
+	// same read now goes lock-free even though the migration is still in
+	// flight on other buckets.
+	if !migrating(set, 0) {
+		t.Fatal("migration drained too early for the re-read to be mid-migration")
+	}
+	st = set.Stats()
+	if _, err := set.Retrieve(probe); err != nil {
+		t.Fatal(err)
+	}
+	after = set.Stats()
+	if after.OptimisticReads != st.OptimisticReads+1 || after.FallbackExclusive != st.FallbackExclusive {
+		t.Fatalf("re-read of migrated bucket: optimistic %d->%d fallbacks %d->%d, want lock-free",
+			st.OptimisticReads, after.OptimisticReads, st.FallbackExclusive, after.FallbackExclusive)
+	}
+
+	// Drain the migration with further reads: lock-free reads of
+	// already-migrated buckets deliberately contribute nothing, but each
+	// not-yet-migrated bucket forces one fallback whose exclusive pass
+	// migrates it plus the background quota, so cycling over every key
+	// completes the migration.
 	for i := uint64(0); migrating(set, 0); i++ {
 		if _, err := set.Retrieve(workload.KeyBytes(i % id)); err != nil {
 			t.Fatal(err)
@@ -219,9 +258,9 @@ func TestReadMidMigrationUpgrades(t *testing.T) {
 		t.Fatal(err)
 	}
 	after = set.Stats()
-	if after.SharedReads != st.SharedReads+1 || after.LockUpgrades != st.LockUpgrades {
-		t.Fatalf("post-migration read: sharedReads %d->%d upgrades %d->%d, want shared fast path",
-			st.SharedReads, after.SharedReads, st.LockUpgrades, after.LockUpgrades)
+	if after.OptimisticReads != st.OptimisticReads+1 || after.FallbackExclusive != st.FallbackExclusive {
+		t.Fatalf("post-migration read: optimistic %d->%d fallbacks %d->%d, want lock-free fast path",
+			st.OptimisticReads, after.OptimisticReads, st.FallbackExclusive, after.FallbackExclusive)
 	}
 }
 

@@ -15,14 +15,19 @@
 //
 // Locking model: each shard carries a sync.RWMutex. Mutating commands
 // (Store, Delete, Iterate, checkpoint/restart/close, batches) hold the
-// write lock. Retrieve and Exist first try the read lock: the device's
-// TryRetrieveShared/TryExistShared refuse — before charging any
-// simulated time — whenever the lookup would mutate index structure
-// (cache miss, pending incremental-resize migration), in which case the
-// shard upgrades by releasing the read lock, taking the write lock, and
-// re-executing. DRAM-resident gets therefore run concurrently with each
-// other, mutating only atomics (clock advances, counters, CLOCK ref
-// bits) along the way.
+// write lock. Retrieve and Exist on an optimistic-capable device (RHIK)
+// take NO shard-level lock on the hot path: the device's
+// TryRetrieveOptimistic/TryExistOptimistic validate against per-table
+// seqlocks and epoch-pinned reclamation, returning ErrOptimisticRetry
+// when a concurrent writer invalidated the attempt (retried up to
+// maxOptimisticRetries) or ErrNeedExclusive when the lookup must mutate
+// index structure (cache miss, unmigrated bucket) — then the shard
+// falls back to the write lock and re-executes. Devices without an
+// optimistic surface (mlhash, lsm) keep the legacy shared tier: the
+// read lock plus TryRetrieveShared/TryExistShared, upgrading to the
+// write lock on refusal. Optimistic reads therefore run concurrently
+// with writers — not just with each other — mutating only atomics
+// (clock advances, counters, CLOCK ref bits) along the way.
 package shard
 
 import (
@@ -37,15 +42,23 @@ import (
 	"repro/internal/wal"
 )
 
+// maxOptimisticRetries bounds how many times a read retries the
+// lock-free path after ErrOptimisticRetry before falling back to the
+// exclusive lock. Retries are cheap (the refusal is made before most
+// charges), but a reader starved by a pathological write storm must
+// eventually make progress under the lock.
+const maxOptimisticRetries = 3
+
 // Shard is one emulated device plus the host-side submission state for
 // its command stream. The RWMutex serializes commands on this shard
 // only; commands on different shards run concurrently, and read
-// commands on the same shard run concurrently when the index answers
-// from DRAM.
+// commands on the same shard run lock-free (optimistic tier) or under
+// the read lock (legacy shared tier) when the index answers from DRAM.
 type Shard struct {
 	mu   sync.RWMutex
 	dev  *device.Device
 	last sim.AtomicTime // completion of the previous synchronous command
+	opt  bool           // device supports the lock-free read tier
 
 	// log and commitCh are non-nil once AttachWAL has run: mutations are
 	// then journaled to the per-shard commit log, and the synchronous
@@ -54,8 +67,12 @@ type Shard struct {
 	log      *wal.Log
 	commitCh chan *walReq
 
-	sharedReads  atomic.Int64 // reads served under the read lock
-	lockUpgrades atomic.Int64 // reads that had to retry exclusively
+	sharedReads  atomic.Int64 // reads served under the read lock (legacy tier)
+	lockUpgrades atomic.Int64 // legacy-tier reads that retried exclusively
+
+	optimisticReads   atomic.Int64 // reads served with no shard lock at all
+	optimisticRetries atomic.Int64 // lock-free attempts invalidated by a racing writer
+	fallbackExclusive atomic.Int64 // reads that escalated to the write lock
 }
 
 // Device exposes the shard's device. Callers must not issue commands
@@ -92,7 +109,7 @@ func New(n int, cfg device.Config) (*Set, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = &Shard{dev: dev}
+		s.shards[i] = &Shard{dev: dev, opt: dev.SupportsOptimisticReads()}
 	}
 	s.scheme = s.shards[0].dev.Scheme()
 	return s, nil
@@ -163,22 +180,50 @@ func (s *Set) Retrieve(key []byte) ([]byte, error) {
 func (s *Set) RetrieveAppend(dst, key []byte) ([]byte, error) {
 	sh := s.shardOf(key)
 	if !s.forceExclusive.Load() {
-		sh.mu.RLock()
-		v, done, err := sh.dev.TryRetrieveShared(sh.last.Load(), key, dst)
-		if err == nil {
-			sh.last.AdvanceTo(done)
+		if sh.opt {
+			// Lock-free tier: no shard lock at all. ErrOptimisticRetry
+			// means a racing writer invalidated the attempt — try again
+			// up to the retry budget; ErrNeedExclusive means only the
+			// write lock can serve it (page-in, lazy migration, value
+			// still in a volatile buffer).
+			for attempt := 0; ; attempt++ {
+				v, done, err := sh.dev.TryRetrieveOptimistic(sh.last.Load(), key, dst)
+				if err == nil {
+					sh.last.AdvanceTo(done)
+					sh.optimisticReads.Add(1)
+					return v, nil
+				}
+				if errors.Is(err, index.ErrOptimisticRetry) {
+					sh.optimisticRetries.Add(1)
+					if attempt < maxOptimisticRetries {
+						continue
+					}
+					break
+				}
+				if errors.Is(err, index.ErrNeedExclusive) {
+					break
+				}
+				return dst, err
+			}
+			sh.fallbackExclusive.Add(1)
+		} else {
+			sh.mu.RLock()
+			v, done, err := sh.dev.TryRetrieveShared(sh.last.Load(), key, dst)
+			if err == nil {
+				sh.last.AdvanceTo(done)
+				sh.mu.RUnlock()
+				sh.sharedReads.Add(1)
+				return v, nil
+			}
 			sh.mu.RUnlock()
-			sh.sharedReads.Add(1)
-			return v, nil
+			if !errors.Is(err, index.ErrNeedExclusive) {
+				return dst, err
+			}
+			// Lock upgrade: the lookup needs to restructure index state
+			// (page-in, lazy migration). No simulated time was charged, so
+			// re-executing exclusively repeats nothing.
+			sh.lockUpgrades.Add(1)
 		}
-		sh.mu.RUnlock()
-		if !errors.Is(err, index.ErrNeedExclusive) {
-			return dst, err
-		}
-		// Lock upgrade: the lookup needs to restructure index state
-		// (page-in, lazy migration). No simulated time was charged, so
-		// re-executing exclusively repeats nothing.
-		sh.lockUpgrades.Add(1)
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -208,23 +253,47 @@ func (s *Set) Delete(key []byte) error {
 }
 
 // Exist routes a synchronous membership check to the owning shard,
-// using the same shared-then-upgrade path as Retrieve.
+// using the same optimistic-then-fallback (or shared-then-upgrade)
+// path as Retrieve.
 func (s *Set) Exist(key []byte) (bool, error) {
 	sh := s.shardOf(key)
 	if !s.forceExclusive.Load() {
-		sh.mu.RLock()
-		ok, done, err := sh.dev.TryExistShared(sh.last.Load(), key)
-		if err == nil {
-			sh.last.AdvanceTo(done)
+		if sh.opt {
+			for attempt := 0; ; attempt++ {
+				ok, done, err := sh.dev.TryExistOptimistic(sh.last.Load(), key)
+				if err == nil {
+					sh.last.AdvanceTo(done)
+					sh.optimisticReads.Add(1)
+					return ok, nil
+				}
+				if errors.Is(err, index.ErrOptimisticRetry) {
+					sh.optimisticRetries.Add(1)
+					if attempt < maxOptimisticRetries {
+						continue
+					}
+					break
+				}
+				if errors.Is(err, index.ErrNeedExclusive) {
+					break
+				}
+				return false, err
+			}
+			sh.fallbackExclusive.Add(1)
+		} else {
+			sh.mu.RLock()
+			ok, done, err := sh.dev.TryExistShared(sh.last.Load(), key)
+			if err == nil {
+				sh.last.AdvanceTo(done)
+				sh.mu.RUnlock()
+				sh.sharedReads.Add(1)
+				return ok, nil
+			}
 			sh.mu.RUnlock()
-			sh.sharedReads.Add(1)
-			return ok, nil
+			if !errors.Is(err, index.ErrNeedExclusive) {
+				return false, err
+			}
+			sh.lockUpgrades.Add(1)
 		}
-		sh.mu.RUnlock()
-		if !errors.Is(err, index.ErrNeedExclusive) {
-			return false, err
-		}
-		sh.lockUpgrades.Add(1)
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
