@@ -1,0 +1,267 @@
+package rhik
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// The backup torture extends the WAL kill -9 rig to the online BACKUP
+// path: a child process serves a WAL-backed store over loopback while
+// the torture workers keep mutating it; the parent starts a BACKUP
+// stream, stalls it mid-flight, SIGKILLs the child, and then proves two
+// things at once — the partial stream is *detectably* truncated (the
+// client returns ErrBackupTruncated, never a silently short archive),
+// and the restarted store still replays every acknowledged write
+// (fsync=always: the open snapshot and the half-sent stream cost no
+// durability).
+
+const (
+	// backupBlobKeys x backupBlobSize of bulk payload guarantees the
+	// backup stream vastly exceeds loopback socket + client buffering, so
+	// a stalled reader reliably wedges the server mid-stream.
+	backupBlobKeys = 1024
+	backupBlobSize = 8 << 10
+)
+
+func backupBlobKey(i int) []byte {
+	return []byte(fmt.Sprintf("blob-%06d", i))
+}
+
+func backupBlobValue(i int) []byte {
+	v := make([]byte, backupBlobSize)
+	for j := range v {
+		v[j] = byte(i + j*7)
+	}
+	return v
+}
+
+// backupTortureOpen opens the raw shard set with the same WAL topology
+// tortureOpen uses, so the oracle/recovery machinery carries over.
+func backupTortureOpen(dir string) (*shard.Set, error) {
+	return OpenSet(Options{
+		Capacity: 256 << 20,
+		Shards:   tortureShards,
+		WAL: WALOptions{
+			Dir:         filepath.Join(dir, "wal"),
+			Fsync:       "always",
+			SegmentSize: 256 << 10,
+		},
+	})
+}
+
+// TestBackupTortureChild is the child body: recover, preload the blob
+// payload, serve on a loopback port, and keep the torture workers
+// writing until the parent SIGKILLs the process mid-BACKUP.
+func TestBackupTortureChild(t *testing.T) {
+	dir := os.Getenv("RHIK_BKTORTURE_DIR")
+	if dir == "" {
+		t.Skip("backup torture child entry point; driven by TestBackupTortureKill9")
+	}
+	set, err := backupTortureOpen(dir)
+	if err != nil {
+		fmt.Printf("child: open: %v\n", err)
+		os.Exit(3)
+	}
+	// Preload the bulk payload once; later lives find it recovered.
+	for i := 0; i < backupBlobKeys; i++ {
+		k := backupBlobKey(i)
+		if ok, err := set.Exist(k); err != nil {
+			fmt.Printf("child: exist blob %d: %v\n", i, err)
+			os.Exit(3)
+		} else if ok {
+			continue
+		}
+		if err := set.Store(k, backupBlobValue(i)); err != nil {
+			fmt.Printf("child: preload blob %d: %v\n", i, err)
+			os.Exit(3)
+		}
+	}
+	srv := server.New(set, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("child: listen: %v\n", err)
+		os.Exit(3)
+	}
+	go srv.Serve(ln)
+	go func() {
+		time.Sleep(30 * time.Second)
+		os.Exit(0) // watchdog: parent died without killing us
+	}()
+	fmt.Printf("ready %s\n", ln.Addr())
+
+	acked := make(chan struct{}, 1024)
+	for w := 0; w < tortureWorkers; w++ {
+		go tortureWorker(set, dir, w, acked)
+	}
+	n := 0
+	for range acked {
+		if n++; n%100 == 0 {
+			fmt.Println("progress")
+		}
+	}
+}
+
+// runBackupTortureCycle starts the serving child, opens a BACKUP stream
+// against it, stalls the stream after the first entry arrives, SIGKILLs
+// the child mid-flight, and asserts the client detects the truncation.
+func runBackupTortureCycle(t *testing.T, dir string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestBackupTortureChild$")
+	cmd.Env = append(os.Environ(), "RHIK_BKTORTURE_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		go io.Copy(io.Discard, stdout)
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(60 * time.Second)
+	got := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			got <- sc.Text()
+		}
+		close(got)
+	}()
+	addr := ""
+	stage := 0 // 0 = want ready, 1 = want progress
+wait:
+	for {
+		select {
+		case line, ok := <-got:
+			if !ok {
+				t.Fatalf("child exited before being killed (stage %d)", stage)
+			}
+			if stage == 0 && strings.HasPrefix(line, "ready ") {
+				addr = strings.TrimPrefix(line, "ready ")
+				stage = 1
+			} else if stage == 1 && line == "progress" {
+				break wait
+			} else if strings.HasPrefix(line, "child:") {
+				t.Fatalf("child error: %s", line)
+			}
+		case <-deadline:
+			t.Fatalf("child made no progress (stage %d)", stage)
+		}
+	}
+
+	c, err := client.Dial(client.Options{Addr: addr})
+	if err != nil {
+		t.Fatalf("dial child: %v", err)
+	}
+	defer c.Close()
+
+	// Start the backup on its own goroutine; the callback parks after the
+	// first entry so the stream wedges with most of the payload unsent,
+	// then the kill lands mid-stream by construction.
+	firstEntry := make(chan struct{})
+	killed := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		res, err := c.Backup(0, func(k, v []byte) error {
+			once.Do(func() { close(firstEntry) })
+			<-killed
+			return nil
+		})
+		if err == nil {
+			err = fmt.Errorf("backup of a killed server completed cleanly: %+v", res)
+		}
+		done <- err
+	}()
+	select {
+	case <-firstEntry:
+	case <-time.After(30 * time.Second):
+		t.Fatal("backup stream delivered no entry within 30s")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	close(killed)
+	select {
+	case err := <-done:
+		if !errors.Is(err, client.ErrBackupTruncated) {
+			t.Fatalf("killed-mid-stream backup error = %v, want ErrBackupTruncated", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("backup did not detect the dead server within 30s")
+	}
+}
+
+// TestBackupTortureKill9 is the acceptance torture for online backup:
+// >= 20 kill/recover cycles, each one SIGKILLing the server mid-BACKUP,
+// asserting the partial stream is detectably truncated and the restarted
+// store replays with zero lost acknowledged writes.
+func TestBackupTortureKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test spawns child processes; skipped in -short")
+	}
+	dir := t.TempDir()
+	cycles := 20
+	for c := 0; c < cycles; c++ {
+		runBackupTortureCycle(t, dir)
+
+		// Recover in-process: every acked worker op and every preloaded
+		// blob must come back exactly, snapshot or no snapshot in flight.
+		set, err := backupTortureOpen(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: recovery failed: %v", c, err)
+		}
+		for w := 0; w < tortureWorkers; w++ {
+			st := readOracle(t, dir, w)
+			for i, want := range st.present {
+				if i == st.pendingIdx {
+					continue // re-intended op; both states legal
+				}
+				ok, err := set.Exist(tortureKey(w, i))
+				if err != nil {
+					t.Fatalf("cycle %d worker %d key %d: %v", c, w, i, err)
+				}
+				if ok != want {
+					t.Fatalf("cycle %d worker %d key %d: present=%v want %v (acked op lost)", c, w, i, ok, want)
+				}
+				if want {
+					v, err := set.Retrieve(tortureKey(w, i))
+					if err != nil || !bytes.Equal(v, tortureValue(w, i)) {
+						t.Fatalf("cycle %d worker %d key %d: bad value %q (%v)", c, w, i, v, err)
+					}
+				}
+			}
+		}
+		for i := 0; i < backupBlobKeys; i += 37 {
+			v, err := set.Retrieve(backupBlobKey(i))
+			if err != nil || !bytes.Equal(v, backupBlobValue(i)) {
+				t.Fatalf("cycle %d: blob %d lost or corrupt (%v)", c, i, err)
+			}
+		}
+		if err := set.Checkpoint(); err != nil {
+			t.Fatalf("cycle %d: checkpoint: %v", c, err)
+		}
+		if err := set.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", c, err)
+		}
+	}
+}

@@ -6,11 +6,18 @@
 //
 //	kvcli [-capacity BYTES] [-index rhik|mlhash] [-shards N] [-prefixlen N] [< script]
 //	kvcli walinfo <wal-root>
+//	kvcli backup  <addr> <file>
+//	kvcli restore <addr> <file>
 //
 // walinfo inspects a write-ahead-log directory offline — segment list,
 // per-segment sequence ranges, checkpoint horizon, and the recovery
 // point — without opening a device or modifying the log. It is safe on
 // the WAL of a crashed (or even running) server.
+//
+// backup streams a consistent online checkpoint from a running kvserver
+// (writers keep committing) into a self-verifying file; restore replays
+// such a file into a (typically fresh) server. See backup.go for the
+// file format.
 //
 // Commands:
 //
@@ -60,6 +67,21 @@ func main() {
 		}
 		if err := walinfo(flag.Arg(1)); err != nil {
 			fmt.Fprintf(os.Stderr, "kvcli: walinfo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd := flag.Arg(0); cmd == "backup" || cmd == "restore" {
+		if flag.NArg() != 3 {
+			fmt.Fprintf(os.Stderr, "usage: kvcli %s <addr> <file>\n", cmd)
+			os.Exit(2)
+		}
+		run := runBackup
+		if cmd == "restore" {
+			run = runRestore
+		}
+		if err := run(flag.Arg(1), flag.Arg(2)); err != nil {
+			fmt.Fprintf(os.Stderr, "kvcli: %s: %v\n", cmd, err)
 			os.Exit(1)
 		}
 		return

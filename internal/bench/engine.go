@@ -44,6 +44,15 @@ type Engine interface {
 	Close() error
 }
 
+// SnapshotEngine is the optional capability surface for engines whose
+// front-end supports MVCC snapshots. The shard.Set-backed adapters all
+// expose it; whether a capture succeeds then depends on the index —
+// only RHIK can enumerate its records, so the baselines refuse with
+// device.ErrNoSnapshot rather than serving an inconsistent view.
+type SnapshotEngine interface {
+	Snapshot() (*shard.SetSnapshot, error)
+}
+
 // EngineStats is the per-engine observability snapshot the shootout
 // reports per cell. Latencies are simulated nanoseconds.
 type EngineStats struct {
@@ -260,6 +269,10 @@ func (e *setEngine) Retrieve(dst, key []byte) ([]byte, error) {
 func (e *setEngine) Iterate(prefix []byte) ([]device.IterEntry, error) {
 	return e.set.Iterate(prefix)
 }
+
+// Snapshot captures a consistent MVCC view (SnapshotEngine). Engines
+// whose index cannot enumerate records return device.ErrNoSnapshot.
+func (e *setEngine) Snapshot() (*shard.SetSnapshot, error) { return e.set.Snapshot() }
 
 func (e *setEngine) ResetOpStats() { e.set.ResetOpStats() }
 

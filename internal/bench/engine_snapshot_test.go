@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// TestEngineSnapshotOracle is the map-oracle conformance case for
+// GET key@snapshot: against the snapshot-capable engine, a capture must
+// answer every subsequent point read from a frozen copy of the oracle —
+// bit-exact — no matter how the live store (and live oracle) move on,
+// and its Iterate must enumerate exactly the frozen oracle in key order.
+// Engines whose index cannot enumerate records must refuse the capture
+// cleanly with device.ErrNoSnapshot, never serve a half view.
+func TestEngineSnapshotOracle(t *testing.T) {
+	for _, spec := range Engines() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			eng, err := spec.Open(testConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			se, ok := eng.(SnapshotEngine)
+			if !ok {
+				t.Skipf("%s does not expose the snapshot surface (facade adapter)", spec.Name)
+			}
+
+			oracle := map[string][]byte{}
+			rng := rand.New(rand.NewSource(7))
+			const keys = 600
+			key := func(id uint64) []byte { return workload.KeyBytes(id) }
+			val := func(tag string, id uint64) []byte {
+				return []byte(fmt.Sprintf("%s-%d-%d", tag, id, rng.Int63()))
+			}
+
+			// Phase 1: populate engine and oracle in lockstep.
+			for i := 0; i < 2000; i++ {
+				id := uint64(rng.Intn(keys))
+				k := key(id)
+				if rng.Intn(8) == 7 {
+					if err := eng.Delete(k); err != nil && !errors.Is(err, device.ErrNotFound) {
+						t.Fatalf("delete key %d: %v", id, err)
+					}
+					delete(oracle, string(k))
+					continue
+				}
+				v := val("pre", id)
+				if err := eng.Store(k, v); err != nil {
+					t.Fatalf("store key %d: %v", id, err)
+				}
+				oracle[string(k)] = v
+			}
+
+			ss, err := se.Snapshot()
+			if spec.Name != "rhik-set" {
+				// The baselines cannot enumerate; the refusal must be the
+				// typed sentinel and must not leave a half-open handle.
+				if !errors.Is(err, device.ErrNoSnapshot) {
+					t.Fatalf("%s snapshot: err = %v, want ErrNoSnapshot", spec.Name, err)
+				}
+				if open := engineSnapshotsOpen(eng); open != 0 {
+					t.Fatalf("%s: %d snapshots open after refused capture", spec.Name, open)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			defer ss.Release()
+			frozen := make(map[string][]byte, len(oracle))
+			for k, v := range oracle {
+				frozen[k] = v
+			}
+
+			// Phase 2: keep mutating the live engine and live oracle hard —
+			// overwrites, deletes, and fresh inserts beyond the frozen key
+			// range.
+			for i := 0; i < 2000; i++ {
+				id := uint64(rng.Intn(keys + 200))
+				k := key(id)
+				if rng.Intn(6) == 5 {
+					if err := eng.Delete(k); err != nil && !errors.Is(err, device.ErrNotFound) {
+						t.Fatalf("post-capture delete key %d: %v", id, err)
+					}
+					delete(oracle, string(k))
+					continue
+				}
+				v := val("post", id)
+				if err := eng.Store(k, v); err != nil {
+					t.Fatalf("post-capture store key %d: %v", id, err)
+				}
+				oracle[string(k)] = v
+			}
+
+			// GET key@snapshot answers from the frozen oracle for every key
+			// either epoch ever saw, plus never-written probes.
+			for id := uint64(0); id < keys+220; id++ {
+				k := key(id)
+				v, err := ss.Get(k)
+				want, live := frozen[string(k)]
+				if !live {
+					if !errors.Is(err, device.ErrNotFound) {
+						t.Fatalf("snapshot get key %d: err = %v, want ErrNotFound", id, err)
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("snapshot get key %d: %q/%v, frozen oracle says %q", id, v, err, want)
+				}
+			}
+
+			// Snapshot Iterate enumerates exactly the frozen oracle, sorted.
+			entries, err := ss.Iterate(nil)
+			if err != nil {
+				t.Fatalf("snapshot iterate: %v", err)
+			}
+			wantKeys := make([]string, 0, len(frozen))
+			for k := range frozen {
+				wantKeys = append(wantKeys, k)
+			}
+			sort.Strings(wantKeys)
+			if len(entries) != len(wantKeys) {
+				t.Fatalf("snapshot iterate: %d entries, frozen oracle has %d", len(entries), len(wantKeys))
+			}
+			for i, e := range entries {
+				if string(e.Key) != wantKeys[i] {
+					t.Fatalf("snapshot iterate entry %d: key %q, want %q", i, e.Key, wantKeys[i])
+				}
+				if !bytes.Equal(e.Value, frozen[wantKeys[i]]) {
+					t.Fatalf("snapshot iterate entry %d: stale/torn value for %q", i, e.Key)
+				}
+			}
+
+			// The live engine meanwhile agrees with the live oracle.
+			var dst []byte
+			for id := uint64(0); id < keys+220; id++ {
+				k := key(id)
+				v, err := eng.Retrieve(dst[:0], k)
+				dst = v
+				want, live := oracle[string(k)]
+				if !live {
+					if !errors.Is(err, device.ErrNotFound) {
+						t.Fatalf("live get key %d: err = %v, want ErrNotFound", id, err)
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("live get key %d: %q/%v, oracle says %q", id, v, err, want)
+				}
+			}
+		})
+	}
+}
+
+// engineSnapshotsOpen reads the open-snapshot gauge of a Set-backed
+// engine (0 for adapters without one).
+func engineSnapshotsOpen(eng Engine) int64 {
+	if se, ok := eng.(*setEngine); ok {
+		return se.set.Stats().SnapshotsOpen
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ type call struct {
 	items   []kvwire.BatchItem
 	entries []kvwire.ScanEntry
 	stats   kvwire.Stats
+	snap    kvwire.SnapInfo
 	err     error // transport-level failure
 }
 
@@ -218,6 +219,18 @@ func (cl *call) decode(p []byte) error {
 			return err
 		}
 		cl.stats = st
+	case kvwire.OpSnapshot:
+		sn, err := kvwire.ParseSnapshotPayload(p)
+		if err != nil {
+			return err
+		}
+		cl.snap = sn
+	case kvwire.OpSnapGet:
+		v, err := kvwire.ParseValuePayload(p)
+		if err != nil {
+			return err
+		}
+		cl.value = append([]byte(nil), v...)
 	}
 	return nil
 }

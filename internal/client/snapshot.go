@@ -1,0 +1,155 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/kvwire"
+)
+
+// Snapshot and backup support. SNAPSHOT/SNAPGET/SNAPRELEASE are
+// ordinary pipelined request/response pairs and ride the pool. BACKUP
+// is the protocol's only multi-frame response, which a pipelined
+// connection cannot demultiplex (its reader retires a request ID on the
+// first frame), so Backup opens a dedicated connection for the stream's
+// duration.
+
+// Backup stream errors.
+var (
+	// ErrBackupTruncated: the stream ended before its trailer frame —
+	// the server died or the connection dropped mid-backup. The partial
+	// stream must be discarded.
+	ErrBackupTruncated = errors.New("client: backup stream truncated (no trailer)")
+	// ErrBackupCorrupt: the trailer's entry count or CRC does not match
+	// the streamed chunks.
+	ErrBackupCorrupt = errors.New("client: backup stream corrupt (count/CRC mismatch)")
+)
+
+// Snapshot captures a consistent point-in-time view on the server and
+// returns its handle. The snapshot pins server resources until
+// SnapRelease (or the client's connections close).
+func (c *Client) Snapshot() (kvwire.SnapInfo, error) {
+	cl, err := c.do(kvwire.OpSnapshot, func(id uint64, b []byte) []byte {
+		return kvwire.AppendSnapshot(b, id)
+	})
+	if err != nil {
+		return kvwire.SnapInfo{}, err
+	}
+	if err := statusErr(cl); err != nil {
+		return kvwire.SnapInfo{}, err
+	}
+	return cl.snap, nil
+}
+
+// SnapGet retrieves key's value as of the snapshot's capture instant;
+// kvwire.ErrNotFound if the key had no live value then, and
+// kvwire.ErrUnknownSnapshot if the snapshot is gone (released, expired
+// with its connection, or invalidated by a server power cycle).
+func (c *Client) SnapGet(snap uint64, key []byte) ([]byte, error) {
+	cl, err := c.do(kvwire.OpSnapGet, func(id uint64, b []byte) []byte {
+		return kvwire.AppendSnapGet(b, id, snap, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(cl); err != nil {
+		return nil, err
+	}
+	return cl.value, nil
+}
+
+// SnapRelease drops a snapshot, unpinning its server resources.
+func (c *Client) SnapRelease(snap uint64) error {
+	cl, err := c.do(kvwire.OpSnapRelease, func(id uint64, b []byte) []byte {
+		return kvwire.AppendSnapRelease(b, id, snap)
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(cl)
+}
+
+// BackupResult summarizes a completed, verified backup stream.
+type BackupResult struct {
+	// Epoch is the streamed snapshot's set-level visibility bound.
+	Epoch uint64
+	// Entries is the verified entry count.
+	Entries uint64
+}
+
+// Backup streams a consistent checkpoint from the server, calling fn
+// for every entry in key order. snap 0 has the server capture (and
+// afterwards release) a snapshot of its own; a nonzero snap streams a
+// snapshot previously opened with Snapshot, which stays open. Key and
+// value alias the read buffer — fn must copy what it retains.
+//
+// The stream is verified end-to-end: a missing trailer (killed server,
+// dropped connection) returns ErrBackupTruncated, and a trailer whose
+// entry count or CRC disagrees with the chunks returns
+// ErrBackupCorrupt. fn is called as chunks arrive, so on error the
+// caller must discard whatever fn accumulated.
+func (c *Client) Backup(snap uint64, fn func(key, value []byte) error) (BackupResult, error) {
+	nc, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return BackupResult{}, err
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	req := kvwire.AppendPreamble(nil)
+	req = kvwire.AppendBackup(req, 1, snap)
+	if _, err := nc.Write(req); err != nil {
+		return BackupResult{}, fmt.Errorf("client: backup request: %w", err)
+	}
+
+	fr := kvwire.NewFrameReader(bufio.NewReaderSize(nc, 256<<10))
+	var (
+		resp    kvwire.Response
+		entries []kvwire.ScanEntry
+		crc     uint32
+		count   uint64
+	)
+	for {
+		body, err := fr.Next()
+		if err != nil {
+			return BackupResult{}, fmt.Errorf("%w: %v", ErrBackupTruncated, err)
+		}
+		if err := resp.Parse(body); err != nil {
+			return BackupResult{}, fmt.Errorf("client: backup response: %w", err)
+		}
+		if resp.ID != 1 {
+			return BackupResult{}, fmt.Errorf("client: backup: unexpected request id %d", resp.ID)
+		}
+		if resp.Status != kvwire.StatusOK {
+			err := resp.Status.Err()
+			if msg := kvwire.ParseErrorPayload(resp.Payload); msg != "" {
+				return BackupResult{}, fmt.Errorf("%w: %s", err, msg)
+			}
+			return BackupResult{}, err
+		}
+		f, err := kvwire.ParseBackupFrame(resp.Payload, entries[:0])
+		if err != nil {
+			return BackupResult{}, fmt.Errorf("client: backup frame: %w", err)
+		}
+		if f.Trailer {
+			if count != f.Total || crc != f.CRC {
+				return BackupResult{}, fmt.Errorf("%w: got %d entries crc %#x, trailer says %d/%#x",
+					ErrBackupCorrupt, count, crc, f.Total, f.CRC)
+			}
+			return BackupResult{Epoch: f.Epoch, Entries: f.Total}, nil
+		}
+		for _, e := range f.Entries {
+			crc = kvwire.BackupCRC(crc, e.Key, e.Value)
+			count++
+			if fn != nil {
+				if err := fn(e.Key, e.Value); err != nil {
+					return BackupResult{}, err
+				}
+			}
+		}
+		entries = f.Entries
+	}
+}

@@ -219,6 +219,7 @@ var _ index.Resizer = (*RHIK)(nil)
 var _ index.Relocator = (*RHIK)(nil)
 var _ index.Checkpointer = (*RHIK)(nil)
 var _ index.StatsProvider = (*RHIK)(nil)
+var _ index.RecordEnumerator = (*RHIK)(nil)
 
 // New builds a RHIK instance over the given environment.
 func New(cfg Config, env index.Env) (*RHIK, error) {

@@ -126,6 +126,42 @@ func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
 	return rps, r.checkIO()
 }
 
+// RangeRecords implements index.RecordEnumerator: every live record
+// with its full signature, bucket by bucket. Any in-flight incremental
+// re-configuration is drained first so each record appears exactly once
+// under the current directory generation. Buckets that are neither
+// cached nor backed by a flash page hold no records and are skipped;
+// the rest load through the cache, charging enumeration's flash reads
+// to the simulated timeline like any other index access.
+func (r *RHIK) RangeRecords(f func(lo, hi, rp uint64) bool) error {
+	if r.mig != nil {
+		if err := r.drainMigration(); err != nil {
+			return err
+		}
+	}
+	g := r.g()
+	stop := false
+	for bucket := range g.dirs {
+		if _, cached := r.cache.Get(uint64(bucket)); !cached && !g.dirs[bucket].has {
+			continue
+		}
+		e, err := r.loadTable(uint64(bucket))
+		if err != nil {
+			return err
+		}
+		e.table.RangeWide(func(lo, hi, rp uint64) bool {
+			if !f(lo, hi, rp) {
+				stop = true
+			}
+			return !stop
+		})
+		if stop {
+			break
+		}
+	}
+	return r.checkIO()
+}
+
 // PrefixRecords implements index.PrefixScanner: with iterator-mode
 // signatures every key sharing a prefix maps to directory bucket
 // (low mod D), so the scan is one bucket enumeration — at most one flash

@@ -19,6 +19,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -315,6 +316,17 @@ type Device struct {
 	mutSeq   atomic.Uint64
 	mutDepth int // re-entrancy depth for begin/endStructureMutation
 
+	// wepoch is the global write epoch (MVCC). Records are stamped
+	// wepoch+1 while a mutation batch is applied; AdvanceEpoch — called
+	// by the front-end once per batch, under the exclusive lock — folds
+	// the open batch in. A snapshot captured between batches therefore
+	// observes exactly the records with epoch <= wepoch.
+	wepoch atomic.Uint64
+	// snapMu guards snaps: Release may arrive from any goroutine while
+	// GC (under the exclusive lock) reads the set for victim exclusion.
+	snapMu sync.Mutex
+	snaps  map[*Snapshot]struct{}
+
 	stats      devStats
 	latStore   metrics.ConcurrentHistogram // per-op simulated latency (ns)
 	latGet     metrics.ConcurrentHistogram
@@ -360,6 +372,7 @@ func Open(cfg Config) (*Device, error) {
 		pending:     make(map[layout.RP]pendingPair),
 		ckptPinned:  make(map[nand.PPA]bool),
 		reclaim:     epoch.NewDomain(),
+		snaps:       make(map[*Snapshot]struct{}),
 	}
 	d.env = &idxEnv{d: d}
 	d.hostLink = sim.NewResource("hostlink")
@@ -545,6 +558,16 @@ func (d *Device) collectRetired() {
 		d.reclaim.Collect()
 	}
 }
+
+// AdvanceEpoch folds the open mutation batch into the write epoch.
+// The front-end calls it once per batch (a group commit, an Apply
+// sub-batch, or a single direct Store/Delete) under the exclusive lock;
+// records applied since the previous call carry the new epoch value.
+func (d *Device) AdvanceEpoch() { d.wepoch.Add(1) }
+
+// WriteEpoch reports the current write epoch: the visibility bound a
+// snapshot opened now would pin.
+func (d *Device) WriteEpoch() uint64 { return d.wepoch.Load() }
 
 // SupportsOptimisticReads reports whether the configured index exposes
 // the lock-free read tier (RHIK does; the baselines fall back to the

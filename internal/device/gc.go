@@ -62,6 +62,20 @@ func (d *Device) activeBlocks() []nand.BlockID {
 			ex = append(ex, b)
 		}
 	}
+	// Blocks referenced by an open snapshot's frozen view are pinned in
+	// place: the snapshot reads them lock-free by exact record pointer,
+	// so they may be neither relocated nor erased until every referencing
+	// snapshot is released.
+	d.snapMu.Lock()
+	for s := range d.snaps {
+		for b := range s.blocks {
+			if !seen[b] {
+				seen[b] = true
+				ex = append(ex, b)
+			}
+		}
+	}
+	d.snapMu.Unlock()
 	return ex
 }
 
@@ -194,12 +208,18 @@ func (d *Device) collectKV(victim nand.BlockID) error {
 
 			d.seq++
 			// Copy key/value out of the flash-owned buffers before they
-			// are erased.
+			// are erased. The relocated copy is re-stamped with the OPEN
+			// epoch, not the original: snapshot-referenced blocks are never
+			// victims, so no frozen view points here, and a too-new stamp
+			// only makes a snapshot's fast path fall back to its (correct)
+			// frozen view. Preserving originals would break the page-local
+			// monotone delta encoding.
 			p := layout.Pair{
 				Sig:   sig.Lo,
 				Key:   append([]byte(nil), key...),
 				Value: append([]byte(nil), value...),
 				Seq:   d.seq,
+				Epoch: d.wepoch.Load() + 1,
 			}
 			live := liveSize(len(p.Key), len(p.Value))
 			var newRP layout.RP

@@ -28,6 +28,9 @@ func (d *Device) Restart() error {
 	// its result linearizes before the power cycle.
 	d.beginStructureMutation()
 	defer d.endStructureMutation()
+	// A power cycle invalidates every open snapshot: their frozen views
+	// reference pre-crash block contents the rebuild may reclaim.
+	d.invalidateSnapshots()
 	// Drop all volatile state.
 	d.pending = make(map[layout.RP]pendingPair)
 	d.fg = d.newLogWriter("fg")
@@ -60,6 +63,7 @@ func (d *Device) Restart() error {
 	type scannedPage struct {
 		ppa  nand.PPA
 		data []byte
+		base uint64 // data pages: base write epoch from the spare area
 	}
 	var dataPages []scannedPage
 	var idxPages []scannedPage
@@ -85,11 +89,11 @@ func (d *Device) Restart() error {
 			}
 			switch kind {
 			case layout.KindData:
-				dataPages = append(dataPages, scannedPage{ppa, data})
+				dataPages = append(dataPages, scannedPage{ppa, data, layout.DataSpareEpoch(spare)})
 			case layout.KindContinuation:
 				// Accounted with its head page.
 			case layout.KindIndex:
-				idxPages = append(idxPages, scannedPage{ppa, data})
+				idxPages = append(idxPages, scannedPage{ppa: ppa, data: data})
 				zone = ftl.ZoneIndex
 			case layout.KindCheckpoint:
 				chunks = append(chunks, ckptChunk{
@@ -155,6 +159,7 @@ func (d *Device) Restart() error {
 	}
 	var replay []replayRec
 	maxSeq := ckptSeq
+	var maxEpoch uint64
 	for _, dp := range dataPages {
 		infos, err := layout.DecodeSigArea(dp.data)
 		if err != nil {
@@ -167,6 +172,9 @@ func (d *Device) Restart() error {
 			}
 			if hdr.Seq > maxSeq {
 				maxSeq = hdr.Seq
+			}
+			if e := dp.base + uint64(info.EpochDelta); e > maxEpoch {
+				maxEpoch = e
 			}
 			if hdr.Seq <= ckptSeq {
 				continue
@@ -192,6 +200,9 @@ func (d *Device) Restart() error {
 		}
 	}
 	d.seq = maxSeq
+	// Restore the write epoch to the newest stamp on flash so post-crash
+	// batches stay monotone above every surviving record.
+	d.wepoch.Store(maxEpoch)
 
 	// Phase 4: settle liveness. Data pairs are validated against the
 	// final index; scanned index-zone pages that are neither referenced

@@ -1,0 +1,372 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/index"
+	"repro/internal/layout"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Snapshot errors.
+var (
+	// ErrNoSnapshot: the configured index cannot enumerate its records
+	// (only RHIK implements index.RecordEnumerator today).
+	ErrNoSnapshot = errors.New("device: index does not support snapshots")
+	// ErrSnapshotInvalid: a power cycle (Restart) occurred after the
+	// snapshot was opened; its frozen view may reference reclaimed flash.
+	ErrSnapshotInvalid = errors.New("device: snapshot invalidated by restart")
+	// ErrSnapshotReleased: the snapshot was already released.
+	ErrSnapshotReleased = errors.New("device: snapshot released")
+	// ErrSnapshotBusy: the epoch-pin table is full; the snapshot cannot
+	// be protected against reclamation right now.
+	ErrSnapshotBusy = errors.New("device: too many pinned readers, retry")
+)
+
+// SnapRecord is one frozen (signature, record pointer) binding in a
+// snapshot's view, sorted by (Lo, Hi).
+type SnapRecord struct {
+	Lo, Hi uint64
+	RP     uint64
+}
+
+// Snapshot is a consistent point-in-time read view of the device (MVCC).
+// It is captured under the device's exclusive serialization but READ
+// with no lock at all: the frozen view is immutable, the flash blocks
+// it references are excluded from GC victim selection while the
+// snapshot is registered, and a single lifetime epoch pin keeps every
+// buffer retired after capture from being reused underneath a reader.
+//
+// Point reads first probe the LIVE index optimistically: a validated
+// hit whose record epoch is <= the snapshot epoch is by construction
+// the newest version at the snapshot instant (epochs only grow), so it
+// can be served without touching the frozen view. Every other outcome —
+// miss, newer epoch, raced validation, non-resident state — falls back
+// to a binary search of the frozen view, which is always correct.
+type Snapshot struct {
+	d     *Device
+	epoch uint64 // write-epoch visibility bound E
+	pin   epoch.Pin
+	view  []SnapRecord // sorted by (Lo, Hi); immutable after capture
+	// blocks is the erase-block footprint of the view; GC reads it (under
+	// snapMu) to exclude these from victim selection.
+	blocks map[nand.BlockID]struct{}
+
+	invalid  atomic.Bool // set by Restart: frozen view dangles
+	released atomic.Bool
+	reads    atomic.Int64 // point reads served (either path)
+	fastHits atomic.Int64 // point reads served by the live-index fast path
+}
+
+// OpenSnapshot captures a consistent view of the device. It must run
+// under the same exclusive serialization as mutating commands (the
+// shard front-end holds the write lock): it flushes open page buffers
+// so every record is on programmed flash, enumerates the index, and
+// pins the result against GC and buffer reuse. The returned snapshot
+// is then read lock-free, concurrently with subsequent writers.
+func (d *Device) OpenSnapshot() (*Snapshot, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	en, ok := d.idx.(index.RecordEnumerator)
+	if !ok {
+		return nil, ErrNoSnapshot
+	}
+	// Every frozen record pointer must reference programmed flash — a
+	// volatile open-page buffer would not survive the capture.
+	if err := d.FlushData(); err != nil {
+		return nil, err
+	}
+	pin, pinned := d.reclaim.TryPin()
+	if !pinned {
+		return nil, ErrSnapshotBusy
+	}
+	s := &Snapshot{d: d, pin: pin, blocks: make(map[nand.BlockID]struct{})}
+	err := en.RangeRecords(func(lo, hi, rp uint64) bool {
+		s.view = append(s.view, SnapRecord{Lo: lo, Hi: hi, RP: rp})
+		s.blocks[d.flash.BlockOf(nand.PPA(layout.RP(rp).Page()))] = struct{}{}
+		return true
+	})
+	if err != nil {
+		d.reclaim.Unpin(pin)
+		return nil, err
+	}
+	sort.Slice(s.view, func(i, j int) bool {
+		if s.view[i].Lo != s.view[j].Lo {
+			return s.view[i].Lo < s.view[j].Lo
+		}
+		return s.view[i].Hi < s.view[j].Hi
+	})
+	// E is read while the exclusive lock still fences out writers, so the
+	// enumerated records are exactly those with epoch <= E.
+	s.epoch = d.wepoch.Load()
+	d.snapMu.Lock()
+	d.snaps[s] = struct{}{}
+	d.snapMu.Unlock()
+	return s, nil
+}
+
+// invalidateSnapshots marks every open snapshot dead and drops their
+// pins and GC protection. Called by Restart under the exclusive lock: a
+// power cycle's rebuild may reclaim the flash their views reference.
+func (d *Device) invalidateSnapshots() {
+	d.snapMu.Lock()
+	for s := range d.snaps {
+		s.invalid.Store(true)
+		if s.released.CompareAndSwap(false, true) {
+			d.reclaim.Unpin(s.pin)
+		}
+	}
+	d.snaps = make(map[*Snapshot]struct{})
+	d.snapMu.Unlock()
+}
+
+// Release drops the snapshot's GC protection and epoch pin. Idempotent;
+// safe from any goroutine. The snapshot must not be read afterwards.
+func (s *Snapshot) Release() {
+	if !s.released.CompareAndSwap(false, true) {
+		return
+	}
+	d := s.d
+	d.snapMu.Lock()
+	delete(d.snaps, s)
+	d.snapMu.Unlock()
+	d.reclaim.Unpin(s.pin)
+}
+
+// Epoch reports the snapshot's visibility bound.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Records reports the number of frozen records in the view.
+func (s *Snapshot) Records() int { return len(s.view) }
+
+// Reads reports point reads served through this snapshot.
+func (s *Snapshot) Reads() int64 { return s.reads.Load() }
+
+// FastHits reports how many of those were served by the live-index
+// optimistic fast path rather than the frozen view.
+func (s *Snapshot) FastHits() int64 { return s.fastHits.Load() }
+
+// Valid reports whether the snapshot is still readable (not released,
+// not invalidated by a restart).
+func (s *Snapshot) Valid() bool { return !s.released.Load() && !s.invalid.Load() }
+
+// errSnapFallback routes a fast-path attempt to the frozen view. Never
+// escapes this file.
+var errSnapFallback = errors.New("device: snapshot fast path fell back")
+
+// readPairEpoch is readPairOptimistic plus the record's write epoch,
+// recovered from the page spare's base and the sig entry's delta. Used
+// by both snapshot read paths; the caller guarantees the page is
+// programmed (frozen view) or pre-checked readable (fast path).
+func (d *Device) readPairEpoch(at sim.Time, rp layout.RP, withValue bool) (hdr layout.PairHeader, key, value []byte, recEpoch uint64, done sim.Time, err error) {
+	ppa := nand.PPA(rp.Page())
+	data, spare, done, err := d.flash.Read(at, ppa)
+	if err != nil {
+		return hdr, nil, nil, 0, at, err
+	}
+	info, _, err := layout.SigInfoAt(data, rp.Slot())
+	if err != nil {
+		return hdr, nil, nil, 0, done, err
+	}
+	recEpoch = layout.DataSpareEpoch(spare) + uint64(info.EpochDelta)
+	hdr, key, value, err = layout.DecodePairAt(data, int(info.Offset))
+	if err != nil {
+		return hdr, nil, nil, 0, done, err
+	}
+	if withValue && hdr.ValueLen > len(value) {
+		full := make([]byte, 0, hdr.ValueLen)
+		full = append(full, value...)
+		for i := 1; len(full) < hdr.ValueLen; i++ {
+			cont, _, cd, err := d.flash.Read(done, ppa+nand.PPA(i))
+			if err != nil {
+				return hdr, nil, nil, 0, done, err
+			}
+			done = cd
+			full = append(full, cont...)
+		}
+		if len(full) > hdr.ValueLen {
+			full = full[:hdr.ValueLen]
+		}
+		value = full
+	}
+	return hdr, key, value, recEpoch, done, nil
+}
+
+// Get reads key's value as of the snapshot instant, with no lock. The
+// value is appended to dst. Returns ErrNotFound when the key had no
+// live value at the snapshot epoch.
+func (s *Snapshot) Get(submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
+	d := s.d
+	// Invalid before released: a restart both invalidates and force-
+	// releases (to drop the epoch pin), and the restart is the cause a
+	// caller can act on.
+	if s.invalid.Load() {
+		return dst, d.env.now.Load(), ErrSnapshotInvalid
+	}
+	if s.released.Load() {
+		return dst, d.env.now.Load(), ErrSnapshotReleased
+	}
+	if d.closed.Load() {
+		return dst, d.env.now.Load(), ErrClosed
+	}
+	sig := d.scheme.Compute(key)
+	v, done, err := s.tryFastGet(sig, submitAt, key, dst)
+	if err != errSnapFallback {
+		if err == nil {
+			s.fastHits.Add(1)
+			s.reads.Add(1)
+		}
+		return v, done, err
+	}
+	return s.frozenGet(sig, submitAt, key, dst)
+}
+
+// tryFastGet probes the LIVE index optimistically. It can only serve a
+// validated hit whose record epoch is <= the snapshot bound: epochs are
+// monotone, so that record is simultaneously the newest overall and
+// unchanged since the capture — i.e. the correct version at E. Every
+// other outcome (miss, newer record, raced validation, non-resident
+// bucket, volatile page) returns errSnapFallback; the frozen view then
+// answers correctly. A failed fast path is therefore a performance
+// matter only, never a correctness one.
+func (s *Snapshot) tryFastGet(sig index.Sig, submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
+	d := s.d
+	r := d.optIdx.Load()
+	if r == nil {
+		return dst, 0, errSnapFallback
+	}
+	m1 := d.mutSeq.Load()
+	if m1&1 != 0 {
+		return dst, 0, errSnapFallback
+	}
+	probe, st := r.PeekOptimistic(sig)
+	if st != index.OptOK || !probe.Found {
+		return dst, 0, errSnapFallback
+	}
+	if !d.flash.PageReadable(nand.PPA(layout.RP(probe.RP).Page())) {
+		return dst, 0, errSnapFallback
+	}
+	arrive := d.hostXfer(submitAt, len(key))
+	d.env.now.AdvanceTo(arrive)
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	d.env.ChargeCPU(r.OptimisticLookupCost())
+	hdr, storedKey, value, recEpoch, done, err := d.readPairEpoch(d.env.now.Load(), layout.RP(probe.RP), true)
+	if err != nil {
+		return dst, 0, errSnapFallback
+	}
+	if recEpoch > s.epoch || hdr.Tombstone() || !bytes.Equal(storedKey, key) {
+		// Newer than the snapshot, or a signature collision — the frozen
+		// view holds the authoritative answer.
+		return dst, 0, errSnapFallback
+	}
+	if now := d.env.now.Load(); done < now {
+		done = now
+	}
+	// Linearization point: the epoch comparison above is only meaningful
+	// if the probed binding survived every dependent flash access intact.
+	if !r.RevalidateOptimistic(probe) || d.mutSeq.Load() != m1 {
+		return dst, 0, errSnapFallback
+	}
+	r.CommitOptimistic(probe)
+	done = d.hostXfer(done, len(value)).Add(d.cfg.AckOverhead)
+	return append(dst, value...), done, nil
+}
+
+// frozenGet serves a point read from the immutable captured view: a
+// binary search over the sorted (Lo, Hi) records, then one lock-free
+// pair read from pinned flash. No epoch check is needed — the view IS
+// the state at E. The trailing invalid check makes the read safe
+// against a concurrent Restart: if it still reads false, the pins were
+// still held throughout, so every byte read was stable.
+func (s *Snapshot) frozenGet(sig index.Sig, submitAt sim.Time, key, dst []byte) ([]byte, sim.Time, error) {
+	d := s.d
+	arrive := d.hostXfer(submitAt, len(key))
+	d.env.now.AdvanceTo(arrive)
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	i := sort.Search(len(s.view), func(i int) bool {
+		if s.view[i].Lo != sig.Lo {
+			return s.view[i].Lo > sig.Lo
+		}
+		return s.view[i].Hi >= sig.Hi
+	})
+	if i >= len(s.view) || s.view[i].Lo != sig.Lo || s.view[i].Hi != sig.Hi {
+		if s.invalid.Load() {
+			return dst, d.env.now.Load(), ErrSnapshotInvalid
+		}
+		s.reads.Add(1)
+		return dst, d.env.now.Load(), ErrNotFound
+	}
+	hdr, storedKey, value, _, done, err := d.readPairEpoch(d.env.now.Load(), layout.RP(s.view[i].RP), true)
+	if err != nil {
+		if s.invalid.Load() {
+			return dst, d.env.now.Load(), ErrSnapshotInvalid
+		}
+		return dst, d.env.now.Load(), err
+	}
+	if s.invalid.Load() {
+		return dst, d.env.now.Load(), ErrSnapshotInvalid
+	}
+	if now := d.env.now.Load(); done < now {
+		done = now
+	}
+	if hdr.Tombstone() || !bytes.Equal(storedKey, key) {
+		s.reads.Add(1)
+		return dst, done, ErrNotFound
+	}
+	done = d.hostXfer(done, len(value)).Add(d.cfg.AckOverhead)
+	s.reads.Add(1)
+	return append(dst, value...), done, nil
+}
+
+// Scan enumerates the snapshot's records whose keys share prefix (nil
+// matches everything), sorted by key, with no lock. Unlike the live
+// Iterate it requires no iterator-mode signature scheme — the frozen
+// view already holds every record — and it never blocks writers. The
+// result is a deep copy: valid after Release.
+func (s *Snapshot) Scan(submitAt sim.Time, prefix []byte, withValues bool) ([]IterEntry, sim.Time, error) {
+	d := s.d
+	// Invalid before released; see Get.
+	if s.invalid.Load() {
+		return nil, d.env.now.Load(), ErrSnapshotInvalid
+	}
+	if s.released.Load() {
+		return nil, d.env.now.Load(), ErrSnapshotReleased
+	}
+	if d.closed.Load() {
+		return nil, d.env.now.Load(), ErrClosed
+	}
+	d.env.now.AdvanceTo(submitAt)
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	at := d.env.now.Load()
+	var out []IterEntry
+	for _, rec := range s.view {
+		hdr, key, value, _, done, err := d.readPairEpoch(at, layout.RP(rec.RP), withValues)
+		if err != nil {
+			if s.invalid.Load() {
+				return nil, d.env.now.Load(), ErrSnapshotInvalid
+			}
+			return nil, d.env.now.Load(), err
+		}
+		at = done
+		if hdr.Tombstone() || !bytes.HasPrefix(key, prefix) {
+			continue
+		}
+		e := IterEntry{Key: append([]byte(nil), key...)}
+		if withValues {
+			e.Value = append([]byte(nil), value...)
+		}
+		out = append(out, e)
+	}
+	if s.invalid.Load() {
+		return nil, d.env.now.Load(), ErrSnapshotInvalid
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	d.env.now.AdvanceTo(at)
+	return out, d.env.now.Load(), nil
+}

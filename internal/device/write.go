@@ -119,9 +119,11 @@ func (d *Device) flushOpen(w *logWriter) error {
 		return nil
 	}
 	s := &w.slots[w.cur]
+	// The spare carries the page's base write epoch; per-pair deltas ride
+	// in the signature area (layout v2).
 	data := w.builder.Bytes()
 	ppa := d.flash.PPAOf(s.block, s.next)
-	spare := layout.EncodeSpare(layout.KindData, 0, 0)
+	spare := layout.EncodeDataSpare(w.builder.Base())
 	if _, err := d.programData(ppa, data, spare); err != nil {
 		return err
 	}
@@ -163,7 +165,7 @@ func (d *Device) appendExtent(w *logWriter, p layout.Pair, live int) (layout.RP,
 	}
 	headPPA := d.flash.PPAOf(s.block, s.next)
 	rp := layout.MakeRP(uint64(headPPA), 0)
-	if _, err := d.programData(headPPA, head, layout.EncodeSpare(layout.KindData, 0, 0)); err != nil {
+	if _, err := d.programData(headPPA, head, layout.EncodeDataSpare(p.Epoch)); err != nil {
 		return 0, err
 	}
 	for i, c := range conts {
@@ -263,7 +265,7 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 	}
 
 	d.seq++
-	p := layout.Pair{Sig: sig.Lo, Key: key, Value: value, Seq: d.seq}
+	p := layout.Pair{Sig: sig.Lo, Key: key, Value: value, Seq: d.seq, Epoch: d.wepoch.Load() + 1}
 	live := liveSize(len(key), len(value))
 	var rp layout.RP
 	if layout.ExtentPages(d.flash.Config().PageSize, len(key), len(value)) > 1 {
@@ -333,7 +335,7 @@ func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
 		return d.env.now.Load(), err
 	}
 	d.seq++
-	tomb := layout.Pair{Sig: sig.Lo, Key: key, Seq: d.seq, Tombstone: true}
+	tomb := layout.Pair{Sig: sig.Lo, Key: key, Seq: d.seq, Epoch: d.wepoch.Load() + 1, Tombstone: true}
 	tombSize := liveSize(len(key), 0)
 	if _, err := d.appendPair(&d.fg, tomb, -tombSize); err != nil {
 		return d.env.now.Load(), err

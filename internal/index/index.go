@@ -123,6 +123,18 @@ type PrefixScanner interface {
 	PrefixRecords(low uint32) ([]uint64, error)
 }
 
+// RecordEnumerator is implemented by indexes that can enumerate every
+// live record with its full signature. The device's snapshot capture
+// uses it to freeze a point-in-time view: RangeRecords must visit each
+// live (signature, record pointer) binding exactly once, with no
+// superseded versions and no tombstones. It runs under the device's
+// exclusive serialization, so implementations may mutate internal state
+// (drain a lazy migration, load tables through the cache) and charge
+// the flash reads that enumeration costs.
+type RecordEnumerator interface {
+	RangeRecords(f func(lo, hi, rp uint64) bool) error
+}
+
 // Stats is the common observability surface for index implementations.
 type Stats struct {
 	Records    int64

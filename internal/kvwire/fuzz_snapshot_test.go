@@ -1,0 +1,153 @@
+package kvwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzSnapshotWire exercises the snapshot/backup additions to the
+// protocol: SNAPSHOT/SNAPGET/SNAPRELEASE/BACKUP request frames, the
+// field-count-versioned SNAPSHOT response, and the chunk/trailer frames
+// of a BACKUP stream. The properties: no input panics or over-reads,
+// anything that decodes re-encodes byte-identically, a truncated frame
+// is a decode refusal (never a silently short result), and unknown
+// backup markers or out-of-range trailer fields are rejected.
+func FuzzSnapshotWire(f *testing.F) {
+	// Well-formed request frames, including the snap-0 "capture your
+	// own" backup form and a SNAPGET against an unknown (huge) snapshot
+	// ID — resolving the ID is the server's job, the codec must carry it
+	// verbatim either way.
+	f.Add(AppendSnapshot(nil, 1))
+	f.Add(AppendSnapGet(nil, 2, 7, []byte("key")))
+	f.Add(AppendSnapGet(nil, 3, 1<<63, []byte("k")))
+	f.Add(AppendSnapRelease(nil, 4, 7))
+	f.Add(AppendBackup(nil, 5, 0))
+	f.Add(AppendBackup(nil, 6, 424242))
+
+	// Response frames: snapshot info, an empty chunk, a loaded chunk, a
+	// trailer, and a whole miniature stream back to back.
+	f.Add(AppendSnapshotResponse(nil, 7, &SnapInfo{ID: 1, Epoch: 42, Records: 9}))
+	f.Add(AppendBackupChunk(nil, 8, nil))
+	chunk := AppendBackupChunk(nil, 9, []ScanEntry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("bb"), Value: nil},
+	})
+	f.Add(chunk)
+	f.Add(AppendBackupTrailer(nil, 10, 99, 2, 0xDEADBEEF))
+	stream := AppendBackupChunk(nil, 11, []ScanEntry{{Key: []byte("k"), Value: []byte("v")}})
+	stream = AppendBackupTrailer(stream, 11, 1, 1, BackupCRC(0, []byte("k"), []byte("v")))
+	f.Add(stream)
+
+	// Truncations: a chunk cut mid-entry, a trailer cut mid-varint, a
+	// snapshot response cut mid-field.
+	f.Add(chunk[:len(chunk)-2])
+	trailer := AppendBackupTrailer(nil, 12, 1<<40, 1<<20, 1)
+	f.Add(trailer[:len(trailer)-1])
+	snresp := AppendSnapshotResponse(nil, 13, &SnapInfo{ID: 5, Epoch: 6, Records: 7})
+	f.Add(snresp[:len(snresp)-1])
+
+	// Hostile shapes: unknown backup marker, a chunk declaring more
+	// entries than MaxBackupChunk, a trailer whose CRC overflows 32 bits,
+	// and a snapshot response declaring an absurd field count.
+	badMarker := []byte{6, 0, 0, 0, byte(StatusOK), 1, 2, 0}
+	f.Add(badMarker)
+	var hostile []byte
+	hostile = append(hostile, byte(StatusOK), 1, BackupMarkerChunk)
+	hostile = binary.AppendUvarint(hostile, MaxBackupChunk+1)
+	f.Add(frameOf(hostile))
+	var bigcrc []byte
+	bigcrc = append(bigcrc, byte(StatusOK), 1, BackupMarkerTrailer)
+	bigcrc = binary.AppendUvarint(bigcrc, 1)
+	bigcrc = binary.AppendUvarint(bigcrc, 1)
+	bigcrc = binary.AppendUvarint(bigcrc, 1<<33)
+	f.Add(frameOf(bigcrc))
+	var manyFields []byte
+	manyFields = append(manyFields, byte(StatusOK), 1)
+	manyFields = binary.AppendUvarint(manyFields, 1<<20)
+	f.Add(frameOf(manyFields))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		var req Request
+		var resp Response
+		for frames := 0; frames < 64; frames++ {
+			body, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					err != ErrFrameTooLarge && err != ErrTruncated {
+					t.Fatalf("Next: unexpected error type %v", err)
+				}
+				break
+			}
+			if err := req.Parse(body); err == nil {
+				switch req.Op {
+				case OpSnapshot, OpSnapGet, OpSnapRelease, OpBackup:
+					reencoded := reencode(&req)
+					var again Request
+					if err := again.Parse(reencoded[4:]); err != nil {
+						t.Fatalf("re-encoded %v failed to parse: %v", req.Op, err)
+					}
+					if !requestsEqual(&req, &again) {
+						t.Fatalf("%v round-trip mismatch:\n got %+v\nwant %+v", req.Op, again, req)
+					}
+				}
+			}
+			if err := resp.Parse(body); err != nil {
+				continue
+			}
+			// Both snapshot-family payload decoders must survive any
+			// successfully-framed response payload.
+			if info, err := ParseSnapshotPayload(resp.Payload); err == nil {
+				re := AppendSnapshotResponse(nil, resp.ID, &info)
+				var again Response
+				if err := again.Parse(re[4:]); err != nil {
+					t.Fatalf("re-encoded snapshot response: %v", err)
+				}
+				info2, err := ParseSnapshotPayload(again.Payload)
+				if err != nil || info2 != info {
+					t.Fatalf("snapshot payload round-trip: %+v -> %+v (%v)", info, info2, err)
+				}
+			}
+			bf, err := ParseBackupFrame(resp.Payload, nil)
+			if err != nil {
+				continue
+			}
+			// A decoded backup frame re-encodes to an identical decode.
+			var re []byte
+			if bf.Trailer {
+				re = AppendBackupTrailer(nil, resp.ID, bf.Epoch, bf.Total, bf.CRC)
+			} else {
+				re = AppendBackupChunk(nil, resp.ID, bf.Entries)
+			}
+			var again Response
+			if err := again.Parse(re[4:]); err != nil {
+				t.Fatalf("re-encoded backup frame: %v", err)
+			}
+			bf2, err := ParseBackupFrame(again.Payload, nil)
+			if err != nil {
+				t.Fatalf("re-encoded backup frame failed to decode: %v", err)
+			}
+			if bf2.Trailer != bf.Trailer || bf2.Epoch != bf.Epoch ||
+				bf2.Total != bf.Total || bf2.CRC != bf.CRC ||
+				len(bf2.Entries) != len(bf.Entries) {
+				t.Fatalf("backup frame round-trip mismatch:\n got %+v\nwant %+v", bf2, bf)
+			}
+			for i := range bf.Entries {
+				if !bytes.Equal(bf.Entries[i].Key, bf2.Entries[i].Key) ||
+					!bytes.Equal(bf.Entries[i].Value, bf2.Entries[i].Value) {
+					t.Fatalf("backup entry %d round-trip mismatch", i)
+				}
+			}
+		}
+	})
+}
+
+// frameOf wraps a raw frame body in the u32 length prefix FrameReader
+// expects, for hand-built hostile seeds.
+func frameOf(body []byte) []byte {
+	out := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)))
+	return append(out, body...)
+}

@@ -103,12 +103,22 @@ func reencode(r *Request) []byte {
 		return AppendBatch(nil, r.ID, r.Ops)
 	case OpStats:
 		return AppendStats(nil, r.ID)
+	case OpSnapshot:
+		return AppendSnapshot(nil, r.ID)
+	case OpSnapGet:
+		return AppendSnapGet(nil, r.ID, r.Snap, r.Key)
+	case OpSnapRelease:
+		return AppendSnapRelease(nil, r.ID, r.Snap)
+	case OpBackup:
+		return AppendBackup(nil, r.ID, r.Snap)
+	case OpScan:
+		return AppendScan(nil, r.ID, r.Key, r.Limit)
 	}
 	panic("unreachable: parsed request with unknown op")
 }
 
 func requestsEqual(a, b *Request) bool {
-	if a.Op != b.Op || a.ID != b.ID ||
+	if a.Op != b.Op || a.ID != b.ID || a.Snap != b.Snap || a.Limit != b.Limit ||
 		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
 		len(a.Ops) != len(b.Ops) {
 		return false

@@ -1,0 +1,252 @@
+package kvwire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Snapshot and backup wire encodings.
+//
+//	SNAPSHOT request:     empty
+//	SNAPGET request:      snapID keyLen key
+//	SNAPRELEASE request:  snapID
+//	BACKUP request:       snapID        (0 = server captures one for the
+//	                                     duration of the stream)
+//
+//	SNAPSHOT OK response: fieldCount + uvarint fields (like STATS: old
+//	                      parsers skip appended fields, new parsers
+//	                      zero-fill omitted ones)
+//	SNAPGET OK response:  value (AppendValueResponse)
+//	SNAPRELEASE OK:       empty (AppendOK)
+//
+//	BACKUP is the protocol's only multi-frame response: the server sends
+//	zero or more CHUNK frames followed by exactly one TRAILER frame, all
+//	carrying the request's ID, then the stream is complete. A killed
+//	server leaves the stream without a trailer — detectably truncated —
+//	and the trailer's entry count and CRC reject reordered or corrupted
+//	streams.
+//
+//	chunk frame:   StatusOK reqID marker=0 n  n × (keyLen key valueLen value)
+//	trailer frame: StatusOK reqID marker=1 epoch totalCount crc32
+//
+// The CRC is IEEE CRC-32 over each entry's length-prefixed key and
+// value encodings, in stream order (BackupCRC).
+
+// Backup frame markers.
+const (
+	BackupMarkerChunk   = 0
+	BackupMarkerTrailer = 1
+)
+
+// MaxBackupChunk bounds the entries one BACKUP chunk frame carries.
+const MaxBackupChunk = 1 << 14
+
+// SnapInfo is the payload of a SNAPSHOT success response.
+type SnapInfo struct {
+	// ID names the snapshot in subsequent SNAPGET/SNAPRELEASE/BACKUP
+	// requests; scoped to the server process, never zero.
+	ID uint64
+	// Epoch is the set-level visibility bound (sum of per-shard write
+	// epochs at the capture instant). Two captures with no intervening
+	// commits report equal epochs.
+	Epoch uint64
+	// Records is the frozen record count across all shards.
+	Records uint64
+}
+
+// fields returns the wire order; append new fields at the end only.
+func (s *SnapInfo) fields() []*uint64 {
+	return []*uint64{&s.ID, &s.Epoch, &s.Records}
+}
+
+// AppendSnapshot appends a complete SNAPSHOT request frame.
+func AppendSnapshot(dst []byte, id uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpSnapshot))
+	dst = binary.AppendUvarint(dst, id)
+	return endFrame(dst, mark)
+}
+
+// AppendSnapGet appends a complete SNAPGET request frame.
+func AppendSnapGet(dst []byte, id, snap uint64, key []byte) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpSnapGet))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, snap)
+	dst = appendBlob(dst, key)
+	return endFrame(dst, mark)
+}
+
+// AppendSnapRelease appends a complete SNAPRELEASE request frame.
+func AppendSnapRelease(dst []byte, id, snap uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpSnapRelease))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, snap)
+	return endFrame(dst, mark)
+}
+
+// AppendBackup appends a complete BACKUP request frame. snap 0 asks the
+// server to capture (and afterwards release) a snapshot of its own.
+func AppendBackup(dst []byte, id, snap uint64) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(OpBackup))
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, snap)
+	return endFrame(dst, mark)
+}
+
+// AppendSnapshotResponse appends a SNAPSHOT success frame.
+func AppendSnapshotResponse(dst []byte, id uint64, info *SnapInfo) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	fields := info.fields()
+	dst = binary.AppendUvarint(dst, uint64(len(fields)))
+	for _, f := range fields {
+		dst = binary.AppendUvarint(dst, *f)
+	}
+	return endFrame(dst, mark)
+}
+
+// ParseSnapshotPayload decodes a SNAPSHOT success payload.
+func ParseSnapshotPayload(p []byte) (SnapInfo, error) {
+	var s SnapInfo
+	count, n, err := uvarint(p)
+	if err != nil {
+		return s, err
+	}
+	if count > 1<<10 {
+		return s, ErrFrameTooLarge
+	}
+	p = p[n:]
+	fields := s.fields()
+	for i := uint64(0); i < count; i++ {
+		v, n, err := uvarint(p)
+		if err != nil {
+			return s, err
+		}
+		p = p[n:]
+		if i < uint64(len(fields)) {
+			*fields[i] = v
+		}
+	}
+	if len(p) != 0 {
+		return s, ErrTruncated
+	}
+	return s, nil
+}
+
+// AppendBackupChunk appends one BACKUP chunk frame carrying entries.
+func AppendBackupChunk(dst []byte, id uint64, entries []ScanEntry) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	dst = append(dst, BackupMarkerChunk)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = appendBlob(dst, e.Key)
+		dst = appendBlob(dst, e.Value)
+	}
+	return endFrame(dst, mark)
+}
+
+// AppendBackupTrailer appends the BACKUP trailer frame that completes a
+// stream: the snapshot epoch, the total entry count across every chunk,
+// and the running BackupCRC.
+func AppendBackupTrailer(dst []byte, id, epoch, total uint64, crc uint32) []byte {
+	mark, dst := beginFrame(dst)
+	dst = append(dst, byte(StatusOK))
+	dst = binary.AppendUvarint(dst, id)
+	dst = append(dst, BackupMarkerTrailer)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, total)
+	dst = binary.AppendUvarint(dst, uint64(crc))
+	return endFrame(dst, mark)
+}
+
+// BackupFrame is one parsed BACKUP response frame: either a chunk of
+// entries or the stream's trailer.
+type BackupFrame struct {
+	Trailer bool
+	Entries []ScanEntry // chunks; alias the frame buffer
+	Epoch   uint64      // trailer only
+	Total   uint64      // trailer only: entries across the whole stream
+	CRC     uint32      // trailer only: expected BackupCRC
+}
+
+// ParseBackupFrame decodes a BACKUP success payload, appending chunk
+// entries to dst (pass dst[:0] to reuse).
+func ParseBackupFrame(p []byte, dst []ScanEntry) (BackupFrame, error) {
+	f := BackupFrame{Entries: dst}
+	if len(p) < 1 {
+		return f, ErrTruncated
+	}
+	marker := p[0]
+	p = p[1:]
+	switch marker {
+	case BackupMarkerChunk:
+		count, n, err := uvarint(p)
+		if err != nil {
+			return f, err
+		}
+		if count > MaxBackupChunk {
+			return f, ErrFrameTooLarge
+		}
+		p = p[n:]
+		for i := uint64(0); i < count; i++ {
+			var e ScanEntry
+			if e.Key, n, err = parseBlob(p, MaxKeyLen); err != nil {
+				return f, err
+			}
+			p = p[n:]
+			if e.Value, n, err = parseBlob(p, MaxValueLen); err != nil {
+				return f, err
+			}
+			p = p[n:]
+			f.Entries = append(f.Entries, e)
+		}
+	case BackupMarkerTrailer:
+		f.Trailer = true
+		var n int
+		var err error
+		if f.Epoch, n, err = uvarint(p); err != nil {
+			return f, err
+		}
+		p = p[n:]
+		if f.Total, n, err = uvarint(p); err != nil {
+			return f, err
+		}
+		p = p[n:]
+		crc, n, err := uvarint(p)
+		if err != nil {
+			return f, err
+		}
+		if crc > 0xFFFFFFFF {
+			return f, ErrTruncated
+		}
+		f.CRC = uint32(crc)
+		p = p[n:]
+	default:
+		return f, ErrUnknownOp
+	}
+	if len(p) != 0 {
+		return f, ErrTruncated
+	}
+	return f, nil
+}
+
+// BackupCRC folds one entry into a running IEEE CRC-32 over the stream.
+// Hashing the length-prefixed encodings (not the raw bytes) keeps the
+// (key, value) boundary inside the digest, so shifting a byte between
+// fields changes the sum. Start from 0.
+func BackupCRC(crc uint32, key, value []byte) uint32 {
+	var lb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lb[:], uint64(len(key)))
+	crc = crc32.Update(crc, crc32.IEEETable, lb[:n])
+	crc = crc32.Update(crc, crc32.IEEETable, key)
+	n = binary.PutUvarint(lb[:], uint64(len(value)))
+	crc = crc32.Update(crc, crc32.IEEETable, lb[:n])
+	crc = crc32.Update(crc, crc32.IEEETable, value)
+	return crc
+}

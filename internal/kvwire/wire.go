@@ -82,6 +82,17 @@ const (
 	OpBatch
 	OpStats
 	OpScan
+	// OpSnapshot captures a server-side MVCC snapshot; the response
+	// carries its ID, epoch, and record count (field-count-versioned).
+	OpSnapshot
+	// OpSnapGet reads a key at a previously captured snapshot.
+	OpSnapGet
+	// OpSnapRelease drops a snapshot's pins.
+	OpSnapRelease
+	// OpBackup streams a consistent checkpoint: chunk frames of key/value
+	// entries followed by a CRC-carrying trailer, all under one request
+	// ID (see snapshot.go).
+	OpBackup
 )
 
 // String returns the opcode mnemonic.
@@ -101,6 +112,14 @@ func (o Op) String() string {
 		return "STATS"
 	case OpScan:
 		return "SCAN"
+	case OpSnapshot:
+		return "SNAPSHOT"
+	case OpSnapGet:
+		return "SNAPGET"
+	case OpSnapRelease:
+		return "SNAPRELEASE"
+	case OpBackup:
+		return "BACKUP"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -133,6 +152,10 @@ const (
 	StatusBadRequest
 	// StatusInternal: unexpected server-side failure.
 	StatusInternal
+	// StatusUnknownSnapshot: the request referenced a snapshot ID the
+	// server does not hold (never captured, released, or invalidated by
+	// a restart).
+	StatusUnknownSnapshot
 )
 
 // Errors surfaced by the codec and mapped from response statuses.
@@ -142,30 +165,32 @@ var (
 	ErrTruncated     = errors.New("kvwire: truncated frame")
 	ErrUnknownOp     = errors.New("kvwire: unknown opcode")
 
-	ErrNotFound      = errors.New("kvwire: key not found")
-	ErrBusy          = errors.New("kvwire: server busy")
-	ErrCollision     = errors.New("kvwire: signature collision")
-	ErrKeyTooLarge   = errors.New("kvwire: key too large")
-	ErrValueTooLarge = errors.New("kvwire: value too large")
-	ErrDeviceFull    = errors.New("kvwire: device full")
-	ErrClosed        = errors.New("kvwire: server closed")
-	ErrDeadline      = errors.New("kvwire: request deadline exceeded")
-	ErrBadRequest    = errors.New("kvwire: bad request")
-	ErrInternal      = errors.New("kvwire: internal server error")
+	ErrNotFound        = errors.New("kvwire: key not found")
+	ErrBusy            = errors.New("kvwire: server busy")
+	ErrCollision       = errors.New("kvwire: signature collision")
+	ErrKeyTooLarge     = errors.New("kvwire: key too large")
+	ErrValueTooLarge   = errors.New("kvwire: value too large")
+	ErrDeviceFull      = errors.New("kvwire: device full")
+	ErrClosed          = errors.New("kvwire: server closed")
+	ErrDeadline        = errors.New("kvwire: request deadline exceeded")
+	ErrBadRequest      = errors.New("kvwire: bad request")
+	ErrInternal        = errors.New("kvwire: internal server error")
+	ErrUnknownSnapshot = errors.New("kvwire: unknown snapshot")
 )
 
 var statusErrs = [...]error{
-	StatusOK:            nil,
-	StatusNotFound:      ErrNotFound,
-	StatusBusy:          ErrBusy,
-	StatusCollision:     ErrCollision,
-	StatusKeyTooLarge:   ErrKeyTooLarge,
-	StatusValueTooLarge: ErrValueTooLarge,
-	StatusDeviceFull:    ErrDeviceFull,
-	StatusClosed:        ErrClosed,
-	StatusDeadline:      ErrDeadline,
-	StatusBadRequest:    ErrBadRequest,
-	StatusInternal:      ErrInternal,
+	StatusOK:              nil,
+	StatusNotFound:        ErrNotFound,
+	StatusBusy:            ErrBusy,
+	StatusCollision:       ErrCollision,
+	StatusKeyTooLarge:     ErrKeyTooLarge,
+	StatusValueTooLarge:   ErrValueTooLarge,
+	StatusDeviceFull:      ErrDeviceFull,
+	StatusClosed:          ErrClosed,
+	StatusDeadline:        ErrDeadline,
+	StatusBadRequest:      ErrBadRequest,
+	StatusInternal:        ErrInternal,
+	StatusUnknownSnapshot: ErrUnknownSnapshot,
 }
 
 // Err maps a status to its sentinel error; StatusOK maps to nil and
@@ -202,6 +227,8 @@ func (s Status) String() string {
 		return "BAD_REQUEST"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusUnknownSnapshot:
+		return "UNKNOWN_SNAPSHOT"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -439,6 +466,7 @@ type Request struct {
 	Key   []byte
 	Value []byte
 	Limit uint64    // scan result cap; 0 = server maximum
+	Snap  uint64    // snapshot ID (SNAPGET/SNAPRELEASE/BACKUP; 0 = none)
 	Ops   []BatchOp // batch sub-ops; backing array is reused across Parse calls
 }
 
@@ -457,7 +485,7 @@ func (r *Request) Parse(body []byte) error {
 	}
 	r.ID = id
 	body = body[n:]
-	r.Key, r.Value, r.Limit, r.Ops = nil, nil, 0, r.Ops[:0]
+	r.Key, r.Value, r.Limit, r.Snap, r.Ops = nil, nil, 0, 0, r.Ops[:0]
 
 	switch r.Op {
 	case OpPut:
@@ -506,8 +534,22 @@ func (r *Request) Parse(body []byte) error {
 			}
 			r.Ops = append(r.Ops, bop)
 		}
-	case OpStats:
+	case OpStats, OpSnapshot:
 		// no payload
+	case OpSnapGet:
+		if r.Snap, n, err = uvarint(body); err != nil {
+			return err
+		}
+		body = body[n:]
+		if r.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
+			return err
+		}
+		body = body[n:]
+	case OpSnapRelease, OpBackup:
+		if r.Snap, n, err = uvarint(body); err != nil {
+			return err
+		}
+		body = body[n:]
 	case OpScan:
 		if r.Key, n, err = parseBlob(body, MaxKeyLen); err != nil {
 			return err

@@ -1,0 +1,187 @@
+package layout
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestPageBuilderEpochRoundTrip packs pairs carrying distinct write
+// epochs and checks every slot's epoch survives the v2 info-area
+// encoding: base epoch from the builder, per-slot delta from the entry.
+func TestPageBuilderEpochRoundTrip(t *testing.T) {
+	b := NewPageBuilder(4096)
+	epochs := []uint64{100, 100, 101, 105, 100 + MaxEpochDelta}
+	for i, e := range epochs {
+		_, ok := b.Add(Pair{Sig: uint64(i), Key: []byte{byte(i)}, Value: []byte{1, 2}, Epoch: e})
+		if !ok {
+			t.Fatalf("pair %d did not fit", i)
+		}
+	}
+	if b.Base() != 100 {
+		t.Fatalf("Base() = %d, want 100", b.Base())
+	}
+	page := b.Bytes()
+	infos, err := DecodeSigArea(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(epochs) {
+		t.Fatalf("%d entries, want %d", len(infos), len(epochs))
+	}
+	for i, e := range epochs {
+		got := b.Base() + uint64(infos[i].EpochDelta)
+		if got != e {
+			t.Errorf("slot %d: epoch %d, want %d", i, got, e)
+		}
+		one, _, err := SigInfoAt(page, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one != infos[i] {
+			t.Errorf("slot %d: SigInfoAt %+v != DecodeSigArea %+v", i, one, infos[i])
+		}
+		hdr, key, _, err := DecodePairAt(page, int(infos[i].Offset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.KeyLen != 1 || key[0] != byte(i) {
+			t.Errorf("slot %d: wrong pair decoded", i)
+		}
+	}
+}
+
+// TestPageBuilderEpochOverflowOpensNewPage: a pair whose epoch is too far
+// above (or below) the page base must be refused so the caller flushes.
+func TestPageBuilderEpochOverflowOpensNewPage(t *testing.T) {
+	b := NewPageBuilder(4096)
+	if _, ok := b.Add(Pair{Sig: 1, Key: []byte("a"), Value: []byte("v"), Epoch: 500}); !ok {
+		t.Fatal("first pair did not fit")
+	}
+	if _, ok := b.Add(Pair{Sig: 2, Key: []byte("b"), Value: []byte("v"), Epoch: 500 + MaxEpochDelta + 1}); ok {
+		t.Fatal("over-delta pair accepted")
+	}
+	if _, ok := b.Add(Pair{Sig: 3, Key: []byte("c"), Value: []byte("v"), Epoch: 499}); ok {
+		t.Fatal("below-base pair accepted")
+	}
+	// Still usable for in-range epochs.
+	if _, ok := b.Add(Pair{Sig: 4, Key: []byte("d"), Value: []byte("v"), Epoch: 501}); !ok {
+		t.Fatal("in-range pair refused")
+	}
+	// After Reset the refused epoch fits a fresh page.
+	b.Reset()
+	if _, ok := b.Add(Pair{Sig: 2, Key: []byte("b"), Value: []byte("v"), Epoch: 500 + MaxEpochDelta + 1}); !ok {
+		t.Fatal("fresh page refused the pair")
+	}
+	if b.Base() != 500+MaxEpochDelta+1 {
+		t.Fatalf("fresh base %d", b.Base())
+	}
+}
+
+// TestV1PageDecodesAsEpochZero is the compatibility shim: an info area
+// written in the v1 format (no count flag, full 32-bit offsets) must
+// decode with EpochDelta 0 on every entry.
+func TestV1PageDecodesAsEpochZero(t *testing.T) {
+	// Hand-build a v1 page: one pair body, one 12-byte entry, count=1
+	// without the v2 flag.
+	var page []byte
+	page = appendHeader(page, Pair{Key: []byte("k"), Value: []byte("val"), Seq: 7})
+	page = append(page, 'k')
+	page = append(page, "val"...)
+	var e [SigEntrySize + CountSize]byte
+	binary.LittleEndian.PutUint64(e[:8], 42)
+	binary.LittleEndian.PutUint32(e[8:12], 0)
+	binary.LittleEndian.PutUint16(e[12:], 1)
+	page = append(page, e[:]...)
+
+	infos, err := DecodeSigArea(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].EpochDelta != 0 || infos[0].Sig != 42 {
+		t.Fatalf("v1 decode: %+v", infos)
+	}
+	hdr, key, value, err := DecodePairAt(page, int(infos[0].Offset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seq != 7 || string(key) != "k" || string(value) != "val" {
+		t.Fatalf("v1 pair decode: %+v %q %q", hdr, key, value)
+	}
+}
+
+// TestV1LargePageOffsets: a builder for pages beyond the v2 offset range
+// must fall back to v1 so large offsets are not truncated to 16 bits.
+func TestV1LargePageOffsets(t *testing.T) {
+	const pageSize = 1 << 17
+	b := NewPageBuilder(pageSize)
+	big := make([]byte, 70000)
+	if _, ok := b.Add(Pair{Sig: 1, Key: []byte("a"), Value: big, Epoch: 9}); !ok {
+		t.Fatal("big pair did not fit")
+	}
+	if _, ok := b.Add(Pair{Sig: 2, Key: []byte("b"), Value: []byte("v"), Epoch: 9}); !ok {
+		t.Fatal("second pair did not fit")
+	}
+	if b.Base() != 0 {
+		t.Fatalf("v1 builder reports base %d, want 0", b.Base())
+	}
+	page := b.Bytes()
+	infos, err := DecodeSigArea(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[1].Offset <= 70000 {
+		t.Fatalf("second offset %d truncated", infos[1].Offset)
+	}
+	if infos[1].EpochDelta != 0 {
+		t.Fatalf("v1 entry decoded delta %d", infos[1].EpochDelta)
+	}
+	_, key, _, err := DecodePairAt(page, int(infos[1].Offset))
+	if err != nil || string(key) != "b" {
+		t.Fatalf("large-offset pair decode: %q %v", key, err)
+	}
+}
+
+// TestExtentHeadEpoch: BuildExtent's head page must carry the v2 flag on
+// small pages (delta 0; the base rides in the spare area).
+func TestExtentHeadEpoch(t *testing.T) {
+	const pageSize = 4096
+	val := make([]byte, 3*pageSize)
+	head, _, err := BuildExtent(pageSize, Pair{Sig: 5, Key: []byte("k"), Value: val, Epoch: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, n, err := SigInfoAt(head, 0)
+	if err != nil || n != 1 {
+		t.Fatalf("head sig area: %v n=%d", err, n)
+	}
+	if info.EpochDelta != 0 || info.Offset != 0 || info.Sig != 5 {
+		t.Fatalf("head entry: %+v", info)
+	}
+}
+
+// TestDataSpareEpochRoundTrip checks the 56-bit base epoch survives the
+// spare area, that kind classification is preserved, and that a legacy
+// all-zero payload reads back as epoch 0.
+func TestDataSpareEpochRoundTrip(t *testing.T) {
+	for _, e := range []uint64{0, 1, 77, 1 << 20, MaxBaseEpoch} {
+		sp := EncodeDataSpare(e)
+		if len(sp) != SpareSizeUsed {
+			t.Fatalf("spare len %d", len(sp))
+		}
+		kind, _, _, err := DecodeSpare(sp)
+		if err != nil || kind != KindData {
+			t.Fatalf("epoch %d: kind %v err %v", e, kind, err)
+		}
+		if got := DataSpareEpoch(sp); got != e {
+			t.Fatalf("epoch %d round-tripped as %d", e, got)
+		}
+	}
+	// Legacy spare written by EncodeSpare: zeros decode as epoch 0.
+	if got := DataSpareEpoch(EncodeSpare(KindData, 0, 0)); got != 0 {
+		t.Fatalf("legacy spare epoch %d", got)
+	}
+	// Non-data spares never report an epoch.
+	if got := DataSpareEpoch(EncodeSpare(KindContinuation, 99, 1)); got != 0 {
+		t.Fatalf("continuation spare epoch %d", got)
+	}
+}

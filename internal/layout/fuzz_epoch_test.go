@@ -1,0 +1,82 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSigInfoEpoch feeds arbitrary page images through the info-area
+// decoders, checking that v1 (flagless) and v2 (epoch-delta) formats
+// decode consistently and that no input panics or reads out of bounds.
+// The differential property: DecodeSigArea and SigInfoAt must agree on
+// every slot, DecodePairAt must stay within the data area, and flipping
+// the v2 flag must only reinterpret offsets, never change the count.
+func FuzzSigInfoEpoch(f *testing.F) {
+	// Seed: a genuine v2 page with epoch spread.
+	b := NewPageBuilder(512)
+	for i := 0; i < 4; i++ {
+		b.Add(Pair{Sig: uint64(i) * 7, Key: []byte{byte('a' + i)}, Value: bytes.Repeat([]byte{byte(i)}, i+1), Epoch: 40 + uint64(i)*3})
+	}
+	f.Add(b.Bytes())
+	// Seed: a v1 page (hand-encoded, no flag).
+	var v1 []byte
+	v1 = appendHeader(v1, Pair{Key: []byte("k"), Value: []byte("v"), Seq: 3})
+	v1 = append(v1, 'k', 'v')
+	var e [SigEntrySize + CountSize]byte
+	binary.LittleEndian.PutUint64(e[:8], 9)
+	binary.LittleEndian.PutUint32(e[8:12], 0)
+	binary.LittleEndian.PutUint16(e[12:], 1)
+	f.Add(append(v1, e[:]...))
+	// Seed: an extent head (v2-flagged count of 1).
+	head, _, err := BuildExtent(256, Pair{Sig: 1, Key: []byte("kk"), Value: bytes.Repeat([]byte{7}, 1000), Epoch: 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(head)
+	// Seeds: corrupt shapes.
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Add([]byte{0x01, 0x80}) // v2 flag, count 1, no entry bytes
+
+	f.Fuzz(func(t *testing.T, page []byte) {
+		infos, err := DecodeSigArea(page)
+		n, err2 := SigCount(page)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("DecodeSigArea err=%v but SigCount err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if len(infos) != n {
+			t.Fatalf("DecodeSigArea %d entries, SigCount %d", len(infos), n)
+		}
+		dataEnd := len(page) - n*SigEntrySize - CountSize
+		for i := range infos {
+			one, m, err := SigInfoAt(page, i)
+			if err != nil || m != n {
+				t.Fatalf("slot %d: SigInfoAt err=%v m=%d", i, err, m)
+			}
+			if one != infos[i] {
+				t.Fatalf("slot %d: %+v != %+v", i, one, infos[i])
+			}
+			hdr, key, value, err := DecodePairAt(page, int(one.Offset))
+			if err != nil {
+				continue // corrupt body is a legal decode refusal
+			}
+			if len(key) != hdr.KeyLen {
+				t.Fatalf("slot %d: key %d bytes, header says %d", i, len(key), hdr.KeyLen)
+			}
+			if int(one.Offset)+HeaderSize+len(key)+len(value) > dataEnd {
+				t.Fatalf("slot %d: pair overruns data area", i)
+			}
+		}
+		// Out-of-range slots must refuse, not panic.
+		if _, _, err := SigInfoAt(page, n); err == nil {
+			t.Fatal("slot n decoded")
+		}
+		if _, _, err := SigInfoAt(page, -1); err == nil {
+			t.Fatal("slot -1 decoded")
+		}
+	})
+}

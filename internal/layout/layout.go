@@ -26,6 +26,31 @@ const (
 	CountSize = 2
 )
 
+// Layout v2 (MVCC epochs). The count field's top bit flags the versioned
+// info-area format: a v2 entry's 32-bit offset word packs the in-page
+// offset in its low 16 bits and the pair's write-epoch delta (relative to
+// the page's base epoch, recorded in the spare area) in its high 16 bits.
+// Entry and count sizes are unchanged, so v1 and v2 pages are
+// byte-length-identical and old checkpoints decode as epoch 0 — the
+// compatibility shim. v2 requires in-page offsets to fit 16 bits, so
+// builders fall back to v1 on pages larger than 64 KiB.
+const (
+	// countV2Flag marks a v2 info area in the count field's top bit.
+	// MaxSlots (2048) keeps v1 counts well below it.
+	countV2Flag = 0x8000
+	// countMask extracts the pair count from the count field.
+	countMask = 0x7FFF
+	// maxV2PageSize bounds the page sizes whose offsets fit the v2
+	// entry's 16-bit offset half.
+	maxV2PageSize = 1 << 16
+	// MaxEpochDelta is the largest per-pair epoch delta a v2 entry
+	// encodes; a pair further from the page base opens a new page.
+	MaxEpochDelta = 1<<16 - 1
+	// MaxBaseEpoch is the largest base epoch the 7 spare-area bytes
+	// hold (56 bits).
+	MaxBaseEpoch = 1<<56 - 1
+)
+
 // Pair flags.
 const (
 	// FlagTombstone marks a delete record: the pair's key was removed.
@@ -73,6 +98,7 @@ type Pair struct {
 	Key       []byte
 	Value     []byte
 	Seq       uint64 // global write sequence, for log-order recovery
+	Epoch     uint64 // write epoch, for MVCC snapshot visibility
 	Tombstone bool
 }
 
@@ -98,15 +124,19 @@ var (
 // the bytes actually used, so partially-filled pages program quickly.
 type PageBuilder struct {
 	pageSize int
+	v2       bool // offsets fit 16 bits: emit the epoch-carrying v2 format
 	buf      []byte
 	sigs     []uint64
 	offs     []uint32
+	deltas   []uint16
+	base     uint64 // first pair's epoch; the page's base epoch
 }
 
 // NewPageBuilder returns a builder for pages of the given size.
 func NewPageBuilder(pageSize int) *PageBuilder {
 	return &PageBuilder{
 		pageSize: pageSize,
+		v2:       pageSize <= maxV2PageSize,
 		buf:      make([]byte, 0, pageSize),
 	}
 }
@@ -122,7 +152,9 @@ func (b *PageBuilder) Fits(keyLen, valueLen int) bool {
 }
 
 // Add appends a whole pair, returning its slot index. ok is false when the
-// pair does not fit.
+// pair does not fit — by size, or (v2) because its epoch cannot be
+// expressed as a 16-bit delta from the page's base epoch, which forces
+// the caller to flush and open a fresh page with a fresh base.
 func (b *PageBuilder) Add(p Pair) (slot int, ok bool) {
 	if len(p.Key) > MaxKeyLen || len(p.Value) > MaxValueLen {
 		return 0, false
@@ -130,13 +162,33 @@ func (b *PageBuilder) Add(p Pair) (slot int, ok bool) {
 	if !b.Fits(len(p.Key), len(p.Value)) {
 		return 0, false
 	}
+	var delta uint64
+	if b.v2 {
+		if len(b.sigs) == 0 {
+			b.base = p.Epoch
+		} else if p.Epoch < b.base || p.Epoch-b.base > MaxEpochDelta {
+			return 0, false
+		}
+		delta = p.Epoch - b.base
+	}
 	slot = len(b.sigs)
 	b.sigs = append(b.sigs, p.Sig)
 	b.offs = append(b.offs, uint32(len(b.buf)))
+	b.deltas = append(b.deltas, uint16(delta))
 	b.buf = appendHeader(b.buf, p)
 	b.buf = append(b.buf, p.Key...)
 	b.buf = append(b.buf, p.Value...)
 	return slot, true
+}
+
+// Base reports the page's base epoch: the first added pair's epoch (zero
+// while empty, or when the builder emits the v1 format). The caller
+// records it in the page's spare area via EncodeDataSpare.
+func (b *PageBuilder) Base() uint64 {
+	if !b.v2 || len(b.sigs) == 0 {
+		return 0
+	}
+	return b.base
 }
 
 // Count reports the number of pairs added so far.
@@ -156,11 +208,19 @@ func (b *PageBuilder) Bytes() []byte {
 	for i := range b.sigs {
 		var e [SigEntrySize]byte
 		binary.LittleEndian.PutUint64(e[:8], b.sigs[i])
-		binary.LittleEndian.PutUint32(e[8:], b.offs[i])
+		off := b.offs[i]
+		if b.v2 {
+			off |= uint32(b.deltas[i]) << 16
+		}
+		binary.LittleEndian.PutUint32(e[8:], off)
 		out = append(out, e[:]...)
 	}
+	cntVal := uint16(len(b.sigs))
+	if b.v2 {
+		cntVal |= countV2Flag
+	}
 	var cnt [CountSize]byte
-	binary.LittleEndian.PutUint16(cnt[:], uint16(len(b.sigs)))
+	binary.LittleEndian.PutUint16(cnt[:], cntVal)
 	return append(out, cnt[:]...)
 }
 
@@ -169,6 +229,8 @@ func (b *PageBuilder) Reset() {
 	b.buf = b.buf[:0]
 	b.sigs = b.sigs[:0]
 	b.offs = b.offs[:0]
+	b.deltas = b.deltas[:0]
+	b.base = 0
 }
 
 func appendHeader(buf []byte, p Pair) []byte {
@@ -191,29 +253,53 @@ type PairHeader struct {
 // Tombstone reports whether the pair is a delete record.
 func (h PairHeader) Tombstone() bool { return h.Flags&FlagTombstone != 0 }
 
-// SigInfo is one decoded signature-area entry.
+// SigInfo is one decoded signature-area entry. EpochDelta is the pair's
+// write epoch relative to the page's base epoch (DataSpareEpoch); it is
+// zero for v1 pages, so base+delta degrades to "epoch 0" on pages written
+// before versioning existed.
 type SigInfo struct {
-	Sig    uint64
-	Offset uint32
+	Sig        uint64
+	Offset     uint32
+	EpochDelta uint32
+}
+
+// countAt decodes and validates the raw count field: the pair count and
+// whether the page carries the v2 (epoch-delta) info-area format.
+func countAt(page []byte) (n int, v2 bool, err error) {
+	if len(page) < CountSize {
+		return 0, false, fmt.Errorf("%w: page shorter than count field", ErrCorrupt)
+	}
+	raw := binary.LittleEndian.Uint16(page[len(page)-CountSize:])
+	n = int(raw & countMask)
+	v2 = raw&countV2Flag != 0
+	if n > MaxSlots || len(page) < n*SigEntrySize+CountSize {
+		return 0, false, fmt.Errorf("%w: count %d exceeds page", ErrCorrupt, n)
+	}
+	return n, v2, nil
+}
+
+// decodeEntry splits one raw offset word per the page's format version.
+func decodeEntry(rawOff uint32, v2 bool) (off, delta uint32) {
+	if v2 {
+		return rawOff & 0xFFFF, rawOff >> 16
+	}
+	return rawOff, 0
 }
 
 // DecodeSigArea parses the signature information area at the tail of a
 // page image produced by PageBuilder.Bytes or BuildExtent's head page.
 func DecodeSigArea(page []byte) ([]SigInfo, error) {
-	if len(page) < CountSize {
-		return nil, fmt.Errorf("%w: page shorter than count field", ErrCorrupt)
-	}
-	n := int(binary.LittleEndian.Uint16(page[len(page)-CountSize:]))
-	areaLen := n*SigEntrySize + CountSize
-	if n > MaxSlots || len(page) < areaLen {
-		return nil, fmt.Errorf("%w: count %d exceeds page", ErrCorrupt, n)
+	n, v2, err := countAt(page)
+	if err != nil {
+		return nil, err
 	}
 	infos := make([]SigInfo, n)
-	base := len(page) - areaLen
+	base := len(page) - (n*SigEntrySize + CountSize)
 	for i := 0; i < n; i++ {
 		off := base + i*SigEntrySize
 		infos[i].Sig = binary.LittleEndian.Uint64(page[off : off+8])
-		infos[i].Offset = binary.LittleEndian.Uint32(page[off+8 : off+12])
+		raw := binary.LittleEndian.Uint32(page[off+8 : off+12])
+		infos[i].Offset, infos[i].EpochDelta = decodeEntry(raw, v2)
 	}
 	return infos, nil
 }
@@ -221,21 +307,15 @@ func DecodeSigArea(page []byte) ([]SigInfo, error) {
 // SigCount reports the number of pairs in a page image without decoding
 // the signature area.
 func SigCount(page []byte) (int, error) {
-	if len(page) < CountSize {
-		return 0, fmt.Errorf("%w: page shorter than count field", ErrCorrupt)
-	}
-	n := int(binary.LittleEndian.Uint16(page[len(page)-CountSize:]))
-	if n > MaxSlots || len(page) < n*SigEntrySize+CountSize {
-		return 0, fmt.Errorf("%w: count %d exceeds page", ErrCorrupt, n)
-	}
-	return n, nil
+	n, _, err := countAt(page)
+	return n, err
 }
 
 // SigInfoAt decodes the single signature-area entry for slot, an
 // allocation-free alternative to DecodeSigArea for point lookups on the
 // GET hot path.
 func SigInfoAt(page []byte, slot int) (SigInfo, int, error) {
-	n, err := SigCount(page)
+	n, v2, err := countAt(page)
 	if err != nil {
 		return SigInfo{}, 0, err
 	}
@@ -243,9 +323,12 @@ func SigInfoAt(page []byte, slot int) (SigInfo, int, error) {
 		return SigInfo{}, n, fmt.Errorf("%w: slot %d beyond page (%d pairs)", ErrCorrupt, slot, n)
 	}
 	off := len(page) - (n*SigEntrySize + CountSize) + slot*SigEntrySize
+	raw := binary.LittleEndian.Uint32(page[off+8 : off+12])
+	pOff, delta := decodeEntry(raw, v2)
 	return SigInfo{
-		Sig:    binary.LittleEndian.Uint64(page[off : off+8]),
-		Offset: binary.LittleEndian.Uint32(page[off+8 : off+12]),
+		Sig:        binary.LittleEndian.Uint64(page[off : off+8]),
+		Offset:     pOff,
+		EpochDelta: delta,
 	}, n, nil
 }
 
@@ -258,11 +341,11 @@ func DecodePairAt(page []byte, off int) (hdr PairHeader, key, value []byte, err 
 	if off < 0 || off+HeaderSize > len(page) {
 		return hdr, nil, nil, fmt.Errorf("%w: pair offset %d", ErrCorrupt, off)
 	}
-	n := int(binary.LittleEndian.Uint16(page[len(page)-CountSize:]))
-	dataEnd := len(page) - n*SigEntrySize - CountSize
-	if n > MaxSlots || dataEnd < 0 {
-		return hdr, nil, nil, fmt.Errorf("%w: count %d exceeds page", ErrCorrupt, n)
+	n, _, err := countAt(page)
+	if err != nil {
+		return hdr, nil, nil, err
 	}
+	dataEnd := len(page) - n*SigEntrySize - CountSize
 	hdr.Flags = page[off]
 	hdr.KeyLen = int(binary.LittleEndian.Uint16(page[off+1 : off+3]))
 	hdr.ValueLen = int(binary.LittleEndian.Uint32(page[off+3 : off+7]))
@@ -317,10 +400,16 @@ func BuildExtent(pageSize int, p Pair) (head []byte, conts [][]byte, err error) 
 	head = appendHeader(head, p)
 	head = append(head, p.Key...)
 	head = append(head, p.Value[:headCap]...)
+	// The head's single pair sits at offset 0 with delta 0: its epoch IS
+	// the page base the caller records in the spare area.
+	cnt := uint16(1)
+	if pageSize <= maxV2PageSize {
+		cnt |= countV2Flag
+	}
 	var e [SigEntrySize + CountSize]byte
 	binary.LittleEndian.PutUint64(e[:8], p.Sig)
 	binary.LittleEndian.PutUint32(e[8:12], 0)
-	binary.LittleEndian.PutUint16(e[12:], 1)
+	binary.LittleEndian.PutUint16(e[12:], cnt)
 	head = append(head, e[:]...)
 
 	for off := headCap; off < len(p.Value); off += pageSize {
@@ -375,4 +464,34 @@ func DecodeSpare(spare []byte) (kind PageKind, owner RP, seg int, err error) {
 		uint64(spare[4])<<24 | uint64(spare[5])<<32)
 	seg = int(binary.LittleEndian.Uint16(spare[6:8]))
 	return kind, owner, seg, nil
+}
+
+// EncodeDataSpare packs a KindData spare area carrying the page's base
+// write epoch in the 7 bytes EncodeSpare would zero (data pages have no
+// owner pointer or segment index), keeping the spare byte-length
+// identical to v1. Epochs are capped at 56 bits.
+func EncodeDataSpare(baseEpoch uint64) []byte {
+	if baseEpoch > MaxBaseEpoch {
+		panic("layout: base epoch exceeds 56 bits")
+	}
+	b := make([]byte, SpareSizeUsed)
+	b[0] = byte(KindData)
+	for i := 0; i < 7; i++ {
+		b[1+i] = byte(baseEpoch >> (8 * i))
+	}
+	return b
+}
+
+// DataSpareEpoch extracts the base write epoch from a KindData spare
+// area. Pages written before layout v2 carry zeros there, so they decode
+// as base epoch 0 — visible to every snapshot, the compatibility shim.
+func DataSpareEpoch(spare []byte) uint64 {
+	if len(spare) < SpareSizeUsed || PageKind(spare[0]) != KindData {
+		return 0
+	}
+	var e uint64
+	for i := 0; i < 7; i++ {
+		e |= uint64(spare[1+i]) << (8 * i)
+	}
+	return e
 }

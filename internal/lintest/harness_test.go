@@ -119,11 +119,59 @@ func TestOptimisticLinearizable(t *testing.T) {
 		return st.OptimisticRetries > 0 && st.FallbackExclusive > 0 && st.EpochPins > 0
 	}
 
+	// One snapshot capture per burst, taken while the burst is in full
+	// flight. The capture window [start, end] brackets the Snapshot()
+	// call on the shared clock; the frozen values are read afterwards
+	// (concurrently with the still-running writers — MVCC's whole claim
+	// is that the view no longer moves) and handed to SnapshotCheck at
+	// quiesce: some single instant inside the window must explain every
+	// key's observed value at once.
+	type snapResult struct {
+		start, end uint64
+		vals       []uint64
+		err        error
+	}
+
 	burst := 0
 	for ; burst < maxBursts; burst++ {
 		var wg sync.WaitGroup
 		errc := make(chan error, readers+writers+churnWriters)
 		logs := make([][]rec, readers+writers) // one op log per checked worker
+		windowInit := append([]uint64(nil), init...)
+		snapc := make(chan snapResult, 1)
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := snapResult{vals: make([]uint64, sharedKeys)}
+			res.start = clock.Add(1)
+			ss, err := set.Snapshot()
+			res.end = clock.Add(1)
+			if err != nil {
+				res.err = fmt.Errorf("snapshot: %w", err)
+				snapc <- res
+				return
+			}
+			defer ss.Release()
+			for k := uint64(0); k < sharedKeys; k++ {
+				v, err := ss.Get(key(k))
+				switch {
+				case errors.Is(err, device.ErrNotFound):
+					// absent = register value 0, same convention as reads
+				case err != nil:
+					res.err = fmt.Errorf("snapshot get key %d: %w", k, err)
+					snapc <- res
+					return
+				case len(v) != 8:
+					res.err = fmt.Errorf("snapshot get key %d: %d-byte value, want 8", k, len(v))
+					snapc <- res
+					return
+				default:
+					res.vals[k] = binary.BigEndian.Uint64(v)
+				}
+			}
+			snapc <- res
+		}()
 
 		for rd := 0; rd < readers; rd++ {
 			wg.Add(1)
@@ -221,15 +269,30 @@ func TestOptimisticLinearizable(t *testing.T) {
 			}
 			dst = v
 			hist[k] = append(hist[k], op)
-			if len(hist[k]) > lintest.MaxOps {
+			// MaxOps-1: the snapshot check joins one zero-width read to
+			// each history below.
+			if len(hist[k]) > lintest.MaxOps-1 {
 				t.Fatalf("burst %d key %d: %d ops exceeds checker cap %d",
-					burst, k, len(hist[k]), lintest.MaxOps)
+					burst, k, len(hist[k]), lintest.MaxOps-1)
 			}
 			if !lintest.Check(init[k], hist[k]) {
 				t.Fatalf("burst %d key %d: history of %d ops is NOT linearizable from init=%d: %+v",
 					burst, k, len(hist[k]), init[k], hist[k])
 			}
 			init[k] = op.Value
+		}
+
+		// Snapshot consistency: the frozen values must be the registers'
+		// state at ONE instant inside the capture window, across every
+		// key at once — a capture that tore across a write (kept a later
+		// write but missed an earlier, completed one) fails here.
+		snap := <-snapc
+		if snap.err != nil {
+			t.Fatalf("burst %d: %v", burst, snap.err)
+		}
+		if !lintest.SnapshotCheck(windowInit, snap.vals, hist, snap.start, snap.end) {
+			t.Fatalf("burst %d: snapshot in window [%d, %d] observed values %v, inconsistent with per-key histories",
+				burst, snap.start, snap.end, snap.vals)
 		}
 
 		if burst+1 >= minBursts && fired() {
@@ -315,9 +378,12 @@ func TestOptimisticLinearizable(t *testing.T) {
 	}
 
 	st := set.Stats()
-	t.Logf("bursts=%d optimisticReads=%d retries=%d fallbacks=%d epochPins=%d resizes=%d",
+	t.Logf("bursts=%d optimisticReads=%d retries=%d fallbacks=%d epochPins=%d resizes=%d snapReads=%d",
 		burst+1, st.OptimisticReads, st.OptimisticRetries, st.FallbackExclusive,
-		st.EpochPins, st.Index.Resizes)
+		st.EpochPins, st.Index.Resizes, st.SnapshotReads)
+	if st.SnapshotReads == 0 {
+		t.Fatal("no read was ever served through a snapshot; the capture goroutine did not run")
+	}
 	if st.OptimisticRetries == 0 {
 		t.Fatal("no seqlock invalidation ever forced a retry; the schedule is not contending")
 	}

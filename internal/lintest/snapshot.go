@@ -1,0 +1,69 @@
+package lintest
+
+import "sort"
+
+// SnapshotCheck verifies a snapshot's cross-key consistency against
+// concurrent per-key histories.
+//
+// A snapshot captured inside [snapStart, snapEnd] (timestamps drawn
+// around the capture call from the same monotonic counter as the ops)
+// claims ONE linearization instant T in that interval: for every key,
+// the value the snapshot serves must be the key's register value at T
+// in some linearization of that key's history. Checking keys
+// independently would accept captures that are per-key plausible but
+// mutually inconsistent — key A observed as of before a write, key B as
+// of after a LATER write of A's — so the search is for a single T that
+// explains every key at once.
+//
+// The check inserts a zero-width read Op{Start: T, End: T, Value:
+// snapVals[k]} into each key's history and runs the Wing & Gong
+// checker. T ranges over a finite candidate set that covers every
+// distinct interleaving: snapStart itself (capture before all
+// ambiguous writes) and the instant just after each write, from any
+// key's history, that could have landed inside the capture window —
+// between those instants the relative order of T and every op interval
+// is unchanged, so no other T value can succeed where all candidates
+// fail.
+//
+// init[k] is the register value key k's window started from; hists[k]
+// must be at most MaxOps-1 long (the snapshot read joins it).
+// snapVals[k] is the value the snapshot served for key k (0 = absent).
+// Reports whether some common T linearizes everything.
+func SnapshotCheck(init, snapVals []uint64, hists [][]Op, snapStart, snapEnd uint64) bool {
+	candidates := []uint64{snapStart}
+	for _, hist := range hists {
+		for _, op := range hist {
+			if !op.Write {
+				continue
+			}
+			if t := op.End + 1; t > snapStart && t <= snapEnd {
+				candidates = append(candidates, t)
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	// Dedup: writes retired back-to-back can propose equal instants.
+	uniq := candidates[:1]
+	for _, t := range candidates[1:] {
+		if t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+
+	for _, t := range uniq {
+		ok := true
+		for k := range hists {
+			aug := make([]Op, 0, len(hists[k])+1)
+			aug = append(aug, hists[k]...)
+			aug = append(aug, Op{Start: t, End: t, Value: snapVals[k]})
+			if !Check(init[k], aug) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

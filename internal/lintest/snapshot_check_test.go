@@ -1,0 +1,75 @@
+package lintest
+
+import "testing"
+
+// Capture strictly after a completed write must observe it.
+func TestSnapshotCheckSequential(t *testing.T) {
+	hists := [][]Op{{w(1, 2, 7)}}
+	if !SnapshotCheck([]uint64{0}, []uint64{7}, hists, 3, 4) {
+		t.Fatal("capture after w(7) rejected value 7")
+	}
+	if SnapshotCheck([]uint64{0}, []uint64{0}, hists, 3, 4) {
+		t.Fatal("capture after completed w(7) accepted stale 0")
+	}
+}
+
+// A write overlapping the capture window may land on either side of T.
+func TestSnapshotCheckOverlapEitherValue(t *testing.T) {
+	hists := [][]Op{{w(3, 6, 9)}}
+	for _, seen := range []uint64{0, 9} {
+		if !SnapshotCheck([]uint64{0}, []uint64{seen}, hists, 2, 8) {
+			t.Fatalf("capture overlapping w(9) rejected value %d", seen)
+		}
+	}
+	if SnapshotCheck([]uint64{0}, []uint64{5}, hists, 2, 8) {
+		t.Fatal("capture observed a never-written value")
+	}
+}
+
+// The capture instant is shared: observing key A before write wA but
+// key B after a write wB that completed before wA even started is
+// mutually inconsistent, even though each key alone is plausible.
+func TestSnapshotCheckCrossKeyCut(t *testing.T) {
+	// Key 0: w(10,11,1). Key 1: w(20,21,2) — strictly after key 0's write.
+	hists := [][]Op{{w(10, 11, 1)}, {w(20, 21, 2)}}
+	// Consistent cuts: before both (0,0), between (1,0), after both (1,2).
+	for _, cut := range [][2]uint64{{0, 0}, {1, 0}, {1, 2}} {
+		if !SnapshotCheck([]uint64{0, 0}, cut[:], hists, 5, 30) {
+			t.Fatalf("consistent cut %v rejected", cut)
+		}
+	}
+	// Inconsistent: key 1's later write included, key 0's earlier one not.
+	if SnapshotCheck([]uint64{0, 0}, []uint64{0, 2}, hists, 5, 30) {
+		t.Fatal("torn cut (skipped earlier write, kept later one) accepted")
+	}
+}
+
+// The capture window bounds T: a write completing strictly after the
+// window cannot be included, one completing strictly before cannot be
+// excluded.
+func TestSnapshotCheckWindowBounds(t *testing.T) {
+	hists := [][]Op{{w(1, 2, 3), w(30, 31, 4)}}
+	if !SnapshotCheck([]uint64{0}, []uint64{3}, hists, 10, 20) {
+		t.Fatal("capture between the writes rejected the first value")
+	}
+	if SnapshotCheck([]uint64{0}, []uint64{4}, hists, 10, 20) {
+		t.Fatal("capture window ending at 20 included a write starting at 30")
+	}
+	if SnapshotCheck([]uint64{0}, []uint64{0}, hists, 10, 20) {
+		t.Fatal("capture window starting at 10 excluded a write done at 2")
+	}
+}
+
+// Reads in the history constrain the cut like writes do: a read that
+// observed the new value before the window opened pins the register.
+func TestSnapshotCheckReadsConstrain(t *testing.T) {
+	hists := [][]Op{{w(1, 10, 5), r(2, 3, 5)}}
+	// The read linearized the overlapping write before instant 3, and the
+	// window opens at 6 — the capture must see 5.
+	if !SnapshotCheck([]uint64{0}, []uint64{5}, hists, 6, 8) {
+		t.Fatal("capture after an observed write rejected its value")
+	}
+	if SnapshotCheck([]uint64{0}, []uint64{0}, hists, 6, 8) {
+		t.Fatal("capture ignored a write already observed by a read")
+	}
+}

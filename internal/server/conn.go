@@ -38,6 +38,9 @@ func (c *conn) readLoop() {
 		c.srv.mu.Lock()
 		delete(c.srv.open, c)
 		c.srv.mu.Unlock()
+		// A departed client cannot release its snapshots; do it for it so
+		// dangling snapshots never pin flash blocks against GC.
+		c.srv.releaseConnSnapshots(c)
 		// Close the outbound side only after the last admitted request
 		// has enqueued its response; the writer then flushes and exits.
 		go func() {

@@ -104,6 +104,12 @@ type Server struct {
 	open    map[*conn]struct{}
 	closing bool
 	drained chan struct{}
+
+	// Snapshot registry: server-scoped IDs so any connection can read or
+	// stream a registered snapshot (see snapshot.go).
+	snapMu   sync.Mutex
+	snaps    map[uint64]*serverSnap
+	nextSnap atomic.Uint64
 }
 
 // New wraps set. The server owns the set from the first Serve call:
@@ -114,6 +120,7 @@ func New(set *shard.Set, opts Options) *Server {
 		opts:    opts.withDefaults(),
 		open:    make(map[*conn]struct{}),
 		drained: make(chan struct{}),
+		snaps:   make(map[uint64]*serverSnap),
 	}
 	s.queues = make([]chan *task, set.N())
 	s.rqueues = make([]chan *task, set.N())
@@ -220,6 +227,7 @@ func (s *Server) Shutdown() error {
 	}
 	close(s.xqueue)
 	s.workers.Wait()
+	s.releaseAllSnapshots()
 
 	err := s.set.Close() // checkpoints, then closes every shard
 	if err != nil {
@@ -244,6 +252,7 @@ type task struct {
 	buf      []byte
 	vbuf     []byte // reused value scratch for GET replies
 	limit    uint64 // scan result cap
+	snap     uint64 // snapshot ID for SNAPGET/SNAPRELEASE/BACKUP
 	enqueued time.Time
 }
 
@@ -302,6 +311,14 @@ func (s *Server) execute(t *task) {
 	case kvwire.OpStats:
 		st := s.collectStats()
 		t.c.reply(func(b []byte) []byte { return kvwire.AppendStatsResponse(b, t.id, &st) })
+	case kvwire.OpSnapshot:
+		s.executeSnapshot(t)
+	case kvwire.OpSnapGet:
+		s.executeSnapGet(t)
+	case kvwire.OpSnapRelease:
+		s.executeSnapRelease(t)
+	case kvwire.OpBackup:
+		s.executeBackup(t)
 	default:
 		t.c.reply(func(b []byte) []byte {
 			return kvwire.AppendError(b, t.id, kvwire.StatusBadRequest, "unknown opcode")
@@ -421,6 +438,13 @@ func statusOf(err error) kvwire.Status {
 		return kvwire.StatusDeviceFull
 	case errors.Is(err, device.ErrClosed):
 		return kvwire.StatusClosed
+	case errors.Is(err, device.ErrNoSnapshot):
+		return kvwire.StatusBadRequest
+	case errors.Is(err, device.ErrSnapshotInvalid),
+		errors.Is(err, device.ErrSnapshotReleased):
+		return kvwire.StatusUnknownSnapshot
+	case errors.Is(err, device.ErrSnapshotBusy):
+		return kvwire.StatusBusy
 	default:
 		return kvwire.StatusInternal
 	}
@@ -439,6 +463,7 @@ func (s *Server) admit(c *conn, req *kvwire.Request) {
 	t.op = req.Op
 	t.id = req.ID
 	t.limit = req.Limit
+	t.snap = req.Snap
 	t.enqueued = time.Now()
 	t.copyPayload(req)
 

@@ -1,0 +1,227 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/kvwire"
+	"repro/internal/server"
+)
+
+// TestSnapshotWireRoundTrip drives SNAPSHOT/SNAPGET/SNAPRELEASE over a
+// loopback server: a pinned snapshot keeps serving the capture-instant
+// values while the live store moves on, and a released (or never
+// issued) ID answers UNKNOWN_SNAPSHOT.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	_, addr, _, _ := startServer(t, 2, server.Options{})
+	c, err := client.Dial(client.Options{Addr: addr})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const n = 64
+	key := func(i int) []byte { return []byte(fmt.Sprintf("snap%04d", i)) }
+	for i := 0; i < n; i++ {
+		if err := c.Put(key(i), []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	info, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if info.ID == 0 || info.Records != n {
+		t.Fatalf("snapshot info = %+v, want nonzero ID and %d records", info, n)
+	}
+
+	// Mutate every key after the capture: overwrite half, delete half.
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if err := c.Put(key(i), []byte(fmt.Sprintf("v2-%d", i))); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+		} else if err := c.Del(key(i)); err != nil {
+			t.Fatalf("del: %v", err)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		v, err := c.SnapGet(info.ID, key(i))
+		if err != nil || string(v) != fmt.Sprintf("v1-%d", i) {
+			t.Fatalf("snapget %d: %q/%v, want pre-mutation value", i, v, err)
+		}
+	}
+	// The live view meanwhile sees the mutations.
+	if v, err := c.Get(key(0)); err != nil || string(v) != "v2-0" {
+		t.Fatalf("live get: %q/%v", v, err)
+	}
+	if _, err := c.Get(key(1)); !errors.Is(err, kvwire.ErrNotFound) {
+		t.Fatalf("live get deleted: %v", err)
+	}
+	// A key never stored is absent in the snapshot too.
+	if _, err := c.SnapGet(info.ID, []byte("never")); !errors.Is(err, kvwire.ErrNotFound) {
+		t.Fatalf("snapget absent: %v", err)
+	}
+
+	// A second capture after the mutations observes a later epoch.
+	info2, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("second snapshot: %v", err)
+	}
+	if info2.Epoch <= info.Epoch {
+		t.Fatalf("epoch did not advance: %d then %d", info.Epoch, info2.Epoch)
+	}
+	if err := c.SnapRelease(info2.ID); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	if err := c.SnapRelease(info.ID); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, err := c.SnapGet(info.ID, key(0)); !errors.Is(err, kvwire.ErrUnknownSnapshot) {
+		t.Fatalf("snapget after release: %v, want ErrUnknownSnapshot", err)
+	}
+	if err := c.SnapRelease(info.ID); !errors.Is(err, kvwire.ErrUnknownSnapshot) {
+		t.Fatalf("double release: %v, want ErrUnknownSnapshot", err)
+	}
+	if _, err := c.SnapGet(999999, key(0)); !errors.Is(err, kvwire.ErrUnknownSnapshot) {
+		t.Fatalf("snapget bogus id: %v, want ErrUnknownSnapshot", err)
+	}
+}
+
+// TestBackupStreamUnderWriters streams BACKUP while writer goroutines
+// keep mutating, then checks the stream is sorted, self-consistent
+// (the client verifies count+CRC against the trailer), and frozen: no
+// value written after the capture epoch appears.
+func TestBackupStreamUnderWriters(t *testing.T) {
+	_, addr, _, _ := startServer(t, 2, server.Options{})
+	c, err := client.Dial(client.Options{Addr: addr})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const n = 200
+	key := func(i int) []byte { return []byte(fmt.Sprintf("bk%05d", i)) }
+	for i := 0; i < n; i++ {
+		if err := c.Put(key(i), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	// Pin a snapshot first so the backup's view predates every "new-"
+	// write no matter when the stream starts.
+	info, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := key((i*7 + g) % n)
+				if err := c.Put(k, []byte(fmt.Sprintf("new-%d-%d", g, i))); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+
+	var streamed []kvwire.ScanEntry
+	res, err := c.Backup(info.ID, func(k, v []byte) error {
+		streamed = append(streamed, kvwire.ScanEntry{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		return nil
+	})
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+	if res.Epoch != info.Epoch {
+		t.Fatalf("backup epoch %d, snapshot epoch %d", res.Epoch, info.Epoch)
+	}
+	if res.Entries != n || len(streamed) != n {
+		t.Fatalf("backup carried %d/%d entries, want %d", res.Entries, len(streamed), n)
+	}
+	for i, e := range streamed {
+		if i > 0 && bytes.Compare(streamed[i-1].Key, e.Key) >= 0 {
+			t.Fatalf("stream not sorted at %d: %q then %q", i, streamed[i-1].Key, e.Key)
+		}
+		if !bytes.HasPrefix(e.Value, []byte("old-")) {
+			t.Fatalf("backup leaked a post-capture value: %q=%q", e.Key, e.Value)
+		}
+	}
+	// The held snapshot survives the backup.
+	if v, err := c.SnapGet(info.ID, key(0)); err != nil || string(v) != "old-0" {
+		t.Fatalf("snapget after backup: %q/%v", v, err)
+	}
+	if err := c.SnapRelease(info.ID); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	// snap 0: the server captures and releases its own; quiesced now, so
+	// the stream reflects the final values.
+	res0, err := c.Backup(0, nil)
+	if err != nil {
+		t.Fatalf("backup snap 0: %v", err)
+	}
+	if res0.Entries != n || res0.Epoch <= info.Epoch {
+		t.Fatalf("backup snap 0: %+v (first epoch %d)", res0, info.Epoch)
+	}
+
+	// Unknown snapshot IDs are rejected before any chunk is streamed.
+	if _, err := c.Backup(424242, nil); !errors.Is(err, kvwire.ErrUnknownSnapshot) {
+		t.Fatalf("backup bogus id: %v, want ErrUnknownSnapshot", err)
+	}
+}
+
+// TestSnapshotConnCleanup: a snapshot opened on a connection that dies
+// is released by the server, so it stops pinning resources and later
+// lookups answer UNKNOWN_SNAPSHOT.
+func TestSnapshotConnCleanup(t *testing.T) {
+	_, addr, _, _ := startServer(t, 1, server.Options{})
+	c1, err := client.Dial(client.Options{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c1.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	info, err := c1.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	c1.Close() // the owning connection departs without releasing
+
+	c2, err := client.Dial(client.Options{Addr: addr, MaxRetries: -1})
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c2.SnapGet(info.ID, []byte("k"))
+		if errors.Is(err, kvwire.ErrUnknownSnapshot) {
+			return // server reaped the orphan
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot still resolvable after owner departed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

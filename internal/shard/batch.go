@@ -63,6 +63,7 @@ func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
 
 			start := sh.dev.Now()
 			var lastDone sim.Time
+			mutated := false
 			for _, i := range idxs {
 				submit := start.Add(sim.Duration(i) * gap)
 				op := ops[i]
@@ -71,10 +72,12 @@ func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
 				switch op.Kind {
 				case workload.OpStore:
 					done, err = sh.dev.Store(submit, op.Key, op.Value)
+					mutated = mutated || err == nil
 				case workload.OpRetrieve:
 					res.Values[i], done, err = sh.dev.Retrieve(submit, op.Key)
 				case workload.OpDelete:
 					done, err = sh.dev.Delete(submit, op.Key)
+					mutated = mutated || err == nil
 				case workload.OpExist:
 					_, done, err = sh.dev.Exist(submit, op.Key)
 				}
@@ -82,6 +85,11 @@ func (s *Set) Apply(ops []Op, gap sim.Duration) BatchResult {
 				if done > lastDone {
 					lastDone = done
 				}
+			}
+			if mutated {
+				// The sub-batch is one mutation batch for MVCC purposes:
+				// close its epoch before the shard lock drops.
+				sh.dev.AdvanceEpoch()
 			}
 			if sh.log != nil {
 				// Journal the sub-batch's successful mutations. Runs under

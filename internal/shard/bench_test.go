@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/index"
 	"repro/internal/workload"
 )
 
@@ -278,4 +279,114 @@ func BenchmarkStoreRetrieve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSnapshotScanVsLocked contrasts the two scan paths this PR
+// leaves in the tree, both resolving the same prefix group under live
+// write churn:
+//
+//   - locked: the legacy Set.Iterate, which takes every shard's write
+//     lock for the duration of its bucket sweep — the scan and the
+//     writers serialize against each other.
+//   - snapshot: SetSnapshot.Iterate over a pre-captured MVCC view,
+//     which reads frozen per-shard views with no shard lock at all;
+//     writers commit concurrently and the scan's result set never
+//     moves.
+//
+// The per-op delta is the price the old path charged every backup and
+// stats pass; results/BENCH_9.json records it per commit.
+func BenchmarkSnapshotScanVsLocked(b *testing.B) {
+	const (
+		keys    = 4096
+		writers = 2
+	)
+	// One iterator-mode prefix group: KeyBytes ids sharing their first
+	// DefaultScanPrefixLen bytes — ids 0..255 here. Both paths resolve
+	// exactly this group, so the comparison is scan machinery only.
+	prefix := workload.KeyBytes(0)[:workload.DefaultScanPrefixLen]
+	const groupSize = 256
+	open := func(b *testing.B) *Set {
+		b.Helper()
+		set, err := New(4, device.Config{
+			Capacity:        64 << 20,
+			AnticipatedKeys: 4 * keys,
+			SigScheme:       index.SigScheme{Bits: 64, PrefixLen: workload.DefaultScanPrefixLen},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < keys; i++ {
+			if err := set.Store(workload.KeyBytes(uint64(i)), workload.ValuePayload(uint64(i), 100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := set.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		return set
+	}
+	// churn overwrites existing keys from `writers` goroutines for the
+	// benchmark's duration, so the scans compete with real commits.
+	churn := func(set *Set) (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; ; i += writers {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					id := uint64(i % keys)
+					if err := set.Store(workload.KeyBytes(id), workload.ValuePayload(uint64(i), 100)); err != nil {
+						return
+					}
+				}
+			}(w)
+		}
+		return func() { close(done); wg.Wait() }
+	}
+
+	b.Run("locked", func(b *testing.B) {
+		set := open(b)
+		defer set.Close()
+		stop := churn(set)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries, err := set.Iterate(prefix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) != groupSize {
+				b.Fatalf("scan saw %d entries, want %d", len(entries), groupSize)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		set := open(b)
+		defer set.Close()
+		ss, err := set.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ss.Release()
+		stop := churn(set)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries, err := ss.Iterate(prefix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) != groupSize {
+				b.Fatalf("snapshot scan saw %d entries, want %d", len(entries), groupSize)
+			}
+		}
+	})
 }

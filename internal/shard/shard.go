@@ -87,6 +87,9 @@ type Set struct {
 
 	forceExclusive atomic.Bool // route reads through the write lock
 
+	snapsOpen atomic.Int64 // open SetSnapshots
+	snapReads atomic.Int64 // point reads served through snapshots
+
 	walWG      sync.WaitGroup // committer goroutines
 	walStopped atomic.Bool    // committers shut down (Close)
 }
@@ -158,6 +161,10 @@ func (s *Set) Store(key, value []byte) error {
 	if err != nil {
 		return err
 	}
+	// A direct (WAL-less) mutation is a one-op batch: fold it into the
+	// write epoch before the lock drops, so a snapshot captured next
+	// observes it with a closed epoch.
+	sh.dev.AdvanceEpoch()
 	sh.last.AdvanceTo(done)
 	return nil
 }
@@ -248,6 +255,7 @@ func (s *Set) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
+	sh.dev.AdvanceEpoch()
 	sh.last.AdvanceTo(done)
 	return nil
 }

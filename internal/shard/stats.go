@@ -47,6 +47,12 @@ type Stats struct {
 	FallbackExclusive int64
 	EpochPins         int64
 
+	// SnapshotsOpen is the number of currently-open set snapshots;
+	// SnapshotReads counts point reads served through any snapshot
+	// (fast path or frozen view) since the set opened.
+	SnapshotsOpen int64
+	SnapshotReads int64
+
 	StoreLat    metrics.Histogram
 	RetrieveLat metrics.Histogram
 	MetaPerOp   metrics.Histogram
@@ -65,6 +71,8 @@ type Stats struct {
 func (s *Set) Stats() Stats {
 	var out Stats
 	out.Scheme = s.shards[0].dev.Index().Name()
+	out.SnapshotsOpen = s.snapsOpen.Load()
+	out.SnapshotReads = s.snapReads.Load()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		ds := sh.dev.Stats()

@@ -109,6 +109,9 @@ func (sh *Shard) replay(r *wal.Record) error {
 	if err != nil {
 		return err
 	}
+	// Each replayed record is its own batch: epochs stay monotone across
+	// the replay, mirroring the order the original commits closed in.
+	sh.dev.AdvanceEpoch()
 	sh.last.AdvanceTo(done)
 	return nil
 }
@@ -192,6 +195,10 @@ func (sh *Shard) commitGroup(s *Set, reqs []*walReq) {
 		for i := range recs {
 			recs[i].Seq = first + uint64(i)
 		}
+		// One group = one mutation batch: close its epoch while the lock
+		// still fences out snapshot capture, so a snapshot taken between
+		// groups sees whole batches only.
+		sh.dev.AdvanceEpoch()
 	}
 	sh.mu.Unlock()
 

@@ -91,9 +91,17 @@ func TestWALTortureChild(t *testing.T) {
 	}
 }
 
+// tortureStore is the mutation surface the torture workers drive; both
+// the public DB facade and a raw shard.Set satisfy it, so the backup
+// torture (which needs a Set behind a server) reuses the same workers.
+type tortureStore interface {
+	Store(key, value []byte) error
+	Delete(key []byte) error
+}
+
 // tortureWorker appends ops forever, journaling intent and ack around
 // each one. It resumes its index from the previous life's oracle.
-func tortureWorker(db *DB, dir string, w int, acked chan<- struct{}) {
+func tortureWorker(db tortureStore, dir string, w int, acked chan<- struct{}) {
 	path := filepath.Join(dir, fmt.Sprintf("oracle-%02d.log", w))
 	next := 0
 	pendingOp, pendingIdx := "", -1
