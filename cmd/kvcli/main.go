@@ -8,6 +8,12 @@
 //	kvcli walinfo <wal-root>
 //	kvcli backup  <addr> <file>
 //	kvcli restore <addr> <file>
+//	kvcli cachestats <addr>
+//
+// cachestats queries a running kvserver's STATS op and prints one table
+// covering every DRAM tier in front of flash: index-page cache hit
+// ratio and TinyLFU admission rejects, hot-value cache hit ratio, and
+// scan-prefetch effectiveness.
 //
 // walinfo inspects a write-ahead-log directory offline — segment list,
 // per-segment sequence ranges, checkpoint horizon, and the recovery
@@ -67,6 +73,17 @@ func main() {
 		}
 		if err := walinfo(flag.Arg(1)); err != nil {
 			fmt.Fprintf(os.Stderr, "kvcli: walinfo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.Arg(0) == "cachestats" {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: kvcli cachestats <addr>")
+			os.Exit(2)
+		}
+		if err := runCacheStats(flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "kvcli: cachestats: %v\n", err)
 			os.Exit(1)
 		}
 		return

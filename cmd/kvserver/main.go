@@ -56,6 +56,9 @@ func main() {
 		walFsync  = flag.String("wal-fsync", "group", "WAL fsync policy: always, group, or none")
 		walSeg    = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default 4 MiB)")
 		ckptEvery = flag.Duration("checkpoint", 0, "periodic checkpoint interval; advances the WAL compaction horizon (0 = only at shutdown)")
+		valCache  = flag.Int64("value-cache", 0, "hot-value DRAM cache budget in bytes; 0 disables the value tier")
+		admission = flag.Bool("cache-admission", false, "TinyLFU admission on the index-page cache")
+		prefetch  = flag.Bool("scan-prefetch", false, "stage each distinct data page once per prefix scan")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -84,6 +87,9 @@ func main() {
 		Shards:            *shards,
 		IncrementalResize: *incr,
 		IteratorPrefixLen: *prefixLen,
+		ValueCacheBudget:  *valCache,
+		CacheAdmission:    *admission,
+		ScanPrefetch:      *prefetch,
 		WAL: rhik.WALOptions{
 			Dir:         *walDir,
 			Fsync:       *walFsync,

@@ -49,6 +49,16 @@ type ShootoutConfig struct {
 	// ScanPrefixLen is the iterator-mode prefix length (default
 	// workload.DefaultScanPrefixLen: scans cover ≤256-key groups).
 	ScanPrefixLen int `json:"scan_prefix_len"`
+
+	// ValueCacheBudget enables the hot-value DRAM tier when positive
+	// (default 0: off, matching historical shootouts). For a fair
+	// comparison keep CacheBudget + ValueCacheBudget equal to the
+	// untiered baseline's CacheBudget.
+	ValueCacheBudget int64 `json:"value_cache_budget,omitempty"`
+	// CacheAdmission turns on TinyLFU admission for the index-page cache.
+	CacheAdmission bool `json:"cache_admission,omitempty"`
+	// ScanPrefetch stages each distinct data page once per prefix scan.
+	ScanPrefetch bool `json:"scan_prefetch,omitempty"`
 }
 
 func (c *ShootoutConfig) applyDefaults() {
@@ -124,6 +134,12 @@ type Cell struct {
 	Collisions   int64   `json:"collisions,omitempty"`
 	NotFound     int64   `json:"not_found,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Cache-tier effectiveness over the measured run; omitted when the
+	// tiered cache is off.
+	ValueCacheHitRate float64 `json:"value_cache_hit_rate,omitempty"`
+	AdmissionRejects  int64   `json:"admission_rejects,omitempty"`
+	PrefetchHits      int64   `json:"prefetch_hits,omitempty"`
 
 	ScanOps        int64 `json:"scan_ops,omitempty"`
 	ScannedEntries int64 `json:"scanned_entries,omitempty"`
@@ -210,9 +226,12 @@ func fmtNs(ns int64) string {
 // generated ops and snapshots the measured window.
 func runCell(espec EngineSpec, spec workload.YCSBSpec, cfg ShootoutConfig) (Cell, error) {
 	eng, err := espec.Open(EngineConfig{
-		Capacity:    cfg.Capacity,
-		CacheBudget: cfg.CacheBudget,
-		PrefixLen:   cfg.ScanPrefixLen,
+		Capacity:         cfg.Capacity,
+		CacheBudget:      cfg.CacheBudget,
+		PrefixLen:        cfg.ScanPrefixLen,
+		ValueCacheBudget: cfg.ValueCacheBudget,
+		CacheAdmission:   cfg.CacheAdmission,
+		ScanPrefetch:     cfg.ScanPrefetch,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -335,6 +354,13 @@ func runCell(espec EngineSpec, spec workload.YCSBSpec, cfg ShootoutConfig) (Cell
 	if hits+misses > 0 {
 		cell.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
+	vhits := after.ValueCacheHits - before.ValueCacheHits
+	vmisses := after.ValueCacheMisses - before.ValueCacheMisses
+	if vhits+vmisses > 0 {
+		cell.ValueCacheHitRate = float64(vhits) / float64(vhits+vmisses)
+	}
+	cell.AdmissionRejects = after.AdmissionRejects - before.AdmissionRejects
+	cell.PrefetchHits = after.PrefetchHits - before.PrefetchHits
 	cell.Detail = after.Detail
 	cell.WallMs = nowMs() - wallStart
 	return cell, nil

@@ -47,6 +47,13 @@ type Config struct {
 	OccupancyThreshold float64
 	// CacheBudget is the SSD DRAM budget, in bytes, for record tables.
 	CacheBudget int64
+	// Admission enables TinyLFU admission for the record-table cache: a
+	// 4-bit count-min frequency sketch (plus doorkeeper) fed by every
+	// bucket access decides whether a faulted-in table may displace the
+	// next CLOCK victim, so one-touch scan traffic stops evicting hot
+	// buckets. Off (the default) reproduces the pre-admission cache
+	// bit-for-bit.
+	Admission bool
 	// CPUPerOp models the firmware cost of hashing and probing.
 	CPUPerOp sim.Duration
 	// MigrateCPUPerRecord models the firmware cost of re-inserting one
@@ -153,6 +160,10 @@ type dirEntry struct {
 type tableEntry struct {
 	table *hopscotch.Table
 	dirty bool
+	// bucket is the directory slot this entry was loaded for; transient
+	// (admission-rejected, never cached) entries use it to write back
+	// their mutations at end of op.
+	bucket uint64
 }
 
 // generation is one directory generation: the dirEntry slice plus, per
@@ -203,6 +214,15 @@ type RHIK struct {
 	epool []*tableEntry              // recycled cache entries; keeps misses alloc-free
 	mig   *migration                 // in-flight incremental re-configuration
 
+	// sketch is the TinyLFU admission filter shared across directory
+	// generations (nil when Config.Admission is off), so frequency
+	// history survives a resize. transients holds loadTable results the
+	// filter refused to cache: they live only until the current exported
+	// operation returns, when releaseTransients writes back any mutation
+	// and recycles them. Never published to optimistic readers.
+	sketch     *dram.FrequencySketch
+	transients []*tableEntry
+
 	n          int64 // total records
 	collisions int64
 	resizes    []index.ResizeEvent
@@ -233,6 +253,17 @@ func New(cfg Config, env index.Env) (*RHIK, error) {
 		reclaim: cfg.Reclaim,
 		r:       RecordsPerTable(cfg.PageSize, cfg.SigScheme.Wide()),
 		live:    make(map[nand.PPA]uint64),
+	}
+	if cfg.Admission {
+		// Size the sketch for a few multiples of the resident working set
+		// (budget/page tables fit at once); its footprint is charged to
+		// DRAMBytes, so keep it small relative to the cache budget.
+		resident := int(cfg.CacheBudget) / cfg.PageSize
+		n := 4 * resident
+		if n < 128 {
+			n = 128
+		}
+		r.sketch = dram.NewFrequencySketch(n)
 	}
 	d := DirectoryEntries(cfg.AnticipatedKeys, r.r)
 	r.dBits = bits.Len64(uint64(d)) - 1
@@ -270,7 +301,7 @@ func (r *RHIK) Occupancy() float64 { return float64(r.n) / float64(r.Capacity())
 // pointer re-check or the seqlock validation, never reads a recycled
 // table.
 func (r *RHIK) newCache(g *generation) *dram.Cache[*tableEntry] {
-	return dram.New(r.cfg.CacheBudget, func(key uint64, e *tableEntry, _ int64) {
+	c := dram.New(r.cfg.CacheBudget, func(key uint64, e *tableEntry, _ int64) {
 		g.resident[key].Store(nil)
 		e.table.Invalidate()
 		if e.dirty {
@@ -280,6 +311,8 @@ func (r *RHIK) newCache(g *generation) *dram.Cache[*tableEntry] {
 		}
 		r.retireEntry(e)
 	})
+	c.SetAdmission(r.sketch)
+	return c
 }
 
 // setIOErr stashes the first deferred write-back error and raises the
@@ -411,9 +444,40 @@ func (r *RHIK) loadTable(bucket uint64) (*tableEntry, error) {
 		t.Reset()
 	}
 	e := r.takeEntry(t)
-	r.cache.Put(bucket, e, int64(t.EncodedBytes()))
-	r.publish(g, bucket, e)
+	e.bucket = bucket
+	if r.cache.PutAdmit(bucket, e, int64(t.EncodedBytes())) {
+		r.publish(g, bucket, e)
+	} else {
+		// TinyLFU refused the entry: it stays usable for the current
+		// operation but is never cached or published, and
+		// releaseTransients retires it (writing back any mutation) when
+		// the operation returns.
+		r.transients = append(r.transients, e)
+	}
 	return e, nil
+}
+
+// releaseTransients retires admission-rejected table entries at the end
+// of an exported operation: dirty ones are written back to flash first
+// (errors surface through the deferred-write-back channel, like cache
+// eviction failures), then entry and table return to their pools —
+// immediately, because a transient entry was never reachable by
+// optimistic readers. The empty fast path is read-only so concurrent
+// shared-lock readers can run it racelessly.
+func (r *RHIK) releaseTransients() {
+	if len(r.transients) == 0 {
+		return
+	}
+	for i, e := range r.transients {
+		if e.dirty {
+			if err := r.writeTable(r.g().dirs, e.bucket, e); err != nil {
+				r.setIOErr(err)
+			}
+		}
+		r.recycleEntry(e)
+		r.transients[i] = nil
+	}
+	r.transients = r.transients[:0]
 }
 
 func (r *RHIK) checkIO() error {
@@ -429,6 +493,7 @@ func (r *RHIK) checkIO() error {
 // Insert implements index.Index.
 func (r *RHIK) Insert(sig index.Sig, rp uint64) (old uint64, replaced bool, err error) {
 	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	defer r.releaseTransients()
 	if err := r.prepare(sig); err != nil {
 		return 0, false, err
 	}
@@ -459,6 +524,7 @@ func (r *RHIK) Insert(sig index.Sig, rp uint64) (old uint64, replaced bool, err 
 // Lookup implements index.Index.
 func (r *RHIK) Lookup(sig index.Sig) (uint64, bool, error) {
 	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	defer r.releaseTransients()
 	if err := r.prepare(sig); err != nil {
 		return 0, false, err
 	}
@@ -473,6 +539,7 @@ func (r *RHIK) Lookup(sig index.Sig) (uint64, bool, error) {
 // Delete implements index.Index.
 func (r *RHIK) Delete(sig index.Sig) (uint64, bool, error) {
 	r.env.ChargeCPU(r.cfg.CPUPerOp)
+	defer r.releaseTransients()
 	if err := r.prepare(sig); err != nil {
 		return 0, false, err
 	}
@@ -610,14 +677,19 @@ func (r *RHIK) Flush() error {
 // IndexStats implements index.StatsProvider.
 func (r *RHIK) IndexStats() index.Stats {
 	d := r.DirEntries()
+	var sketchBytes int64
+	if r.sketch != nil {
+		sketchBytes = r.sketch.Bytes()
+	}
 	return index.Stats{
 		Records:    r.n,
 		Collisions: r.collisions,
 		Resizes:    len(r.resizes),
 		DirEntries: d,
 		// Directory entries cost ~5 bytes (a flash page address) each in
-		// integrated DRAM, plus the record-table cache.
-		DRAMBytes: int64(d)*5 + r.cache.Used(),
+		// integrated DRAM, plus the record-table cache and, when admission
+		// is on, the frequency sketch.
+		DRAMBytes: int64(d)*5 + r.cache.Used() + sketchBytes,
 		Cache:     r.cache.Stats(),
 	}
 }

@@ -104,6 +104,7 @@ func (r *RHIK) Owner(p nand.PPA) (uint64, bool) {
 // with iterator-mode signatures, every key sharing a prefix maps to one
 // bucket, so enumeration scans a single record table (§VI).
 func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
+	defer r.releaseTransients()
 	if bucket >= uint64(len(r.g().dirs)) {
 		return nil, fmt.Errorf("core: bucket %d out of range", bucket)
 	}
@@ -134,6 +135,7 @@ func (r *RHIK) BucketRecords(bucket uint64) ([]uint64, error) {
 // the rest load through the cache, charging enumeration's flash reads
 // to the simulated timeline like any other index access.
 func (r *RHIK) RangeRecords(f func(lo, hi, rp uint64) bool) error {
+	defer r.releaseTransients()
 	if r.mig != nil {
 		if err := r.drainMigration(); err != nil {
 			return err
@@ -176,6 +178,7 @@ func (r *RHIK) PrefixRecords(low uint32) ([]uint64, error) {
 // generation is relocated by simply migrating its bucket, which
 // invalidates the old copy.
 func (r *RHIK) Relocate(bucket uint64) error {
+	defer r.releaseTransients()
 	if r.mig != nil && bucket < uint64(r.mig.oldD) && !r.mig.migrated[bucket] {
 		return r.migrateBucket(bucket)
 	}

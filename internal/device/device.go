@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/epoch"
 	"repro/internal/ftl"
 	"repro/internal/index"
@@ -126,6 +127,19 @@ type Config struct {
 	// paper's "real-time index scaling" future work) instead of the
 	// default stop-the-world migration.
 	IncrementalResize bool
+
+	// ValueCacheBudget, when positive, enables the hot-value DRAM tier:
+	// a byte-budgeted cache of immutable key→value copies consulted by
+	// every read tier before the index, invalidated before any
+	// overwriting Store/Delete acknowledges. 0 (default) disables it and
+	// keeps the read path byte-identical to the pre-cache device.
+	ValueCacheBudget int64
+	// CacheAdmission enables TinyLFU admission on the index-page cache
+	// (RHIK only; see core.Config.Admission).
+	CacheAdmission bool
+	// ScanPrefetch groups a prefix scan's record reads by flash page,
+	// reading each distinct data page once instead of once per record.
+	ScanPrefetch bool
 }
 
 func (c *Config) applyDefaults() {
@@ -196,6 +210,13 @@ type Stats struct {
 	Recoveries      int64
 	ResizeHalt      sim.Duration // total queue-halt time spent resizing
 	CollisionAborts int64
+
+	// ValueCacheHits/Misses count hot-value tier consultations (both 0
+	// when ValueCacheBudget is 0); PrefetchHits counts record reads a
+	// prefix scan served from an already-staged page instead of flash.
+	ValueCacheHits   int64
+	ValueCacheMisses int64
+	PrefetchHits     int64
 }
 
 // devStats is the live counter set. Retrieve/Exist bump their counters
@@ -218,6 +239,7 @@ type devStats struct {
 	recoveries      atomic.Int64
 	resizeHalt      atomic.Int64 // sim.Duration ns
 	collisionAborts atomic.Int64
+	prefetchHits    atomic.Int64
 }
 
 func (s *devStats) snapshot() Stats {
@@ -236,6 +258,7 @@ func (s *devStats) snapshot() Stats {
 		Recoveries:      s.recoveries.Load(),
 		ResizeHalt:      sim.Duration(s.resizeHalt.Load()),
 		CollisionAborts: s.collisionAborts.Load(),
+		PrefetchHits:    s.prefetchHits.Load(),
 	}
 }
 
@@ -316,6 +339,12 @@ type Device struct {
 	mutSeq   atomic.Uint64
 	mutDepth int // re-entrancy depth for begin/endStructureMutation
 
+	// vcache is the hot-value DRAM tier (nil when ValueCacheBudget is 0).
+	// Lock-free lookups from every read tier; inserts and invalidations
+	// serialize on its internal side lock. Flushed on Restart because
+	// recovery can roll back the unflushed write tail.
+	vcache *dram.ValueCache
+
 	// wepoch is the global write epoch (MVCC). Records are stamped
 	// wepoch+1 while a mutation batch is applied; AdvanceEpoch — called
 	// by the front-end once per batch, under the exclusive lock — folds
@@ -375,6 +404,9 @@ func Open(cfg Config) (*Device, error) {
 		snaps:       make(map[*Snapshot]struct{}),
 	}
 	d.env = &idxEnv{d: d}
+	if cfg.ValueCacheBudget > 0 {
+		d.vcache = dram.NewValueCache(cfg.ValueCacheBudget)
+	}
 	d.hostLink = sim.NewResource("hostlink")
 	d.fg = d.newLogWriter("fg")
 	d.gcw = d.newLogWriter("gc")
@@ -404,6 +436,7 @@ func (d *Device) buildIndex() (index.Index, error) {
 			AnticipatedKeys:    d.cfg.AnticipatedKeys,
 			OccupancyThreshold: d.cfg.OccupancyThreshold,
 			CacheBudget:        d.cfg.CacheBudget,
+			Admission:          d.cfg.CacheAdmission,
 			IncrementalResize:  d.cfg.IncrementalResize,
 			Reclaim:            d.reclaim,
 		}, d.env)
@@ -450,7 +483,24 @@ func (d *Device) Drain() sim.Time {
 }
 
 // Stats returns a snapshot of device counters.
-func (d *Device) Stats() Stats { return d.stats.snapshot() }
+func (d *Device) Stats() Stats {
+	s := d.stats.snapshot()
+	if d.vcache != nil {
+		vs := d.vcache.Stats()
+		s.ValueCacheHits = vs.Hits
+		s.ValueCacheMisses = vs.Misses
+	}
+	return s
+}
+
+// ValueCacheStats snapshots the hot-value tier's counters (zero when the
+// tier is disabled).
+func (d *Device) ValueCacheStats() dram.ValueStats {
+	if d.vcache == nil {
+		return dram.ValueStats{}
+	}
+	return d.vcache.Stats()
+}
 
 // FlashStats returns NAND operation counters.
 func (d *Device) FlashStats() nand.Stats { return d.flash.Stats() }
@@ -513,6 +563,10 @@ func (d *Device) ResetOpStats() {
 	if cr, ok := d.idx.(cacheResetter); ok {
 		cr.ResetCacheStats()
 	}
+	if d.vcache != nil {
+		d.vcache.ResetStats()
+	}
+	d.stats.prefetchHits.Store(0)
 }
 
 // Close flushes buffered data and the index, then marks the device

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/layout"
+	"repro/internal/nand"
 	"repro/internal/sim"
 )
 
@@ -46,10 +47,91 @@ func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]I
 	}
 
 	var out []IterEntry
-	for _, rp := range rps {
-		hdr, key, value, done, err := d.readPair(layout.RP(rp), withValues, true)
+	if d.cfg.ScanPrefetch {
+		out, err = d.iterateStaged(rps, prefix, withValues)
 		if err != nil {
-			return nil, done, err
+			return nil, d.env.now.Load(), err
+		}
+	} else {
+		for _, rp := range rps {
+			hdr, key, value, done, err := d.readPair(layout.RP(rp), withValues, true)
+			if err != nil {
+				return nil, done, err
+			}
+			if hdr.Tombstone() || !bytes.HasPrefix(key, prefix) {
+				continue
+			}
+			e := IterEntry{Key: append([]byte(nil), key...)}
+			if withValues {
+				e.Value = append([]byte(nil), value...)
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	d.stats.iterates.Add(1)
+	return out, d.env.now.Load(), nil
+}
+
+// iterateStaged is Iterate's candidate sweep with prefix-group
+// prefetch: an iterator-mode signature group's records cluster on a few
+// log pages, so each distinct head page is read from flash once and
+// every sibling record on it decodes from the staged buffer. Records
+// still in an open page buffer come from the pending map, as in
+// readPair. Candidate order (and therefore the timeline) stays exactly
+// the enumeration order — only duplicate page reads disappear, counted
+// in PrefetchHits.
+func (d *Device) iterateStaged(rps []uint64, prefix []byte, withValues bool) ([]IterEntry, error) {
+	var out []IterEntry
+	staged := make(map[nand.PPA][]byte, len(rps))
+	for _, rp0 := range rps {
+		rp := layout.RP(rp0)
+		var hdr layout.PairHeader
+		var key, value []byte
+		if p, ok := d.pending[rp]; ok {
+			hdr = layout.PairHeader{KeyLen: len(p.key), ValueLen: len(p.value)}
+			key, value = p.key, p.value
+		} else {
+			ppa := nand.PPA(rp.Page())
+			data, ok := staged[ppa]
+			if !ok {
+				var err error
+				var done sim.Time
+				data, _, done, err = d.flash.Read(d.env.now.Load(), ppa)
+				if err != nil {
+					return nil, err
+				}
+				d.env.now.AdvanceTo(done)
+				staged[ppa] = data
+			} else {
+				d.stats.prefetchHits.Add(1)
+			}
+			info, _, err := layout.SigInfoAt(data, rp.Slot())
+			if err != nil {
+				return nil, err
+			}
+			hdr, key, value, err = layout.DecodePairAt(data, int(info.Offset))
+			if err != nil {
+				return nil, err
+			}
+			if withValues && hdr.ValueLen > len(value) {
+				// Extent: continuations follow the head page in the same
+				// block (not staged — extents never share pages).
+				full := make([]byte, 0, hdr.ValueLen)
+				full = append(full, value...)
+				for i := 1; len(full) < hdr.ValueLen; i++ {
+					cont, _, cd, err := d.flash.Read(d.env.now.Load(), ppa+nand.PPA(i))
+					if err != nil {
+						return nil, err
+					}
+					d.env.now.AdvanceTo(cd)
+					full = append(full, cont...)
+				}
+				if len(full) > hdr.ValueLen {
+					full = full[:hdr.ValueLen]
+				}
+				value = full
+			}
 		}
 		if hdr.Tombstone() || !bytes.HasPrefix(key, prefix) {
 			continue
@@ -60,7 +142,5 @@ func (d *Device) Iterate(submitAt sim.Time, prefix []byte, withValues bool) ([]I
 		}
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
-	d.stats.iterates.Add(1)
-	return out, d.env.now.Load(), nil
+	return out, nil
 }

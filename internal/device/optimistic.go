@@ -114,6 +114,18 @@ func (d *Device) tryRetrieveOptimistic(r *core.RHIK, submitAt sim.Time, key, dst
 		return dst, 0, index.ErrOptimisticRetry
 	}
 	sig := d.scheme.Compute(key)
+	var vgen uint64
+	if d.vcache != nil {
+		if v, ok := d.vcache.Lookup(sig.Lo, key); ok {
+			// The entry was live after its value was captured, and any
+			// overwrite invalidates before acknowledging: this read
+			// linearizes before every in-flight write's completion. Same
+			// charges as the exclusive tier's value hit.
+			out, done := d.retrieveValueHit(submitAt, key, v, dst)
+			return out, done, nil
+		}
+		vgen = d.vcache.Gen(sig.Lo)
+	}
 	probe, st := r.PeekOptimistic(sig)
 	switch st {
 	case index.OptRetry:
@@ -182,6 +194,12 @@ func (d *Device) tryRetrieveOptimistic(r *core.RHIK, submitAt sim.Time, key, dst
 	d.stats.retrieves.Add(1)
 	d.stats.bytesRead.Add(int64(len(value)))
 	d.latGet.Record(int64(done.Sub(start)))
+	if d.vcache != nil {
+		// Refused (via the generation check) if any overwrite of this
+		// bucket landed since the pre-probe snapshot, so a slow reader can
+		// never cache a stale value.
+		d.vcache.Insert(vgen, sig.Lo, key, value)
+	}
 	return append(dst, value...), done, nil
 }
 

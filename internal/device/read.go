@@ -60,9 +60,37 @@ func (d *Device) readPair(rp layout.RP, withValue, blocking bool) (hdr layout.Pa
 	return hdr, key, value, done, nil
 }
 
+// retrieveValueHit completes a get served from the hot-value tier: no
+// index probe, no flash. The charge sequence is identical in the
+// exclusive and optimistic tiers (command arrival, command CPU, a zero
+// metadata-read sample, value DMA, ack), so whichever tier hits produces
+// the same timeline. Allocation-free when dst has capacity.
+func (d *Device) retrieveValueHit(submitAt sim.Time, key, value, dst []byte) ([]byte, sim.Time) {
+	arrive := d.hostXfer(submitAt, len(key))
+	d.env.now.AdvanceTo(arrive)
+	d.env.ChargeCPU(d.cfg.CmdCPU)
+	d.metaPerOp.Record(0)
+	d.metaPerGet.Record(0)
+	done := d.hostXfer(d.env.now.Load(), len(value)).Add(d.cfg.AckOverhead)
+	d.stats.retrieves.Add(1)
+	d.stats.bytesRead.Add(int64(len(value)))
+	d.latGet.Record(int64(done.Sub(submitAt)))
+	return append(dst, value...), done
+}
+
 // retrieve is the get command body shared by the exclusive and shared
 // entry points. The value is appended to dst (which may be nil).
 func (d *Device) retrieve(submitAt sim.Time, key, dst []byte, sig index.Sig) ([]byte, sim.Time, error) {
+	var vgen uint64
+	if d.vcache != nil {
+		if v, ok := d.vcache.Lookup(sig.Lo, key); ok {
+			out, done := d.retrieveValueHit(submitAt, key, v, dst)
+			return out, done, nil
+		}
+		// Snapshot the bucket generation before the index probe so the
+		// insert below is refused if any overwrite lands in between.
+		vgen = d.vcache.Gen(sig.Lo)
+	}
 	arrive := d.hostXfer(submitAt, len(key))
 	d.env.now.AdvanceTo(arrive)
 	start := submitAt
@@ -94,6 +122,9 @@ func (d *Device) retrieve(submitAt sim.Time, key, dst []byte, sig index.Sig) ([]
 	d.stats.retrieves.Add(1)
 	d.stats.bytesRead.Add(int64(len(value)))
 	d.latGet.Record(int64(done.Sub(start)))
+	if d.vcache != nil {
+		d.vcache.Insert(vgen, sig.Lo, key, value)
+	}
 	return append(dst, value...), done, nil
 }
 

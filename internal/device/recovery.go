@@ -31,7 +31,12 @@ func (d *Device) Restart() error {
 	// A power cycle invalidates every open snapshot: their frozen views
 	// reference pre-crash block contents the rebuild may reclaim.
 	d.invalidateSnapshots()
-	// Drop all volatile state.
+	// Drop all volatile state. The hot-value tier goes too: replay can
+	// roll back the unflushed write tail, and a value cached from a
+	// lost pending buffer must not outlive the data.
+	if d.vcache != nil {
+		d.vcache.Flush()
+	}
 	d.pending = make(map[layout.RP]pendingPair)
 	d.fg = d.newLogWriter("fg")
 	d.gcw = d.newLogWriter("gc")

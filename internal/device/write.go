@@ -293,6 +293,12 @@ func (d *Device) Store(submitAt sim.Time, key, value []byte) (sim.Time, error) {
 	if existed {
 		d.invalidateRP(layout.RP(oldRP), oldSize)
 	}
+	if d.vcache != nil {
+		// Kill any cached copy (and bump the bucket generation) BEFORE the
+		// store acknowledges: a hot-value hit that observes a live entry is
+		// thereby ordered before this write's completion.
+		d.vcache.Invalidate(sig.Lo, key)
+	}
 
 	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
 	d.stats.stores.Add(1)
@@ -341,6 +347,9 @@ func (d *Device) Delete(submitAt sim.Time, key []byte) (sim.Time, error) {
 		return d.env.now.Load(), err
 	}
 	d.invalidateRP(layout.RP(rp), liveSize(hdr.KeyLen, hdr.ValueLen))
+	if d.vcache != nil {
+		d.vcache.Invalidate(sig.Lo, key)
+	}
 
 	d.metaPerOp.Record(d.env.metaReads.Load() - metaBefore)
 	d.stats.deletes.Add(1)

@@ -21,6 +21,9 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	Inserts   int64
+	// AdmissionRejects counts PutAdmit calls the TinyLFU filter refused
+	// (always 0 when no admission sketch is attached).
+	AdmissionRejects int64
 }
 
 // MissRatio reports misses / (hits + misses), or 0 when unused.
@@ -62,10 +65,17 @@ type Cache[V any] struct {
 	byKey   map[uint64]*entry[V]
 	onEvict EvictFunc[V]
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-	inserts   atomic.Int64
+	// admit, when non-nil, is the TinyLFU frequency sketch consulted by
+	// PutAdmit and fed by Get/TouchHit. nil (the default) means admit-all:
+	// PutAdmit degrades to Put and the read path never touches the sketch,
+	// so default-off behavior is bit-identical to the pre-admission cache.
+	admit *FrequencySketch
+
+	hits             atomic.Int64
+	misses           atomic.Int64
+	evictions        atomic.Int64
+	inserts          atomic.Int64
+	admissionRejects atomic.Int64
 }
 
 // New returns a cache with the given byte budget. onEvict may be nil.
@@ -83,6 +93,9 @@ func New[V any](budget int64, onEvict EvictFunc[V]) *Cache[V] {
 // Get returns the cached value for key, setting its reference bit.
 // Every call counts as a hit or a miss. Safe for concurrent readers.
 func (c *Cache[V]) Get(key uint64) (V, bool) {
+	if c.admit != nil {
+		c.admit.Touch(key)
+	}
 	e, ok := c.byKey[key]
 	if !ok {
 		c.misses.Add(1)
@@ -140,6 +153,9 @@ func (c *Cache[V]) Handle(key uint64) (Handle[V], bool) {
 // readers call it after their version check passes so CLOCK recency and
 // hit accounting match the locked path.
 func (c *Cache[V]) TouchHit(h Handle[V]) {
+	if c.admit != nil {
+		c.admit.Touch(h.e.key)
+	}
 	c.hits.Add(1)
 	h.e.ref.Store(true)
 }
@@ -165,6 +181,60 @@ func (c *Cache[V]) Put(key uint64, value V, size int64) {
 		c.inserts.Add(1)
 	}
 	c.evictToBudget()
+}
+
+// SetAdmission attaches (or, with nil, detaches) a TinyLFU frequency
+// sketch. With a sketch attached, Get and TouchHit record every access
+// and PutAdmit duels new entries against the next clock victim.
+// Writer-side only.
+func (c *Cache[V]) SetAdmission(s *FrequencySketch) { c.admit = s }
+
+// PutAdmit is Put gated by the TinyLFU admission duel. Updates of
+// already-cached keys and inserts that fit the remaining budget always
+// land; an insert that would force an eviction is admitted only when the
+// candidate's estimated frequency beats the clock victim's, so one-touch
+// traffic cannot displace a hotter resident entry. It reports whether the
+// entry was cached. Without an attached sketch it is exactly Put.
+func (c *Cache[V]) PutAdmit(key uint64, value V, size int64) bool {
+	if c.admit != nil {
+		c.admit.MaybeHalve()
+		if size < 0 {
+			size = 0
+		}
+		if _, ok := c.byKey[key]; !ok && c.used+size > c.budget && len(c.ring) > 1 {
+			if v := c.peekVictim(); v != nil && c.admit.Estimate(key) <= c.admit.Estimate(v.key) {
+				c.admissionRejects.Add(1)
+				return false
+			}
+		}
+	}
+	c.Put(key, value, size)
+	return true
+}
+
+// peekVictim returns the entry the next eviction would claim — the first
+// clear-ref entry from the hand — without granting second chances or
+// moving the hand. Falls back to the hand entry when every ref bit is
+// set (the real eviction would clear them and come back around).
+func (c *Cache[V]) peekVictim() *entry[V] {
+	n := len(c.ring)
+	if n == 0 {
+		return nil
+	}
+	h := c.hand
+	for i := 0; i < n; i++ {
+		if h >= n {
+			h = 0
+		}
+		if !c.ring[h].ref.Load() {
+			return c.ring[h]
+		}
+		h++
+	}
+	if c.hand < n {
+		return c.ring[c.hand]
+	}
+	return c.ring[0]
 }
 
 // evictToBudget removes entries until the budget holds, always keeping at
@@ -236,6 +306,11 @@ func (c *Cache[V]) Flush() {
 			c.onEvict(e.key, e.value, e.size)
 		}
 	}
+	// The swap-remove unlinks only reset the hand when it fell off the
+	// shrinking ring's end, so it could survive Flush pointing mid-ring —
+	// and a later Resize down-sweep would start its eviction scan from
+	// that stale position. An empty ring has exactly one valid hand.
+	c.hand = 0
 }
 
 // Range calls f for each cached entry, stopping if f returns false. The
@@ -272,10 +347,11 @@ func (c *Cache[V]) Budget() int64 { return c.budget }
 // snapshot is per-counter-atomic rather than a single consistent cut.
 func (c *Cache[V]) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Inserts:   c.inserts.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Evictions:        c.evictions.Load(),
+		Inserts:          c.inserts.Load(),
+		AdmissionRejects: c.admissionRejects.Load(),
 	}
 }
 
@@ -286,4 +362,5 @@ func (c *Cache[V]) ResetStats() {
 	c.misses.Store(0)
 	c.evictions.Store(0)
 	c.inserts.Store(0)
+	c.admissionRejects.Store(0)
 }

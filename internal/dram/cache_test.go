@@ -296,3 +296,53 @@ func TestAccountingInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlushResetsClockHand is the regression test for the stale-hand
+// bug: the swap-remove unlinks inside Flush only reset the hand when it
+// fell off the shrinking ring's end, so it could survive Flush pointing
+// mid-ring, and a refilled cache would start its next eviction sweep
+// from that phantom position instead of slot 0. A flushed cache must be
+// indistinguishable from a fresh one, eviction order included.
+func TestFlushResetsClockHand(t *testing.T) {
+	run := func(c *Cache[int]) []uint64 {
+		var evicted []uint64
+		// Refill and force a sweep; record who the hand claims first.
+		c.Put(10, 0, 10)
+		c.Put(11, 0, 10)
+		c.Put(12, 0, 10)
+		for _, e := range c.ring {
+			e.ref.Store(false) // all cold: eviction order is pure hand order
+		}
+		saveEvict := c.onEvict
+		c.onEvict = func(key uint64, _ int, _ int64) { evicted = append(evicted, key) }
+		c.Resize(10) // down-sweep must evict two entries
+		c.onEvict = saveEvict
+		return evicted
+	}
+
+	fresh := New[int](30, nil)
+	want := run(fresh)
+
+	flushed := New[int](30, nil)
+	// March the hand mid-ring: three inserts then an over-budget fourth
+	// evicts one and leaves the hand past slot 0.
+	flushed.Put(1, 0, 10)
+	flushed.Put(2, 0, 10)
+	flushed.Put(3, 0, 10)
+	flushed.Put(4, 0, 10)
+	flushed.Flush()
+	if flushed.hand != 0 {
+		t.Fatalf("hand = %d after Flush, want 0", flushed.hand)
+	}
+	flushed.Resize(30)
+	got := run(flushed)
+
+	if len(got) != len(want) {
+		t.Fatalf("eviction order after flush %v, fresh cache %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eviction order after flush %v, fresh cache %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package dram
+
+import "sync/atomic"
+
+// FrequencySketch is the TinyLFU admission filter's frequency estimator:
+// a 4-bit count-min sketch (sixteen counters packed per uint64 word) in
+// front of a doorkeeper bloom filter. The doorkeeper absorbs the long
+// tail of one-touch keys — a key's first appearance only sets bloom
+// bits — so the sketch counters spend their 4-bit range on keys seen at
+// least twice. Once the recorded sample count reaches sampleFactor times
+// the counter population the whole sketch is halved (and the doorkeeper
+// reset), aging old traffic out so the estimator tracks the current
+// working set rather than all history.
+//
+// Concurrency: Touch and Estimate are safe from any goroutine (lock-free
+// readers feed the sketch on every cache probe); all updates are CAS
+// loops on the packed words, so Go 1.22's atomics suffice. MaybeHalve is
+// writer-side only — callers invoke it under the same exclusive lock
+// that guards cache inserts.
+type FrequencySketch struct {
+	table []atomic.Uint64 // packed 4-bit counters, 16 per word
+	door  []atomic.Uint64 // doorkeeper bloom bitset
+	mask  uint64          // counter-index mask (counters are a power of two)
+	dmask uint64          // doorkeeper bit-index mask
+
+	samples     atomic.Int64
+	sampleLimit int64
+	halvings    atomic.Int64
+}
+
+// sampleFactor scales the halving threshold: the sketch ages once it has
+// absorbed this many touches per counter. 10 keeps 4-bit counters from
+// saturating on skewed traffic while still remembering enough history to
+// rank hot buckets above scan traffic.
+const sampleFactor = 10
+
+// NewFrequencySketch returns a sketch sized for about n distinct hot
+// keys. Counter and doorkeeper populations round up to powers of two,
+// with enough slack (8 counters per expected key, 4 hash probes each)
+// that collision noise stays below the hot/cold frequency gap.
+func NewFrequencySketch(n int) *FrequencySketch {
+	if n < 16 {
+		n = 16
+	}
+	counters := 1
+	for counters < n*8 {
+		counters <<= 1
+	}
+	doorBits := counters
+	s := &FrequencySketch{
+		table:       make([]atomic.Uint64, counters/16),
+		door:        make([]atomic.Uint64, doorBits/64),
+		mask:        uint64(counters - 1),
+		dmask:       uint64(doorBits - 1),
+		sampleLimit: int64(counters) * sampleFactor,
+	}
+	return s
+}
+
+// mix remixes a key with one of four odd constants so the sketch's probe
+// positions are pairwise independent enough for count-min guarantees.
+func mix(key, seed uint64) uint64 {
+	h := key*seed + seed
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+var sketchSeeds = [4]uint64{0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9, 0x27d4eb2f165667c5}
+
+// Touch records one access of key: the first sighting sets doorkeeper
+// bits, subsequent sightings increment the 4-bit counters (saturating at
+// 15). Safe from concurrent readers.
+func (s *FrequencySketch) Touch(key uint64) {
+	if !s.doorAdd(key) {
+		// First sighting since the last reset: the doorkeeper holds the
+		// +1 and the counters stay untouched.
+		s.samples.Add(1)
+		return
+	}
+	for _, seed := range sketchSeeds {
+		idx := mix(key, seed) & s.mask
+		word, shift := idx/16, (idx%16)*4
+		for {
+			w := s.table[word].Load()
+			nib := (w >> shift) & 0xf
+			if nib >= 15 {
+				break
+			}
+			if s.table[word].CompareAndSwap(w, w+(1<<shift)) {
+				break
+			}
+		}
+	}
+	s.samples.Add(1)
+}
+
+// doorAdd sets key's doorkeeper bits, reporting whether they were
+// already all set (i.e. the key has been seen since the last reset).
+func (s *FrequencySketch) doorAdd(key uint64) bool {
+	seen := true
+	for _, seed := range sketchSeeds[:2] {
+		bit := mix(key, seed) & s.dmask
+		word, m := bit/64, uint64(1)<<(bit%64)
+		for {
+			w := s.door[word].Load()
+			if w&m != 0 {
+				break
+			}
+			seen = false
+			if s.door[word].CompareAndSwap(w, w|m) {
+				break
+			}
+		}
+	}
+	return seen
+}
+
+// doorContains reports whether key's doorkeeper bits are set, without
+// mutating them.
+func (s *FrequencySketch) doorContains(key uint64) bool {
+	for _, seed := range sketchSeeds[:2] {
+		bit := mix(key, seed) & s.dmask
+		if s.door[bit/64].Load()&(uint64(1)<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate returns the frequency estimate for key: the count-min minimum
+// over the four probed counters, plus one if the doorkeeper has seen the
+// key since the last halving. Over-approximates (collisions only inflate
+// counters), never under-approximates recorded touches up to saturation.
+// Safe from concurrent readers.
+func (s *FrequencySketch) Estimate(key uint64) int {
+	est := 15
+	for _, seed := range sketchSeeds {
+		idx := mix(key, seed) & s.mask
+		nib := int((s.table[idx/16].Load() >> ((idx % 16) * 4)) & 0xf)
+		if nib < est {
+			est = nib
+		}
+	}
+	if s.doorContains(key) {
+		est++
+	}
+	return est
+}
+
+// MaybeHalve ages the sketch once enough samples have accumulated: every
+// counter is halved and the doorkeeper cleared. Writer-side only (racing
+// reader Touches may land before or after any given word's halving —
+// either order keeps every estimate at or below its pre-halving value
+// plus the racing touch).
+func (s *FrequencySketch) MaybeHalve() {
+	if s.samples.Load() < s.sampleLimit {
+		return
+	}
+	const nibbleHalfMask = 0x7777777777777777
+	for i := range s.table {
+		for {
+			w := s.table[i].Load()
+			if s.table[i].CompareAndSwap(w, (w>>1)&nibbleHalfMask) {
+				break
+			}
+		}
+	}
+	for i := range s.door {
+		s.door[i].Store(0)
+	}
+	s.samples.Store(s.samples.Load() / 2)
+	s.halvings.Add(1)
+}
+
+// Halvings reports how many aging sweeps have run.
+func (s *FrequencySketch) Halvings() int64 { return s.halvings.Load() }
+
+// Bytes reports the sketch's DRAM footprint (counter table + doorkeeper),
+// so index stats can account for it honestly.
+func (s *FrequencySketch) Bytes() int64 {
+	return int64(len(s.table)+len(s.door)) * 8
+}

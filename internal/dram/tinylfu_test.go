@@ -1,0 +1,229 @@
+package dram
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestSketchEstimateTracksTouches(t *testing.T) {
+	s := NewFrequencySketch(64)
+	if got := s.Estimate(7); got != 0 {
+		t.Fatalf("estimate of untouched key = %d, want 0", got)
+	}
+	// First touch only arms the doorkeeper (+1 bonus, counters untouched);
+	// each later touch adds one to the counters.
+	s.Touch(7)
+	if got := s.Estimate(7); got != 1 {
+		t.Fatalf("estimate after 1 touch = %d, want 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Touch(7)
+	}
+	if got := s.Estimate(7); got < 6 {
+		t.Fatalf("estimate after 6 touches = %d, want >= 6", got)
+	}
+	// Count-min over-approximates but a key hot 6× must outrank a
+	// one-touch key.
+	s.Touch(99)
+	if hot, cold := s.Estimate(7), s.Estimate(99); hot <= cold {
+		t.Fatalf("hot estimate %d <= cold estimate %d", hot, cold)
+	}
+}
+
+func TestSketchSaturatesAtFifteen(t *testing.T) {
+	s := NewFrequencySketch(64)
+	for i := 0; i < 100; i++ {
+		s.Touch(3)
+	}
+	// 4-bit counters cap at 15; the doorkeeper adds at most one.
+	if got := s.Estimate(3); got > 16 {
+		t.Fatalf("estimate = %d, want <= 16", got)
+	}
+}
+
+// saturateSamples drives the sample count past the halving threshold
+// without touching any key the caller cares about. Filler keys still
+// collide with real counters occasionally — that only inflates
+// estimates, which is the direction the sketch is allowed to err.
+func saturateSamples(s *FrequencySketch) {
+	for i := int64(0); s.samples.Load() < s.sampleLimit; i++ {
+		s.Touch(0xf111e500000000 + uint64(i))
+	}
+}
+
+func TestSketchHalvingNeverInflates(t *testing.T) {
+	s := NewFrequencySketch(16)
+	keys := []uint64{1, 2, 3, 0xdeadbeef, 1 << 40}
+	for i, k := range keys {
+		for j := 0; j <= i*3; j++ {
+			s.Touch(k)
+		}
+	}
+	saturateSamples(s)
+	before := make([]int, len(keys))
+	for i, k := range keys {
+		before[i] = s.Estimate(k)
+	}
+	s.MaybeHalve()
+	if s.Halvings() != 1 {
+		t.Fatalf("halvings = %d, want 1", s.Halvings())
+	}
+	for i, k := range keys {
+		after := s.Estimate(k)
+		if after > before[i] {
+			t.Fatalf("key %#x: estimate rose %d -> %d across halving", k, before[i], after)
+		}
+		if before[i] == 0 && after != 0 {
+			t.Fatalf("key %#x: zero estimate became %d", k, after)
+		}
+	}
+}
+
+func TestMaybeHalveBelowThresholdIsNoop(t *testing.T) {
+	s := NewFrequencySketch(64)
+	for i := 0; i < 8; i++ {
+		s.Touch(5)
+	}
+	before := s.Estimate(5)
+	s.MaybeHalve()
+	if s.Halvings() != 0 {
+		t.Fatal("halved below the sample threshold")
+	}
+	if got := s.Estimate(5); got != before {
+		t.Fatalf("estimate changed %d -> %d without a halving", before, got)
+	}
+}
+
+// TestAdmissionNeverWorseThanAdmitAll replays randomized hot/cold traces
+// against two same-budget caches — one gated by TinyLFU admission, one
+// admit-all — and requires the admission cache to score at least as many
+// hits. The trace shape is the one admission exists for: a hot set that
+// fits the budget plus a long one-touch cold tail trying to wash it out.
+// Everything is seeded, so a pass is deterministic, and the property runs
+// across many seeds rather than one lucky layout.
+func TestAdmissionNeverWorseThanAdmitAll(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		hotKeys := 4 + rng.Intn(8)    // hot working set, fits the budget
+		budget := int64(hotKeys) * 10 // entries are size 10
+		coldSpan := 1000 + rng.Intn(4000)
+
+		admitAll := New[int](budget, nil)
+		gated := New[int](budget, nil)
+		gated.SetAdmission(NewFrequencySketch(hotKeys * 4))
+
+		access := func(c *Cache[int], key uint64, admit bool) {
+			if _, ok := c.Get(key); ok {
+				return
+			}
+			if admit {
+				c.PutAdmit(key, 0, 10)
+			} else {
+				c.Put(key, 0, 10)
+			}
+		}
+
+		ops := 20000
+		for i := 0; i < ops; i++ {
+			var key uint64
+			if rng.Intn(100) < 80 { // 80% of traffic on the hot set
+				key = uint64(rng.Intn(hotKeys))
+			} else { // cold scan: effectively one-touch keys
+				key = 1_000_000 + uint64(rng.Intn(coldSpan))
+			}
+			access(admitAll, key, false)
+			access(gated, key, true)
+		}
+
+		if g, a := gated.Stats().Hits, admitAll.Stats().Hits; g < a {
+			t.Fatalf("seed %d: admission hits %d < admit-all hits %d", seed, g, a)
+		}
+	}
+}
+
+func TestPutAdmitWithoutSketchIsPut(t *testing.T) {
+	c := New[int](20, nil)
+	if !c.PutAdmit(1, 0, 10) || !c.PutAdmit(2, 0, 10) || !c.PutAdmit(3, 0, 10) {
+		t.Fatal("PutAdmit without a sketch must always admit")
+	}
+	if c.Stats().AdmissionRejects != 0 {
+		t.Fatal("admission rejects counted without a sketch")
+	}
+}
+
+func TestPutAdmitAlwaysUpdatesResident(t *testing.T) {
+	c := New[int](20, nil)
+	c.SetAdmission(NewFrequencySketch(16))
+	c.PutAdmit(1, 1, 10)
+	c.PutAdmit(2, 2, 10)
+	// An update of a cached key is never duelled, no matter how cold.
+	if !c.PutAdmit(1, 42, 10) {
+		t.Fatal("resident update rejected")
+	}
+	if v, _ := c.Peek(1); v != 42 {
+		t.Fatalf("resident value = %d, want 42", v)
+	}
+}
+
+func TestPutAdmitRejectsColdInsert(t *testing.T) {
+	c := New[int](20, nil)
+	s := NewFrequencySketch(16)
+	c.SetAdmission(s)
+	c.PutAdmit(1, 0, 10)
+	c.PutAdmit(2, 0, 10)
+	for i := 0; i < 10; i++ { // make both residents hot
+		c.Get(1)
+		c.Get(2)
+	}
+	// A never-seen key duels the clock victim and loses.
+	if c.PutAdmit(3, 0, 10) {
+		t.Fatal("cold insert admitted over a hot victim")
+	}
+	if c.Contains(3) || !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("residency changed by a rejected insert")
+	}
+	if c.Stats().AdmissionRejects != 1 {
+		t.Fatalf("admission rejects = %d, want 1", c.Stats().AdmissionRejects)
+	}
+}
+
+// FuzzFrequencySketch checks the aging invariant on arbitrary touch
+// traces: halving the sketch must never inflate any touched key's
+// estimate (counters halve, the doorkeeper clears — both monotonically
+// down). Input bytes decode as a sequence of 8-byte keys, each touched
+// once in order.
+func FuzzFrequencySketch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 42))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9})
+	hot := []byte{}
+	for i := 0; i < 32; i++ {
+		hot = binary.LittleEndian.AppendUint64(hot, uint64(i%3))
+	}
+	f.Add(hot)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewFrequencySketch(16)
+		var keys []uint64
+		for len(data) >= 8 {
+			k := binary.LittleEndian.Uint64(data)
+			data = data[8:]
+			keys = append(keys, k)
+			s.Touch(k)
+		}
+		saturateSamples(s)
+		before := make(map[uint64]int, len(keys))
+		for _, k := range keys {
+			before[k] = s.Estimate(k)
+		}
+		s.MaybeHalve()
+		if s.Halvings() == 0 {
+			t.Fatal("saturated sketch did not halve")
+		}
+		for k, b := range before {
+			if a := s.Estimate(k); a > b {
+				t.Fatalf("key %#x: estimate rose %d -> %d across halving", k, b, a)
+			}
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package dram
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// ValueStats reports hot-value cache effectiveness counters.
+type ValueStats struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// HitRatio reports hits / (hits + misses), or 0 when unused.
+func (s ValueStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ventryOverhead approximates the per-entry bookkeeping bytes charged
+// against the budget on top of the key and value payloads.
+const ventryOverhead = 64
+
+// ventry is one immutable cached value. Once published its sig, key and
+// value never change; invalidation sets the dead flag and unlinks it.
+// The bytes stay readable for any lock-free reader that already holds a
+// pointer — Go's GC reclaims them after the last reader drops out.
+type ventry struct {
+	sig   uint64
+	key   []byte
+	value []byte
+	size  int64
+
+	next atomic.Pointer[ventry]
+	ref  atomic.Bool // CLOCK second-chance bit
+	dead atomic.Bool // set (before unlinking) by invalidation/eviction
+
+	ring int // position in the eviction ring; mu-guarded
+}
+
+// vbucket heads one hash chain. gen counts invalidations of anything
+// mapping here: readers snapshot it before a flash probe and the insert
+// path discards results from a stale generation, which kills the race
+// where a reader caches a value a concurrent writer just replaced.
+type vbucket struct {
+	head atomic.Pointer[ventry]
+	gen  atomic.Uint64
+}
+
+// ValueCache is the byte-budgeted hot-value tier: a lock-free-readable
+// hash table of immutable key→value copies with CLOCK eviction. Lookup
+// runs with no lock and no allocation (the shard's optimistic GET tier
+// calls it before touching the index); Insert, Invalidate and eviction
+// serialize on one small side mutex, so writers never block readers and
+// readers never block anyone.
+//
+// Linearizability: entries are invalidated (dead flag set, generation
+// bumped) before the overwriting Store/Delete is acknowledged, and
+// Lookup re-checks the dead flag after capturing the value pointer — a
+// live entry at that instant means the read linearizes before any
+// in-flight overwrite's completion. Stale re-inserts by slow readers are
+// refused by the generation check.
+type ValueCache struct {
+	budget  int64
+	maxItem int64 // single-entry cap (budget/8): scans must not wipe the tier
+	mask    uint64
+	buckets []vbucket
+
+	mu   sync.Mutex
+	ring []*ventry
+	hand int
+	used int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	inserts       atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// NewValueCache returns a value cache bounded by the given byte budget.
+func NewValueCache(budget int64) *ValueCache {
+	if budget <= 0 {
+		budget = 1
+	}
+	nb := 16
+	for int64(nb) < budget/256 && nb < 1<<16 {
+		nb <<= 1
+	}
+	return &ValueCache{
+		budget:  budget,
+		maxItem: budget / 8,
+		mask:    uint64(nb - 1),
+		buckets: make([]vbucket, nb),
+	}
+}
+
+// Lookup returns the cached value for (sig, key), or nil. The returned
+// slice is the immutable cached copy — callers must not modify it. Safe
+// from any goroutine, no locks, no allocation.
+func (vc *ValueCache) Lookup(sig uint64, key []byte) ([]byte, bool) {
+	b := &vc.buckets[sig&vc.mask]
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
+		if e.sig != sig || !bytes.Equal(e.key, key) {
+			continue
+		}
+		v := e.value
+		if e.dead.Load() {
+			// Unlinked (or being unlinked) by an invalidation that will
+			// complete before the overwriting write acks: treat as a miss.
+			break
+		}
+		e.ref.Store(true)
+		vc.hits.Add(1)
+		return v, true
+	}
+	vc.misses.Add(1)
+	return nil, false
+}
+
+// Gen snapshots the invalidation generation of key's bucket. Readers
+// capture it before their flash probe and pass it to Insert, which
+// refuses if any invalidation touched the bucket in between.
+func (vc *ValueCache) Gen(sig uint64) uint64 {
+	return vc.buckets[sig&vc.mask].gen.Load()
+}
+
+// Insert caches an immutable copy of (key, value) if the bucket's
+// generation still equals gen (from a prior Gen call). Values above the
+// single-entry cap are not cached. Safe from any goroutine.
+func (vc *ValueCache) Insert(gen, sig uint64, key, value []byte) {
+	size := int64(len(key)+len(value)) + ventryOverhead
+	if size > vc.maxItem {
+		return
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	b := &vc.buckets[sig&vc.mask]
+	if b.gen.Load() != gen {
+		return
+	}
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
+		if e.sig == sig && bytes.Equal(e.key, key) {
+			// Already cached; the unchanged generation proves it is still
+			// the current value.
+			e.ref.Store(true)
+			return
+		}
+	}
+	e := &ventry{
+		sig:   sig,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		size:  size,
+	}
+	e.ref.Store(true)
+	e.next.Store(b.head.Load())
+	b.head.Store(e)
+	e.ring = len(vc.ring)
+	vc.ring = append(vc.ring, e)
+	vc.used += size
+	vc.inserts.Add(1)
+	for vc.used > vc.budget && len(vc.ring) > 1 {
+		vc.evictOneLocked()
+	}
+}
+
+// Invalidate kills any cached value for (sig, key) and bumps the
+// bucket's generation so in-flight reader inserts are refused. Callers
+// (Store/Delete) invoke it after the index update and before the write
+// is acknowledged. Safe from any goroutine.
+func (vc *ValueCache) Invalidate(sig uint64, key []byte) {
+	b := &vc.buckets[sig&vc.mask]
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	b.gen.Add(1)
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
+		if e.sig == sig && bytes.Equal(e.key, key) {
+			vc.removeLocked(e)
+			vc.invalidations.Add(1)
+			return
+		}
+	}
+}
+
+// Flush drops every entry and advances every generation. Restart calls
+// it: recovery may roll back unflushed writes, so values cached from the
+// lost tail must not survive the power cycle.
+func (vc *ValueCache) Flush() {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	for i := range vc.buckets {
+		b := &vc.buckets[i]
+		b.gen.Add(1)
+		for e := b.head.Load(); e != nil; e = e.next.Load() {
+			e.dead.Store(true)
+		}
+		b.head.Store(nil)
+	}
+	vc.ring = nil
+	vc.hand = 0
+	vc.used = 0
+}
+
+// evictOneLocked runs one CLOCK step: the first clear-ref entry from the
+// hand is killed, referenced entries get their second chance.
+func (vc *ValueCache) evictOneLocked() {
+	for {
+		if vc.hand >= len(vc.ring) {
+			vc.hand = 0
+		}
+		e := vc.ring[vc.hand]
+		if e.ref.Swap(false) {
+			vc.hand++
+			continue
+		}
+		vc.removeLocked(e)
+		vc.evictions.Add(1)
+		return
+	}
+}
+
+// removeLocked marks e dead, unlinks it from its hash chain, and
+// swap-removes it from the eviction ring. The dead flag is set first so
+// a reader that already reached e sees the kill no later than the chain
+// does.
+func (vc *ValueCache) removeLocked(e *ventry) {
+	e.dead.Store(true)
+	b := &vc.buckets[e.sig&vc.mask]
+	if b.head.Load() == e {
+		b.head.Store(e.next.Load())
+	} else {
+		for p := b.head.Load(); p != nil; p = p.next.Load() {
+			if p.next.Load() == e {
+				p.next.Store(e.next.Load())
+				break
+			}
+		}
+	}
+	last := len(vc.ring) - 1
+	tail := vc.ring[last]
+	vc.ring[e.ring] = tail
+	tail.ring = e.ring
+	vc.ring[last] = nil
+	vc.ring = vc.ring[:last]
+	if vc.hand > last {
+		vc.hand = 0
+	}
+	vc.used -= e.size
+}
+
+// Used reports the summed byte size of cached entries (side-lock held
+// briefly; for observability, not hot paths).
+func (vc *ValueCache) Used() int64 {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.used
+}
+
+// Budget reports the configured byte budget.
+func (vc *ValueCache) Budget() int64 { return vc.budget }
+
+// Len reports the number of cached entries.
+func (vc *ValueCache) Len() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return len(vc.ring)
+}
+
+// Stats snapshots the effectiveness counters. Safe from any goroutine;
+// per-counter-atomic, not a single cut.
+func (vc *ValueCache) Stats() ValueStats {
+	return ValueStats{
+		Hits:          vc.hits.Load(),
+		Misses:        vc.misses.Load(),
+		Inserts:       vc.inserts.Load(),
+		Evictions:     vc.evictions.Load(),
+		Invalidations: vc.invalidations.Load(),
+	}
+}
+
+// ResetStats zeroes the counters between experiment phases. Safe from
+// any goroutine; reads racing the reset land on either side.
+func (vc *ValueCache) ResetStats() {
+	vc.hits.Store(0)
+	vc.misses.Store(0)
+	vc.inserts.Store(0)
+	vc.evictions.Store(0)
+	vc.invalidations.Store(0)
+}

@@ -1,0 +1,167 @@
+package dram
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestValueCacheLookupInsertInvalidate(t *testing.T) {
+	vc := NewValueCache(1 << 20)
+	key, val := []byte("user:1"), []byte("profile")
+	if _, ok := vc.Lookup(11, key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	vc.Insert(vc.Gen(11), 11, key, val)
+	v, ok := vc.Lookup(11, key)
+	if !ok || string(v) != "profile" {
+		t.Fatalf("Lookup = (%q,%v)", v, ok)
+	}
+	// Same low bucket bits, different key: full-key verify must miss.
+	if _, ok := vc.Lookup(11, []byte("user:2")); ok {
+		t.Fatal("hit on wrong key")
+	}
+	vc.Invalidate(11, key)
+	if _, ok := vc.Lookup(11, key); ok {
+		t.Fatal("hit after invalidation")
+	}
+	s := vc.Stats()
+	if s.Hits != 1 || s.Invalidations != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestValueCacheInsertCopies(t *testing.T) {
+	vc := NewValueCache(1 << 20)
+	key, val := []byte("k"), []byte("abc")
+	vc.Insert(vc.Gen(1), 1, key, val)
+	val[0] = 'X' // caller reuses its buffer
+	v, ok := vc.Lookup(1, key)
+	if !ok || string(v) != "abc" {
+		t.Fatalf("cached value aliased the caller's buffer: %q", v)
+	}
+}
+
+func TestValueCacheGenRefusesStaleInsert(t *testing.T) {
+	vc := NewValueCache(1 << 20)
+	key := []byte("k")
+	gen := vc.Gen(5) // reader snapshots before its flash probe
+	// A writer overwrites the key while the read is in flight.
+	vc.Invalidate(5, key)
+	vc.Insert(gen, 5, key, []byte("stale"))
+	if _, ok := vc.Lookup(5, key); ok {
+		t.Fatal("stale insert landed despite a generation bump")
+	}
+	// The reader retries with a fresh generation and succeeds.
+	vc.Insert(vc.Gen(5), 5, key, []byte("fresh"))
+	if v, ok := vc.Lookup(5, key); !ok || string(v) != "fresh" {
+		t.Fatalf("fresh insert missing: (%q,%v)", v, ok)
+	}
+}
+
+func TestValueCacheBudgetEviction(t *testing.T) {
+	// Entries are ventryOverhead+3+8 bytes; budget/8 (the single-item
+	// cap) must clear that, and 16 inserts must overrun the budget.
+	const entry = ventryOverhead + 3 + 8
+	const budget = 8 * entry
+	vc := NewValueCache(budget)
+	for i := 0; i < 16; i++ {
+		key := []byte(fmt.Sprintf("k%02d", i))
+		vc.Insert(vc.Gen(uint64(i)), uint64(i), key, []byte("12345678"))
+	}
+	if used := vc.Used(); used > budget {
+		t.Fatalf("used %d over budget %d", used, budget)
+	}
+	if vc.Stats().Evictions == 0 {
+		t.Fatal("no evictions despite over-budget inserts")
+	}
+	// Evicted entries must be dead to lookups, survivors must hit.
+	live := 0
+	for i := 0; i < 16; i++ {
+		if _, ok := vc.Lookup(uint64(i), []byte(fmt.Sprintf("k%02d", i))); ok {
+			live++
+		}
+	}
+	if live != vc.Len() {
+		t.Fatalf("lookup-visible entries %d != resident %d", live, vc.Len())
+	}
+}
+
+func TestValueCacheMaxItem(t *testing.T) {
+	vc := NewValueCache(1024)
+	big := make([]byte, 512) // over budget/8: must not wipe the tier
+	vc.Insert(vc.Gen(1), 1, []byte("big"), big)
+	if vc.Len() != 0 {
+		t.Fatal("oversized value cached")
+	}
+}
+
+func TestValueCacheFlush(t *testing.T) {
+	vc := NewValueCache(1 << 20)
+	gen := vc.Gen(1)
+	vc.Insert(gen, 1, []byte("a"), []byte("1"))
+	vc.Flush()
+	if _, ok := vc.Lookup(1, []byte("a")); ok {
+		t.Fatal("hit after flush")
+	}
+	if vc.Len() != 0 || vc.Used() != 0 {
+		t.Fatalf("len=%d used=%d after flush", vc.Len(), vc.Used())
+	}
+	// Flush bumps every generation: inserts from before it are refused
+	// (recovery may have rolled the value back).
+	vc.Insert(gen, 1, []byte("a"), []byte("1"))
+	if _, ok := vc.Lookup(1, []byte("a")); ok {
+		t.Fatal("pre-flush insert landed after flush")
+	}
+}
+
+// TestValueCacheConcurrent exercises every entry point from racing
+// goroutines; run with -race it is the regression test for the tier's
+// lock-free reader contract (Lookup/Gen/Stats never take the side lock,
+// Insert/Invalidate/ResetStats serialize on it).
+func TestValueCacheConcurrent(t *testing.T) {
+	vc := NewValueCache(8 << 10)
+	const keys = 64
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i%keys)) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // readers: Gen → Lookup → Insert on miss
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				sig := uint64((i + g) % keys)
+				key := keyOf(i + g)
+				gen := vc.Gen(sig)
+				if v, ok := vc.Lookup(sig, key); ok {
+					_ = v[0] // cached bytes must stay readable after capture
+					continue
+				}
+				vc.Insert(gen, sig, key, []byte("value-payload"))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // writer: invalidate everything, repeatedly
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			vc.Invalidate(uint64(i%keys), keyOf(i))
+		}
+	}()
+	wg.Add(1)
+	go func() { // observer: Stats/ResetStats/Used racing the above
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = vc.Stats()
+			_ = vc.Used()
+			if i%500 == 0 {
+				vc.ResetStats()
+			}
+		}
+	}()
+	wg.Wait()
+
+	if used, budget := vc.Used(), vc.Budget(); used > budget {
+		t.Fatalf("used %d over budget %d after concurrent churn", used, budget)
+	}
+}

@@ -46,6 +46,16 @@ type Stats struct {
 	OptimisticRetries uint64
 	FallbackExclusive uint64
 	EpochPins         uint64
+	// Cache-tier counters: the index-page cache's hits/misses plus the
+	// TinyLFU admission rejects, the hot-value tier's hits/misses, and
+	// scan prefetch hits. All zero on servers predating the tiered cache
+	// (field-count versioning zero-fills them) or running default-off.
+	CacheHits        uint64
+	CacheMisses      uint64
+	AdmissionRejects uint64
+	ValueCacheHits   uint64
+	ValueCacheMisses uint64
+	PrefetchHits     uint64
 }
 
 // fields returns the wire order; append new fields at the end only.
@@ -61,6 +71,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.WALGroupP50, &s.WALGroupMax,
 		&s.OptimisticReads, &s.OptimisticRetries,
 		&s.FallbackExclusive, &s.EpochPins,
+		&s.CacheHits, &s.CacheMisses, &s.AdmissionRejects,
+		&s.ValueCacheHits, &s.ValueCacheMisses, &s.PrefetchHits,
 	}
 }
 

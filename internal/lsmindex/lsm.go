@@ -30,6 +30,11 @@ const SlotSize = 8 + 5
 // tombstoneRP marks a deletion record inside runs.
 const tombstoneRP = 1<<40 - 1
 
+// memRecBytes is the accounted DRAM cost of one memtable record:
+// signature (8) + record pointer (8, the map value slot). The memtable
+// pays this against CacheBudget like every other DRAM consumer.
+const memRecBytes = 16
+
 // Config parameterizes the LSM index.
 type Config struct {
 	// PageSize is the flash page size (run granularity).
@@ -160,10 +165,8 @@ func (ix *Index) Insert(sig index.Sig, rp uint64) (old uint64, replaced bool, er
 	if !replaced {
 		ix.n++
 	}
-	if len(ix.mem) >= ix.cfg.MemtableRecords {
-		if err := ix.flushMemtable(); err != nil {
-			return old, replaced, err
-		}
+	if err := ix.chargeMemtable(); err != nil {
+		return old, replaced, err
 	}
 	return old, replaced, ix.checkIO()
 }
@@ -258,10 +261,8 @@ func (ix *Index) Delete(sig index.Sig) (uint64, bool, error) {
 	}
 	ix.mem[sig.Lo] = tombstoneRP
 	ix.n--
-	if len(ix.mem) >= ix.cfg.MemtableRecords {
-		if err := ix.flushMemtable(); err != nil {
-			return rp, true, err
-		}
+	if err := ix.chargeMemtable(); err != nil {
+		return rp, true, err
 	}
 	return rp, true, ix.checkIO()
 }
@@ -347,6 +348,35 @@ func (ix *Index) PrefixRecords(low uint32) ([]uint64, error) {
 		}
 	}
 	return out, ix.checkIO()
+}
+
+// memBytes is the memtable's current DRAM charge.
+func (ix *Index) memBytes() int64 { return int64(len(ix.mem)) * memRecBytes }
+
+// chargeMemtable makes the memtable pay for its DRAM out of the same
+// CacheBudget that bounds the run-page cache: the page cache shrinks to
+// the remainder (evicting pages as needed), and the memtable flushes
+// early once it alone would hold more than half the budget — so a small
+// CacheBudget can no longer shelter an uncharged ~10k-record memtable,
+// which flattered the LSM against the budget-bounded hash indexes.
+func (ix *Index) chargeMemtable() error {
+	if len(ix.mem) >= ix.cfg.MemtableRecords || ix.memBytes()*2 > ix.cfg.CacheBudget {
+		if err := ix.flushMemtable(); err != nil {
+			return err
+		}
+	}
+	ix.resizePageCache()
+	return nil
+}
+
+// resizePageCache gives the run-page cache whatever DRAM the memtable's
+// charge leaves of CacheBudget.
+func (ix *Index) resizePageCache() {
+	b := ix.cfg.CacheBudget - ix.memBytes()
+	if b < 0 {
+		b = 0
+	}
+	ix.cache.Resize(b)
 }
 
 // flushMemtable emits the memtable as a new sorted run, compacting when
@@ -501,7 +531,7 @@ func (ix *Index) IndexStats() index.Stats {
 	return index.Stats{
 		Records:    ix.n,
 		DirEntries: fences,
-		DRAMBytes:  int64(fences*8) + int64(len(ix.mem))*16 + ix.cache.Used(),
+		DRAMBytes:  int64(fences*8) + ix.memBytes() + ix.cache.Used(),
 		Cache:      ix.cache.Stats(),
 	}
 }
@@ -535,7 +565,11 @@ func bits(n int) int {
 	return b
 }
 
-// ResizeCache implements index.CacheResizer, adjusting the DRAM budget
-// for cached pages at runtime (dirty entries evicted by a shrink are
-// written back through the usual path).
-func (ix *Index) ResizeCache(budget int64) { ix.cache.Resize(budget) }
+// ResizeCache implements index.CacheResizer, adjusting the total index
+// DRAM budget at runtime. The memtable's charge comes off the top; the
+// run-page cache gets the remainder (run pages are clean, so a shrink
+// just drops them).
+func (ix *Index) ResizeCache(budget int64) {
+	ix.cfg.CacheBudget = budget
+	ix.resizePageCache()
+}

@@ -419,6 +419,13 @@ func (s *Server) collectStats() kvwire.Stats {
 		OptimisticRetries: uint64(agg.OptimisticRetries),
 		FallbackExclusive: uint64(agg.FallbackExclusive),
 		EpochPins:         uint64(agg.EpochPins),
+
+		CacheHits:        uint64(agg.Index.Cache.Hits),
+		CacheMisses:      uint64(agg.Index.Cache.Misses),
+		AdmissionRejects: uint64(agg.Index.Cache.AdmissionRejects),
+		ValueCacheHits:   uint64(agg.Dev.ValueCacheHits),
+		ValueCacheMisses: uint64(agg.Dev.ValueCacheMisses),
+		PrefetchHits:     uint64(agg.Dev.PrefetchHits),
 	}
 }
 

@@ -13,12 +13,16 @@ import (
 // buckets are all DRAM-resident, so every benchmarked get is a cache
 // hit. AnticipatedKeys pre-sizes the directory to keep re-configuration
 // out of the measurement.
-func benchSet(tb testing.TB, keys int) (*Set, [][]byte) {
+func benchSet(tb testing.TB, keys int, mutate ...func(*device.Config)) (*Set, [][]byte) {
 	tb.Helper()
-	set, err := New(1, device.Config{
+	cfg := device.Config{
 		Capacity:        256 << 20,
 		AnticipatedKeys: int64(4 * keys),
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	set, err := New(1, cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -47,12 +51,17 @@ func benchSet(tb testing.TB, keys int) (*Set, [][]byte) {
 
 // TestOptimisticGetZeroAlloc pins the allocation claim across the read
 // tiers: a DRAM-resident get with a reused value buffer allocates
-// nothing, whether it flows lock-free (the default) or through the
-// legacy RWMutex tier.
+// nothing, whether it flows lock-free (the default), through the legacy
+// RWMutex tier, or — with the hot-value tier on — straight out of the
+// value cache without touching the index at all.
 func TestOptimisticGetZeroAlloc(t *testing.T) {
-	for _, mode := range []string{"optimistic", "rwmutex"} {
+	for _, mode := range []string{"optimistic", "rwmutex", "valuecache"} {
 		t.Run(mode, func(t *testing.T) {
-			set, ks := benchSet(t, 256)
+			var mutate []func(*device.Config)
+			if mode == "valuecache" {
+				mutate = append(mutate, func(c *device.Config) { c.ValueCacheBudget = 1 << 20 })
+			}
+			set, ks := benchSet(t, 256, mutate...)
 			defer set.Close()
 			if mode == "rwmutex" {
 				set.shards[0].opt = false
@@ -81,6 +90,11 @@ func TestOptimisticGetZeroAlloc(t *testing.T) {
 				if st.LockUpgrades > 0 || st.SharedReads == 0 {
 					t.Fatalf("shared=%d upgrades=%d: not measuring the RWMutex path",
 						st.SharedReads, st.LockUpgrades)
+				}
+			case "valuecache":
+				if st.Dev.ValueCacheHits == 0 || st.FallbackExclusive > 0 {
+					t.Fatalf("vhits=%d fallbacks=%d: not measuring the value-cache hit path",
+						st.Dev.ValueCacheHits, st.FallbackExclusive)
 				}
 			}
 		})
@@ -256,6 +270,85 @@ func benchQueuedGets(b *testing.B, set *Set, ks [][]byte, g int) {
 	b.StopTimer()
 	close(q)
 	worker.Wait()
+}
+
+// BenchmarkValueCacheHit prices the hot-value tier against the index
+// tier it short-circuits, on the identical DRAM-resident workload: every
+// benchmarked get is a hit either way, so the per-op delta is purely
+// "value-cache probe" versus "seqlock walk + record decode". Both modes
+// must stay at 0 allocs/op — the value tier returns a copy into the
+// caller's reused buffer, never a cache-owned slice.
+func BenchmarkValueCacheHit(b *testing.B) {
+	const keys = 256
+	run := func(b *testing.B, set *Set, ks [][]byte) {
+		dst := make([]byte, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := set.RetrieveAppend(dst[:0], ks[i%len(ks)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = v
+		}
+		b.StopTimer()
+	}
+	b.Run("indexonly", func(b *testing.B) {
+		set, ks := benchSet(b, keys)
+		defer set.Close()
+		run(b, set, ks)
+	})
+	b.Run("valuecache", func(b *testing.B) {
+		set, ks := benchSet(b, keys, func(c *device.Config) { c.ValueCacheBudget = 1 << 20 })
+		defer set.Close()
+		run(b, set, ks)
+		if st := set.Stats(); st.Dev.ValueCacheHits == 0 {
+			b.Fatal("no value-cache hits: not measuring the hot-value path")
+		}
+	})
+}
+
+// BenchmarkAdmissionYCSB runs a zipf-skewed GET stream against an index
+// cache under real pressure — a 256 KiB budget holding 8 of ~32 resident
+// tables — with TinyLFU admission off versus on. The interesting number
+// is the reported flash-reads/op metric: admission refuses to let
+// one-touch cold buckets evict the zipf head's tables, so the gated run
+// should issue fewer flash reads for the same op stream. (This is the
+// scenario the 16 KiB golden cell cannot exercise: there the budget
+// holds a single 32 KiB table, so the duel never engages.)
+func BenchmarkAdmissionYCSB(b *testing.B) {
+	const keys = 8192
+	for _, mode := range []string{"admit-all", "tinylfu"} {
+		b.Run(mode, func(b *testing.B) {
+			set, ks := benchSet(b, keys, func(c *device.Config) {
+				c.CacheBudget = 256 << 10
+				c.CacheAdmission = mode == "tinylfu"
+			})
+			defer set.Close()
+			zipf := workload.NewZipfian(keys, 0.99, 42)
+			ids := make([]uint64, 1<<16)
+			for i := range ids {
+				ids[i] = zipf.NextID()
+			}
+			before := set.Stats().Flash.Reads
+			dst := make([]byte, 0, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := set.RetrieveAppend(dst[:0], ks[ids[i%len(ids)]])
+				if err != nil {
+					b.Fatal(err)
+				}
+				dst = v
+			}
+			b.StopTimer()
+			st := set.Stats()
+			b.ReportMetric(float64(st.Flash.Reads-before)/float64(b.N), "flashreads/op")
+			if mode == "tinylfu" && st.Index.Cache.AdmissionRejects == 0 {
+				b.Fatal("no admission rejects: the duel never engaged")
+			}
+		})
+	}
 }
 
 // BenchmarkStoreRetrieve measures the synchronous single-client

@@ -92,6 +92,9 @@ func (s *Set) Stats() Stats {
 		out.Dev.Checkpoints += ds.Checkpoints
 		out.Dev.ResizeHalt += ds.ResizeHalt
 		out.Dev.CollisionAborts += ds.CollisionAborts
+		out.Dev.ValueCacheHits += ds.ValueCacheHits
+		out.Dev.ValueCacheMisses += ds.ValueCacheMisses
+		out.Dev.PrefetchHits += ds.PrefetchHits
 		if ds.Recoveries > out.Dev.Recoveries {
 			out.Dev.Recoveries = ds.Recoveries
 		}
@@ -103,6 +106,9 @@ func (s *Set) Stats() Stats {
 		out.Index.DRAMBytes += is.DRAMBytes
 		out.Index.Cache.Hits += is.Cache.Hits
 		out.Index.Cache.Misses += is.Cache.Misses
+		out.Index.Cache.Evictions += is.Cache.Evictions
+		out.Index.Cache.Inserts += is.Cache.Inserts
+		out.Index.Cache.AdmissionRejects += is.Cache.AdmissionRejects
 
 		out.Flash.Reads += fs.Reads
 		out.Flash.Programs += fs.Programs

@@ -107,6 +107,20 @@ type Options struct {
 	// migration work) instead of halting the queue for a full
 	// migration — the paper's "real-time index scaling" extension.
 	IncrementalResize bool
+	// ValueCacheBudget, when positive, enables the hot-value DRAM tier
+	// (divided across shards): a byte-budgeted cache of recently read
+	// values consulted before the index by every read tier, so hot GETs
+	// cost zero flash reads. Invalidated before any overwrite
+	// acknowledges; 0 (the default) disables it and keeps the read path
+	// byte-identical to previous releases.
+	ValueCacheBudget int64
+	// CacheAdmission enables TinyLFU admission (frequency sketch +
+	// doorkeeper) on RHIK's index-page cache, protecting hot directory
+	// buckets from one-touch scan traffic. Default off.
+	CacheAdmission bool
+	// ScanPrefetch makes prefix scans read each distinct data page once
+	// instead of once per record. Default off.
+	ScanPrefetch bool
 	// WAL configures the durable write front. Zero value = disabled: the
 	// emulated device is purely in-memory and all data dies with the
 	// process, exactly as before.
@@ -193,6 +207,9 @@ func OpenSet(opts Options) (*shard.Set, error) {
 		HopRange:           opts.HopRange,
 		CheckpointEveryOps: ckpt,
 		IncrementalResize:  opts.IncrementalResize,
+		ValueCacheBudget:   opts.ValueCacheBudget / int64(n),
+		CacheAdmission:     opts.CacheAdmission,
+		ScanPrefetch:       opts.ScanPrefetch,
 	}
 	switch opts.Index {
 	case RHIK:

@@ -22,6 +22,14 @@ type Stats struct {
 	CollisionAborts  int64
 	CacheHits        int64
 	CacheMisses      int64
+	AdmissionRejects int64
+
+	// Hot-value tier (zero unless Options.ValueCacheBudget > 0).
+	ValueCacheHits   int64
+	ValueCacheMisses int64
+	// PrefetchHits counts scan record reads served from an
+	// already-staged page (Options.ScanPrefetch).
+	PrefetchHits int64
 
 	// Flash activity.
 	FlashReads, FlashPrograms, FlashErases int64
@@ -68,6 +76,10 @@ func (db *DB) Stats() Stats {
 		CollisionAborts:  agg.Dev.CollisionAborts,
 		CacheHits:        agg.Index.Cache.Hits,
 		CacheMisses:      agg.Index.Cache.Misses,
+		AdmissionRejects: agg.Index.Cache.AdmissionRejects,
+		ValueCacheHits:   agg.Dev.ValueCacheHits,
+		ValueCacheMisses: agg.Dev.ValueCacheMisses,
+		PrefetchHits:     agg.Dev.PrefetchHits,
 
 		FlashReads:    agg.Flash.Reads,
 		FlashPrograms: agg.Flash.Programs,
